@@ -1,0 +1,49 @@
+// Figure 3 reproduction: average query processing time for RL-QVO vs the
+// six baselines on all datasets, default query sets (Q32; Q16 for wordnet).
+// Paper shape: RL-QVO fastest everywhere, up to ~2 orders of magnitude on
+// DBLP-like graphs.
+#include "bench_util.h"
+
+using namespace rlqvo;
+using namespace rlqvo::bench;
+
+int main(int argc, char** argv) {
+  BenchOptions opts = BenchOptions::FromArgs(argc, argv);
+  PrintBanner("Fig 3: Average Query Processing Time (s)", opts);
+
+  std::vector<std::string> methods = {"RL-QVO"};
+  for (const std::string& name : BaselineMatcherNames()) methods.push_back(name);
+
+  std::printf("%-10s", "dataset");
+  for (const auto& m : methods) std::printf(" %10s", m.c_str());
+  std::printf("\n%s\n", std::string(10 + 11 * methods.size(), '-').c_str());
+
+  for (const DatasetSpec& spec : AllDatasets()) {
+    const uint32_t size = spec.default_query_size;
+    Workload workload =
+        MustOk(BuildBenchWorkload(spec.name, opts, {size}), spec.name.c_str());
+    RLQVOModel model =
+        MustOk(TrainForBench(workload, size, opts), "train RL-QVO");
+    const auto& eval = workload.eval_queries.at(size);
+
+    std::printf("%-10s", spec.name.c_str());
+    {
+      auto matcher = MustOk(model.MakeMatcher(opts.EnumOptions()), "matcher");
+      auto agg = MustOk(RunQuerySet(matcher.get(), eval, workload.data),
+                        "RL-QVO run");
+      std::printf(" %10s", Sci(agg.avg_query_time).c_str());
+    }
+    for (const std::string& name : BaselineMatcherNames()) {
+      auto matcher =
+          MustOk(MakeMatcherByName(name, opts.EnumOptions()), name.c_str());
+      auto agg =
+          MustOk(RunQuerySet(matcher.get(), eval, workload.data), name.c_str());
+      std::printf(" %10s", Sci(agg.avg_query_time).c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "# Expected shape (paper): RL-QVO column is the smallest in every "
+      "row.\n");
+  return 0;
+}

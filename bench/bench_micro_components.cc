@@ -1,0 +1,142 @@
+// Component microbenchmarks (google-benchmark): candidate filters, ordering
+// methods, the enumeration engine, policy-network forward/backward, and
+// RL-QVO order inference. These back the complexity claims of Sec III-G
+// (order inference is O(|V(q)|(|E(q)|+d^2)) and negligible vs enumeration).
+#include <benchmark/benchmark.h>
+
+#include "core/rlqvo.h"
+#include "datasets/datasets.h"
+#include "graph/query_sampler.h"
+#include "matching/matcher.h"
+#include "matching/optimal_order.h"
+#include "nn/optimizer.h"
+#include "rl/env.h"
+
+namespace rlqvo {
+namespace {
+
+const Graph& BenchData() {
+  static const Graph data = *BuildDataset(*FindDataset("yeast"), 0.3);
+  return data;
+}
+
+Graph BenchQuery(uint32_t size, uint64_t seed = 5) {
+  QuerySampler sampler(&BenchData(), seed);
+  return sampler.SampleQuery(size).ValueOrDie();
+}
+
+void BM_LdfFilter(benchmark::State& state) {
+  Graph q = BenchQuery(static_cast<uint32_t>(state.range(0)));
+  LDFFilter filter;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.Filter(q, BenchData()));
+  }
+}
+BENCHMARK(BM_LdfFilter)->Arg(8)->Arg(16);
+
+void BM_NlfFilter(benchmark::State& state) {
+  Graph q = BenchQuery(static_cast<uint32_t>(state.range(0)));
+  NLFFilter filter;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.Filter(q, BenchData()));
+  }
+}
+BENCHMARK(BM_NlfFilter)->Arg(8)->Arg(16);
+
+void BM_GqlFilter(benchmark::State& state) {
+  Graph q = BenchQuery(static_cast<uint32_t>(state.range(0)));
+  GQLFilter filter;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.Filter(q, BenchData()));
+  }
+}
+BENCHMARK(BM_GqlFilter)->Arg(8)->Arg(16);
+
+void BM_Ordering(benchmark::State& state, const std::string& name) {
+  Graph q = BenchQuery(16);
+  CandidateSet cs = *GQLFilter().Filter(q, BenchData());
+  auto ordering = *MakeOrdering(name);
+  OrderingContext ctx;
+  ctx.query = &q;
+  ctx.data = &BenchData();
+  ctx.candidates = &cs;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ordering->MakeOrder(ctx));
+  }
+}
+BENCHMARK_CAPTURE(BM_Ordering, RI, "RI");
+BENCHMARK_CAPTURE(BM_Ordering, QSI, "QSI");
+BENCHMARK_CAPTURE(BM_Ordering, GQL, "GQL");
+BENCHMARK_CAPTURE(BM_Ordering, VEQ, "VEQ");
+
+void BM_RlqvoOrderInference(benchmark::State& state) {
+  static const RLQVOModel model;  // untrained weights; same compute cost
+  Graph q = BenchQuery(static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.MakeOrder(q, BenchData()));
+  }
+}
+BENCHMARK(BM_RlqvoOrderInference)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_Enumerate(benchmark::State& state) {
+  Graph q = BenchQuery(12);
+  CandidateSet cs = *GQLFilter().Filter(q, BenchData());
+  OrderingContext ctx;
+  ctx.query = &q;
+  ctx.data = &BenchData();
+  ctx.candidates = &cs;
+  auto order = *RIOrdering().MakeOrder(ctx);
+  EnumerateOptions opts;
+  opts.match_limit = static_cast<uint64_t>(state.range(0));
+  Enumerator enumerator;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        enumerator.Run(q, BenchData(), cs, order, opts));
+  }
+}
+BENCHMARK(BM_Enumerate)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_PolicyForward(benchmark::State& state) {
+  PolicyConfig config;
+  config.hidden_dim = static_cast<int>(state.range(0));
+  PolicyNetwork net(config);
+  Graph q = BenchQuery(16);
+  OrderingEnv env(&q, &BenchData(), FeatureConfig{});
+  const nn::Matrix features = env.Features();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        net.Forward(env.tensors(), features, env.ActionMask(), false,
+                    nullptr));
+  }
+}
+BENCHMARK(BM_PolicyForward)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_PolicyBackward(benchmark::State& state) {
+  PolicyConfig config;
+  config.hidden_dim = 64;
+  PolicyNetwork net(config);
+  Graph q = BenchQuery(16);
+  OrderingEnv env(&q, &BenchData(), FeatureConfig{});
+  const nn::Matrix features = env.Features();
+  std::vector<nn::Var> params = net.Parameters();
+  for (auto _ : state) {
+    auto out = net.Forward(env.tensors(), features, env.ActionMask(), false,
+                           nullptr);
+    nn::Backward(nn::Pick(out.log_probs, 0, 0));
+    for (auto& p : params) p.ZeroGrad();
+  }
+}
+BENCHMARK(BM_PolicyBackward);
+
+void BM_GraphTensors(benchmark::State& state) {
+  Graph q = BenchQuery(static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildGraphTensors(q));
+  }
+}
+BENCHMARK(BM_GraphTensors)->Arg(8)->Arg(32);
+
+}  // namespace
+}  // namespace rlqvo
+
+BENCHMARK_MAIN();

@@ -1,0 +1,145 @@
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+
+namespace rlqvo {
+namespace bench {
+
+/// \brief Shared knobs for the figure/table harnesses.
+///
+/// Defaults are "laptop-sized": reduced dataset scale, few queries, short
+/// training — enough to reproduce the paper's *shapes* in seconds per
+/// binary. Pass --full for paper-scale parameters (full emulated datasets,
+/// 1e5-match cap, 100-epoch training, 500 s limit); expect hours.
+struct BenchOptions {
+  double scale = 0.2;            ///< dataset scale multiplier
+  uint32_t queries_per_set = 10; ///< before the 50/50 train/eval split
+  int train_epochs = 6;          ///< PPO epochs for RL-QVO
+  int incr_epochs = 2;           ///< incremental-training epochs
+  uint64_t match_limit = 10000;  ///< per-query cap (paper: 1e5)
+  double time_limit = 5.0;       ///< per-query limit in seconds (paper: 500)
+  double train_budget = 120.0;   ///< wall-clock cap per training run
+  uint64_t seed = 7;
+  bool full = false;
+
+  static BenchOptions FromArgs(int argc, char** argv) {
+    BenchOptions opts;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto value = [&](const char* prefix) -> const char* {
+        return arg.rfind(prefix, 0) == 0 ? arg.c_str() + std::strlen(prefix)
+                                         : nullptr;
+      };
+      if (arg == "--full") {
+        opts.full = true;
+        opts.scale = 1.0;
+        opts.queries_per_set = 100;
+        opts.train_epochs = 100;
+        opts.incr_epochs = 10;
+        opts.match_limit = 100000;
+        opts.time_limit = 500.0;
+        opts.train_budget = 0.0;  // unlimited
+      } else if (const char* v = value("--scale=")) {
+        opts.scale = std::atof(v);
+      } else if (const char* v = value("--queries=")) {
+        opts.queries_per_set = static_cast<uint32_t>(std::atoi(v));
+      } else if (const char* v = value("--epochs=")) {
+        opts.train_epochs = std::atoi(v);
+      } else if (const char* v = value("--match-limit=")) {
+        opts.match_limit = std::strtoull(v, nullptr, 10);
+      } else if (const char* v = value("--time-limit=")) {
+        opts.time_limit = std::atof(v);
+      } else if (const char* v = value("--seed=")) {
+        opts.seed = std::strtoull(v, nullptr, 10);
+      }
+    }
+    return opts;
+  }
+
+  EnumerateOptions EnumOptions() const {
+    EnumerateOptions eo;
+    eo.match_limit = match_limit;
+    eo.time_limit_seconds = time_limit;
+    return eo;
+  }
+};
+
+inline void PrintBanner(const char* title, const BenchOptions& opts) {
+  std::printf("==== %s ====\n", title);
+  std::printf(
+      "# scale=%.2f queries/set=%u epochs=%d match_limit=%llu "
+      "time_limit=%.1fs%s\n",
+      opts.scale, opts.queries_per_set, opts.train_epochs,
+      static_cast<unsigned long long>(opts.match_limit), opts.time_limit,
+      opts.full ? " (FULL)" : "");
+}
+
+/// Builds a workload restricted to the given sizes (empty = dataset default).
+inline Result<Workload> BuildBenchWorkload(const std::string& dataset,
+                                           const BenchOptions& opts,
+                                           std::vector<uint32_t> sizes = {}) {
+  WorkloadConfig config;
+  config.scale = opts.scale;
+  config.queries_per_set = opts.queries_per_set;
+  config.query_sizes = std::move(sizes);
+  config.seed = opts.seed;
+  return BuildWorkload(dataset, config);
+}
+
+/// Trains an RL-QVO model on one query-size training set with bench limits.
+inline Result<RLQVOModel> TrainForBench(const Workload& workload,
+                                        uint32_t query_size,
+                                        const BenchOptions& opts,
+                                        const PolicyConfig& policy = {},
+                                        const FeatureConfig& features = {},
+                                        const RewardConfig* reward = nullptr) {
+  auto it = workload.train_queries.find(query_size);
+  if (it == workload.train_queries.end() || it->second.empty()) {
+    return Status::InvalidArgument("no training queries of size " +
+                                   std::to_string(query_size));
+  }
+  RLQVOModel model(policy, features);
+  TrainConfig config;
+  config.epochs = opts.train_epochs;
+  config.max_train_seconds = opts.train_budget;
+  config.train_match_limit = std::min<uint64_t>(opts.match_limit, 10000);
+  config.seed = opts.seed + 1;
+  if (reward != nullptr) config.reward = *reward;
+  RLQVO_ASSIGN_OR_RETURN(TrainStats stats,
+                         model.Train(it->second, workload.data, config));
+  (void)stats;
+  return model;
+}
+
+/// "1.23e-02"-style fixed-width scientific value for table cells.
+inline std::string Sci(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%9.3e", v);
+  return buf;
+}
+
+inline std::string Fixed(double v, int precision = 3) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+/// Aborts the bench with a message when a Result fails (benches are tools;
+/// hard failure beats silent half-tables).
+template <typename T>
+T MustOk(Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "FATAL (%s): %s\n", what,
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(result).ValueOrDie();
+}
+
+}  // namespace bench
+}  // namespace rlqvo

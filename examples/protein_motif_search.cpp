@@ -1,0 +1,108 @@
+// Protein-interaction motif search: the biology workload that motivates
+// subgraph matching in the paper's introduction (graphlet counting in PPI
+// networks, Przulj et al.). Generates a Yeast-like labeled interaction
+// network, then counts classic motifs — labeled triangles, stars and
+// squares — comparing the matching orders of several engines.
+//
+//   ./build/examples/protein_motif_search [--scale=0.5]
+#include <cstdio>
+#include <cstring>
+
+#include "core/rlqvo.h"
+#include "datasets/datasets.h"
+#include "graph/graph_stats.h"
+
+using namespace rlqvo;
+
+namespace {
+
+/// A named query motif over protein functional classes (= labels).
+struct Motif {
+  const char* name;
+  Graph graph;
+};
+
+Graph Triangle(Label a, Label b, Label c) {
+  GraphBuilder qb;
+  qb.AddVertex(a);
+  qb.AddVertex(b);
+  qb.AddVertex(c);
+  qb.AddEdge(0, 1);
+  qb.AddEdge(1, 2);
+  qb.AddEdge(2, 0);
+  return qb.Build();
+}
+
+Graph Star(Label center, std::vector<Label> leaves) {
+  GraphBuilder qb;
+  qb.AddVertex(center);
+  for (Label l : leaves) qb.AddVertex(l);
+  for (VertexId i = 1; i <= leaves.size(); ++i) qb.AddEdge(0, i);
+  return qb.Build();
+}
+
+Graph Square(Label a, Label b, Label c, Label d) {
+  GraphBuilder qb;
+  qb.AddVertex(a);
+  qb.AddVertex(b);
+  qb.AddVertex(c);
+  qb.AddVertex(d);
+  qb.AddEdge(0, 1);
+  qb.AddEdge(1, 2);
+  qb.AddEdge(2, 3);
+  qb.AddEdge(3, 0);
+  return qb.Build();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double scale = 0.5;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--scale=", 8) == 0) scale = std::atof(argv[i] + 8);
+  }
+
+  // Yeast-like PPI network: ~3k proteins, 71 functional classes, dense.
+  DatasetSpec spec = FindDataset("yeast").ValueOrDie();
+  Graph network = BuildDataset(spec, scale).ValueOrDie();
+  std::printf("protein network: %s\n\n",
+              ComputeGraphStats(network).ToString().c_str());
+
+  const std::vector<Motif> motifs = {
+      {"triangle(0,1,2)", Triangle(0, 1, 2)},
+      {"triangle(0,0,1)", Triangle(0, 0, 1)},
+      {"star(2; 0,0,1)", Star(2, {0, 0, 1})},
+      {"square(0,1,0,2)", Square(0, 1, 0, 2)},
+      {"square(1,1,2,2)", Square(1, 1, 2, 2)},
+  };
+
+  EnumerateOptions opts;
+  opts.match_limit = 100000;
+  opts.time_limit_seconds = 30.0;
+
+  RLQVOModel model;  // see train_rlqvo.cpp for loading a trained checkpoint
+  auto rlqvo = model.MakeMatcher(opts).ValueOrDie();
+  auto hybrid = MakeMatcherByName("Hybrid", opts).ValueOrDie();
+  auto veq = MakeMatcherByName("VEQ", opts).ValueOrDie();
+
+  std::printf("%-18s %12s | %12s %12s %12s  (#enum)\n", "motif", "count",
+              "RL-QVO", "Hybrid", "VEQ");
+  for (const Motif& motif : motifs) {
+    auto r = rlqvo->Match(motif.graph, network).ValueOrDie();
+    auto h = hybrid->Match(motif.graph, network).ValueOrDie();
+    auto v = veq->Match(motif.graph, network).ValueOrDie();
+    if (r.num_matches != h.num_matches || h.num_matches != v.num_matches) {
+      std::fprintf(stderr, "engines disagree on %s!\n", motif.name);
+      return 1;
+    }
+    std::printf("%-18s %12llu | %12llu %12llu %12llu\n", motif.name,
+                static_cast<unsigned long long>(r.num_matches),
+                static_cast<unsigned long long>(r.num_enumerations),
+                static_cast<unsigned long long>(h.num_enumerations),
+                static_cast<unsigned long long>(v.num_enumerations));
+  }
+  std::printf(
+      "\nAll engines agree on motif counts; #enum shows how much work each\n"
+      "matching order induced (lower is better).\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace rlqvo {
+
+/// \brief Severity levels for the library logger.
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// \brief Minimal leveled logger writing to stderr.
+///
+/// Intended for diagnostics in tools and training loops; library hot paths do
+/// not log. Thread-compatible (each message is a single stream write).
+class Logger {
+ public:
+  /// Global minimum level; messages below it are discarded.
+  static LogLevel& MinLevel() {
+    static LogLevel level = LogLevel::kInfo;
+    return level;
+  }
+
+  Logger(LogLevel level, const char* file, int line) : level_(level) {
+    stream_ << "[" << Name(level) << "] " << Basename(file) << ":" << line
+            << " ";
+  }
+  ~Logger() {
+    if (level_ >= MinLevel()) {
+      stream_ << "\n";
+      std::cerr << stream_.str();
+    }
+  }
+  std::ostream& stream() { return stream_; }
+
+ private:
+  static const char* Name(LogLevel level) {
+    switch (level) {
+      case LogLevel::kDebug:
+        return "DEBUG";
+      case LogLevel::kInfo:
+        return "INFO";
+      case LogLevel::kWarning:
+        return "WARN";
+      case LogLevel::kError:
+        return "ERROR";
+    }
+    return "?";
+  }
+  static const char* Basename(const char* path) {
+    const char* base = path;
+    for (const char* p = path; *p; ++p) {
+      if (*p == '/') base = p + 1;
+    }
+    return base;
+  }
+
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace rlqvo
+
+#define RLQVO_LOG(level)                                            \
+  ::rlqvo::Logger(::rlqvo::LogLevel::k##level, __FILE__, __LINE__)  \
+      .stream()

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace rlqvo {
+
+/// \brief Value-or-error holder, the Result idiom from Arrow.
+///
+/// A Result<T> is either an OK status plus a T, or a non-OK status. Use
+/// RLQVO_ASSIGN_OR_RETURN to unwrap in functions that themselves return
+/// Status/Result.
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit, so `return value;` works).
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  /// Constructs from an error status. Must not be OK.
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    RLQVO_CHECK(!status_.ok()) << "Result constructed from OK status";
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// \brief Returns the contained value; aborts if this holds an error.
+  const T& ValueOrDie() const& {
+    RLQVO_CHECK(ok()) << "ValueOrDie on error Result: " << status_.ToString();
+    return *value_;
+  }
+  T& ValueOrDie() & {
+    RLQVO_CHECK(ok()) << "ValueOrDie on error Result: " << status_.ToString();
+    return *value_;
+  }
+  T ValueOrDie() && {
+    RLQVO_CHECK(ok()) << "ValueOrDie on error Result: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  /// \brief Returns the value or a default if this holds an error.
+  T ValueOr(T default_value) const {
+    return ok() ? *value_ : std::move(default_value);
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace rlqvo

@@ -1,0 +1,109 @@
+#pragma once
+
+#include <string>
+#include <utility>
+
+namespace rlqvo {
+
+/// \brief Error codes used across the library.
+///
+/// Follows the Arrow/RocksDB convention: recoverable failures are reported
+/// through Status values rather than exceptions.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kIOError = 2,
+  kNotFound = 3,
+  kAlreadyExists = 4,
+  kOutOfRange = 5,
+  kUnimplemented = 6,
+  kInternal = 7,
+  kTimedOut = 8,
+};
+
+/// \brief Returns a human readable name for a status code (e.g. "Invalid").
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Lightweight status object for recoverable errors.
+///
+/// An OK status carries no allocation. Errors carry a code and a message.
+/// Functions in this library that can fail return Status (or Result<T>).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  /// \name Factory helpers, one per error code.
+  /// @{
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status TimedOut(std::string msg) {
+    return Status(StatusCode::kTimedOut, std::move(msg));
+  }
+  /// @}
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsTimedOut() const { return code_ == StatusCode::kTimedOut; }
+
+  /// \brief "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && msg_ == other.msg_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string msg_;
+};
+
+}  // namespace rlqvo
+
+/// Propagates a non-OK Status to the caller.
+#define RLQVO_RETURN_NOT_OK(expr)                 \
+  do {                                            \
+    ::rlqvo::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                    \
+  } while (false)
+
+#define RLQVO_CONCAT_IMPL(a, b) a##b
+#define RLQVO_CONCAT(a, b) RLQVO_CONCAT_IMPL(a, b)
+
+/// Evaluates a Result<T> expression; on success binds the value to `lhs`,
+/// on failure returns the error status.
+#define RLQVO_ASSIGN_OR_RETURN(lhs, expr)                         \
+  auto RLQVO_CONCAT(_res_, __LINE__) = (expr);                    \
+  if (!RLQVO_CONCAT(_res_, __LINE__).ok())                        \
+    return RLQVO_CONCAT(_res_, __LINE__).status();                \
+  lhs = std::move(RLQVO_CONCAT(_res_, __LINE__)).ValueOrDie()

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rlqvo {
+
+/// \brief Splits `s` on any whitespace, discarding empty tokens.
+std::vector<std::string> SplitWhitespace(const std::string& s);
+
+/// \brief Splits `s` on a single delimiter character, keeping empty tokens.
+std::vector<std::string> SplitChar(const std::string& s, char delim);
+
+/// \brief Joins tokens with a separator.
+std::string Join(const std::vector<std::string>& parts, const std::string& sep);
+
+/// \brief Formats a double with fixed precision (for benchmark tables).
+std::string FormatDouble(double v, int precision = 4);
+
+/// \brief Formats a byte count with a binary unit suffix ("186.2 kB").
+std::string FormatBytes(size_t bytes);
+
+}  // namespace rlqvo

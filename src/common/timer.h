@@ -1,0 +1,58 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace rlqvo {
+
+/// \brief Monotonic stopwatch with nanosecond resolution.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch from zero.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction/restart, in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  /// Elapsed time in whole nanoseconds.
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// \brief Deadline helper for bounded query processing (the paper's 500 s
+/// per-query time limit, Sec IV-A).
+class Deadline {
+ public:
+  /// A deadline `seconds` from now; non-positive or infinite means "never".
+  explicit Deadline(double seconds) : limit_seconds_(seconds) {}
+
+  /// An unlimited deadline.
+  static Deadline Unlimited() { return Deadline(0.0); }
+
+  bool HasLimit() const { return limit_seconds_ > 0.0; }
+  bool Expired() const {
+    return HasLimit() && watch_.ElapsedSeconds() >= limit_seconds_;
+  }
+  double ElapsedSeconds() const { return watch_.ElapsedSeconds(); }
+  double limit_seconds() const { return limit_seconds_; }
+
+ private:
+  Stopwatch watch_;
+  double limit_seconds_;
+};
+
+}  // namespace rlqvo

@@ -1,0 +1,93 @@
+#include "core/experiment.h"
+
+#include <algorithm>
+
+namespace rlqvo {
+
+Result<Workload> BuildWorkload(const std::string& dataset_name,
+                               const WorkloadConfig& config) {
+  Workload workload;
+  RLQVO_ASSIGN_OR_RETURN(workload.spec, FindDataset(dataset_name));
+  RLQVO_ASSIGN_OR_RETURN(workload.data,
+                         BuildDataset(workload.spec, config.scale));
+  std::vector<uint32_t> sizes =
+      config.query_sizes.empty() ? workload.spec.query_sizes
+                                 : config.query_sizes;
+  QuerySampler sampler(&workload.data, config.seed);
+  for (uint32_t size : sizes) {
+    RLQVO_ASSIGN_OR_RETURN(
+        std::vector<Graph> queries,
+        sampler.SampleQuerySet(size, config.queries_per_set));
+    const size_t half = queries.size() / 2;
+    workload.train_queries[size].assign(queries.begin(),
+                                        queries.begin() + half);
+    workload.eval_queries[size].assign(queries.begin() + half, queries.end());
+  }
+  return workload;
+}
+
+Result<AggregateStats> RunQuerySet(SubgraphMatcher* matcher,
+                                   const std::vector<Graph>& queries,
+                                   const Graph& data) {
+  RLQVO_CHECK(matcher != nullptr);
+  AggregateStats agg;
+  agg.num_queries = queries.size();
+  const double limit = matcher->config().enum_options.time_limit_seconds;
+  double sum_total = 0.0, sum_filter = 0.0, sum_order = 0.0, sum_enum = 0.0;
+  for (const Graph& q : queries) {
+    RLQVO_ASSIGN_OR_RETURN(MatchRunStats stats, matcher->Match(q, data));
+    const bool solved = stats.solved;
+    // Unsolved queries are charged the full time limit (Sec IV-A).
+    const double charged_total =
+        solved ? stats.total_time_seconds : (limit > 0 ? limit : stats.total_time_seconds);
+    const double charged_enum =
+        solved ? stats.enum_time_seconds : (limit > 0 ? limit : stats.enum_time_seconds);
+    sum_total += charged_total;
+    sum_filter += stats.filter_time_seconds;
+    sum_order += stats.order_time_seconds;
+    sum_enum += charged_enum;
+    agg.total_matches += stats.num_matches;
+    agg.total_enumerations += stats.num_enumerations;
+    agg.unsolved += solved ? 0 : 1;
+    agg.per_query_time.push_back(charged_total);
+    agg.per_query_enum_time.push_back(charged_enum);
+    agg.per_query_solved.push_back(solved);
+  }
+  if (!queries.empty()) {
+    const double n = static_cast<double>(queries.size());
+    agg.avg_query_time = sum_total / n;
+    agg.avg_filter_time = sum_filter / n;
+    agg.avg_order_time = sum_order / n;
+    agg.avg_enum_time = sum_enum / n;
+  }
+  return agg;
+}
+
+std::vector<double> SortedTimes(const AggregateStats& stats) {
+  std::vector<double> times = stats.per_query_time;
+  std::sort(times.begin(), times.end());
+  return times;
+}
+
+Result<RLQVOModel> TrainModelForWorkload(const Workload& workload,
+                                         uint32_t query_size, int epochs,
+                                         double seconds_budget,
+                                         const PolicyConfig& policy_config,
+                                         uint64_t seed) {
+  auto it = workload.train_queries.find(query_size);
+  if (it == workload.train_queries.end() || it->second.empty()) {
+    return Status::InvalidArgument("workload has no training queries of size " +
+                                   std::to_string(query_size));
+  }
+  RLQVOModel model(policy_config);
+  TrainConfig config;
+  config.epochs = epochs;
+  config.max_train_seconds = seconds_budget;
+  config.seed = seed;
+  RLQVO_ASSIGN_OR_RETURN(TrainStats stats,
+                         model.Train(it->second, workload.data, config));
+  (void)stats;
+  return model;
+}
+
+}  // namespace rlqvo

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/rlqvo.h"
+#include "datasets/datasets.h"
+#include "graph/query_sampler.h"
+#include "matching/matcher.h"
+
+namespace rlqvo {
+
+/// \brief A dataset plus its query workload, split 50/50 into training and
+/// evaluation sets per query size — the experimental setup of Sec IV-A.
+struct Workload {
+  DatasetSpec spec;
+  Graph data;
+  /// Query sets keyed by query size (|V(q)|).
+  std::map<uint32_t, std::vector<Graph>> train_queries;
+  std::map<uint32_t, std::vector<Graph>> eval_queries;
+};
+
+/// \brief Workload construction knobs.
+struct WorkloadConfig {
+  /// Dataset scale multiplier (1.0 = the registry's emulated size).
+  double scale = 1.0;
+  /// Queries per query set, before the 50/50 split. The paper uses 200-400;
+  /// benches default lower to keep runs laptop-sized.
+  uint32_t queries_per_set = 24;
+  /// Restrict to these sizes; empty = the dataset's full list.
+  std::vector<uint32_t> query_sizes;
+  uint64_t seed = 7;
+};
+
+/// \brief Builds data graph + query sets for a named dataset.
+Result<Workload> BuildWorkload(const std::string& dataset_name,
+                               const WorkloadConfig& config);
+
+/// \brief Aggregated metrics over one query set, mirroring the paper's
+/// reporting: averages over solved-by-someone queries, per-query times for
+/// percentile curves, and the unsolved count.
+struct AggregateStats {
+  size_t num_queries = 0;
+  uint32_t unsolved = 0;
+  double avg_query_time = 0.0;   ///< t = t_filter + t_order + t_enum
+  double avg_filter_time = 0.0;
+  double avg_order_time = 0.0;
+  double avg_enum_time = 0.0;
+  uint64_t total_matches = 0;
+  uint64_t total_enumerations = 0;
+  /// Per-query total time; unsolved queries carry the time limit.
+  std::vector<double> per_query_time;
+  std::vector<double> per_query_enum_time;
+  std::vector<bool> per_query_solved;
+};
+
+/// \brief Runs a matcher over every query of a set and aggregates. Unsolved
+/// queries (time limit hit) are charged the full limit, as in Sec IV-A.
+Result<AggregateStats> RunQuerySet(SubgraphMatcher* matcher,
+                                   const std::vector<Graph>& queries,
+                                   const Graph& data);
+
+/// \brief Sorted copy of per-query times for percentile plots (Fig 4).
+std::vector<double> SortedTimes(const AggregateStats& stats);
+
+/// \brief Trains an RL-QVO model on the workload's training queries of the
+/// given size with bench-sized defaults. `epochs` and `seconds_budget`
+/// bound the cost; pass the paper's values for a full reproduction.
+Result<RLQVOModel> TrainModelForWorkload(const Workload& workload,
+                                         uint32_t query_size, int epochs,
+                                         double seconds_budget,
+                                         const PolicyConfig& policy_config = {},
+                                         uint64_t seed = 1234);
+
+}  // namespace rlqvo

@@ -1,0 +1,142 @@
+#include "core/rlqvo.h"
+
+#include <cmath>
+
+#include "common/timer.h"
+#include "nn/serialize.h"
+#include "rl/env.h"
+
+namespace rlqvo {
+
+RLQVOOrdering::RLQVOOrdering(std::shared_ptr<const PolicyNetwork> policy,
+                             FeatureConfig features, bool stochastic,
+                             uint64_t seed)
+    : policy_(std::move(policy)),
+      features_(features),
+      stochastic_(stochastic),
+      rng_(seed) {
+  RLQVO_CHECK(policy_ != nullptr);
+}
+
+Result<std::vector<VertexId>> RLQVOOrdering::MakeOrder(
+    const OrderingContext& ctx) {
+  if (ctx.query == nullptr) {
+    return Status::InvalidArgument("ordering context missing query graph");
+  }
+  if (ctx.data == nullptr) {
+    return Status::InvalidArgument("RL-QVO ordering requires the data graph");
+  }
+  Stopwatch watch;
+  OrderingEnv env(ctx.query, ctx.data, features_);
+  while (!env.Done()) {
+    const VertexId sole = env.SoleAction();
+    if (sole != kInvalidVertex) {
+      env.Step(sole);
+      continue;
+    }
+    const nn::Matrix features = env.Features();
+    auto forward = policy_->Forward(env.tensors(), features, env.ActionMask(),
+                                    /*training=*/false, nullptr);
+    VertexId choice = kInvalidVertex;
+    if (stochastic_) {
+      std::vector<double> probs;
+      std::vector<VertexId> actions;
+      for (VertexId u = 0; u < ctx.query->num_vertices(); ++u) {
+        if (env.ActionMask()[u]) {
+          probs.push_back(std::exp(forward.log_probs.value().At(u, 0)));
+          actions.push_back(u);
+        }
+      }
+      const size_t pick = rng_.SampleDiscrete(probs);
+      choice = pick < actions.size() ? actions[pick] : actions[0];
+    } else {
+      double best = -1e300;
+      for (VertexId u = 0; u < ctx.query->num_vertices(); ++u) {
+        if (!env.ActionMask()[u]) continue;
+        const double lp = forward.log_probs.value().At(u, 0);
+        if (lp > best) {
+          best = lp;
+          choice = u;
+        }
+      }
+    }
+    RLQVO_CHECK(choice != kInvalidVertex);
+    env.Step(choice);
+  }
+  last_inference_seconds_ = watch.ElapsedSeconds();
+  return env.order();
+}
+
+RLQVOModel::RLQVOModel(const PolicyConfig& policy_config,
+                       const FeatureConfig& feature_config)
+    : policy_(std::make_shared<PolicyNetwork>(policy_config)),
+      feature_config_(feature_config) {}
+
+Result<TrainStats> RLQVOModel::Train(const std::vector<Graph>& queries,
+                                     const Graph& data, TrainConfig config) {
+  config.features = feature_config_;
+  PPOTrainer trainer(policy_.get(), config);
+  return trainer.Train(queries, data);
+}
+
+Result<std::vector<VertexId>> RLQVOModel::MakeOrder(const Graph& query,
+                                                    const Graph& data) const {
+  RLQVOOrdering ordering(policy_, feature_config_);
+  OrderingContext ctx;
+  ctx.query = &query;
+  ctx.data = &data;
+  return ordering.MakeOrder(ctx);
+}
+
+std::shared_ptr<Ordering> RLQVOModel::MakeOrdering(bool stochastic,
+                                                   uint64_t seed) const {
+  return std::make_shared<RLQVOOrdering>(policy_, feature_config_, stochastic,
+                                         seed);
+}
+
+Result<std::shared_ptr<SubgraphMatcher>> RLQVOModel::MakeMatcher(
+    const EnumerateOptions& enum_options,
+    const std::string& filter_name) const {
+  MatcherConfig config;
+  RLQVO_ASSIGN_OR_RETURN(config.filter, MakeFilter(filter_name));
+  config.ordering = MakeOrdering();
+  config.enum_options = enum_options;
+  config.name = "RL-QVO";
+  return std::make_shared<SubgraphMatcher>(std::move(config));
+}
+
+Status RLQVOModel::Save(const std::string& path) const {
+  std::map<std::string, std::string> metadata = policy_->ConfigMetadata();
+  metadata["feature_alpha_degree"] = std::to_string(feature_config_.alpha_degree);
+  metadata["feature_alpha_d"] = std::to_string(feature_config_.alpha_d);
+  metadata["feature_alpha_l"] = std::to_string(feature_config_.alpha_l);
+  metadata["feature_random"] = feature_config_.random_features ? "1" : "0";
+  metadata["feature_scale_ids"] = feature_config_.scale_ids ? "1" : "0";
+  return nn::SaveParameters(policy_->Parameters(), metadata, path);
+}
+
+Result<RLQVOModel> RLQVOModel::Load(const std::string& path) {
+  RLQVO_ASSIGN_OR_RETURN(nn::Checkpoint ckpt, nn::LoadCheckpoint(path));
+  RLQVO_ASSIGN_OR_RETURN(PolicyNetwork network, PolicyNetwork::FromCheckpoint(
+                                                    ckpt.metadata,
+                                                    ckpt.matrices));
+  FeatureConfig features;
+  auto get = [&](const char* key, double* out) {
+    auto it = ckpt.metadata.find(key);
+    if (it != ckpt.metadata.end()) *out = std::stod(it->second);
+  };
+  get("feature_alpha_degree", &features.alpha_degree);
+  get("feature_alpha_d", &features.alpha_d);
+  get("feature_alpha_l", &features.alpha_l);
+  auto it = ckpt.metadata.find("feature_random");
+  if (it != ckpt.metadata.end()) features.random_features = it->second == "1";
+  it = ckpt.metadata.find("feature_scale_ids");
+  if (it != ckpt.metadata.end()) features.scale_ids = it->second == "1";
+
+  RLQVOModel model(network.config(), features);
+  std::vector<nn::Var> params = model.policy_->Parameters();
+  RLQVO_RETURN_NOT_OK(nn::AssignParameters(ckpt.matrices, &params));
+  return model;
+}
+
+}  // namespace rlqvo

@@ -1,0 +1,96 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "matching/matcher.h"
+#include "rl/policy_network.h"
+#include "rl/ppo.h"
+
+namespace rlqvo {
+
+/// \brief An Ordering (phase-2 plug-in) backed by a trained RL-QVO policy.
+///
+/// Inference follows Sec III-D: per step, compute vertex representations
+/// with the GNN, score with the MLP, mask to the action space and pick the
+/// argmax (or sample, when stochastic exploration is requested). Steps with
+/// a single legal action skip the network entirely.
+class RLQVOOrdering : public Ordering {
+ public:
+  /// \param policy shared, immutable trained policy.
+  /// \param features must match the feature config used in training.
+  /// \param stochastic sample from the action distribution instead of argmax.
+  RLQVOOrdering(std::shared_ptr<const PolicyNetwork> policy,
+                FeatureConfig features, bool stochastic = false,
+                uint64_t seed = 0);
+
+  std::string name() const override { return "RL-QVO"; }
+  Result<std::vector<VertexId>> MakeOrder(const OrderingContext& ctx) override;
+
+  /// Wall-clock seconds the most recent MakeOrder spent (the "order
+  /// inference time" of Sec IV-F).
+  double last_inference_seconds() const { return last_inference_seconds_; }
+
+ private:
+  std::shared_ptr<const PolicyNetwork> policy_;
+  FeatureConfig features_;
+  bool stochastic_;
+  Rng rng_;
+  double last_inference_seconds_ = 0.0;
+};
+
+/// \brief The top-level RL-QVO model: policy network + feature config,
+/// with training, persistence, and factory methods for pluggable orderings
+/// and complete matchers.
+///
+/// Typical use:
+///
+///   RLQVOModel model;                       // default paper architecture
+///   model.Train(train_queries, data, {});   // PPO training
+///   auto matcher = model.MakeMatcher();     // GQL filter + RL-QVO order
+///   auto stats = matcher->Match(q, data);
+class RLQVOModel {
+ public:
+  explicit RLQVOModel(const PolicyConfig& policy_config = {},
+                      const FeatureConfig& feature_config = {});
+
+  /// Trains with PPO on (queries, data). Repeated calls warm-start from the
+  /// current weights — pass a config with fewer epochs to realise the
+  /// incremental training of Sec III-F. The model's feature config
+  /// overrides `config.features`.
+  Result<TrainStats> Train(const std::vector<Graph>& queries,
+                           const Graph& data, TrainConfig config);
+
+  /// Generates a matching order for one query (greedy argmax inference).
+  Result<std::vector<VertexId>> MakeOrder(const Graph& query,
+                                          const Graph& data) const;
+
+  /// A pluggable Ordering sharing this model's policy.
+  std::shared_ptr<Ordering> MakeOrdering(bool stochastic = false,
+                                         uint64_t seed = 0) const;
+
+  /// A complete matcher: `filter_name` candidates + RL-QVO ordering + the
+  /// shared enumeration engine. Default filter is GQL, as in the paper.
+  Result<std::shared_ptr<SubgraphMatcher>> MakeMatcher(
+      const EnumerateOptions& enum_options = {},
+      const std::string& filter_name = "GQL") const;
+
+  /// Persists the policy weights, architecture and feature config.
+  Status Save(const std::string& path) const;
+  /// Loads a model saved by Save.
+  static Result<RLQVOModel> Load(const std::string& path);
+
+  const PolicyNetwork& policy() const { return *policy_; }
+  PolicyNetwork* mutable_policy() { return policy_.get(); }
+  const FeatureConfig& feature_config() const { return feature_config_; }
+  /// float32-equivalent parameter footprint (Table IV's "Model Space").
+  size_t ParameterBytes() const { return policy_->ParameterBytes(); }
+
+ private:
+  std::shared_ptr<PolicyNetwork> policy_;
+  FeatureConfig feature_config_;
+};
+
+}  // namespace rlqvo

@@ -1,0 +1,169 @@
+#include "datasets/datasets.h"
+
+#include <algorithm>
+
+#include "graph/generators.h"
+
+namespace rlqvo {
+
+namespace {
+
+std::vector<DatasetSpec> MakeRegistry() {
+  std::vector<DatasetSpec> specs;
+
+  // Citeseer: small sparse citation network; kept at full paper scale.
+  {
+    DatasetSpec s;
+    s.name = "citeseer";
+    s.category = "citation network";
+    s.family = GraphFamily::kErdosRenyi;
+    s.num_vertices = 3327;
+    s.avg_degree = 2.8;
+    s.num_labels = 6;
+    s.label_zipf = 0.6;
+    s.query_sizes = {4, 8, 16, 32};
+    s.default_query_size = 32;
+    s.seed = 101;
+    s.paper_vertices = 3327;
+    s.paper_edges = 4732;
+    s.paper_labels = 6;
+    s.paper_avg_degree = 1.4;
+    specs.push_back(std::move(s));
+  }
+  // Yeast: small dense biology network with a large label set; full scale.
+  {
+    DatasetSpec s;
+    s.name = "yeast";
+    s.category = "biology network";
+    s.family = GraphFamily::kErdosRenyi;
+    s.num_vertices = 3112;
+    s.avg_degree = 8.0;
+    s.num_labels = 71;
+    s.label_zipf = 1.0;
+    s.query_sizes = {4, 8, 16, 32};
+    s.default_query_size = 32;
+    s.seed = 102;
+    s.paper_vertices = 3112;
+    s.paper_edges = 12519;
+    s.paper_labels = 71;
+    s.paper_avg_degree = 8.0;
+    specs.push_back(std::move(s));
+  }
+  // DBLP: collaboration network with hubs; emulated at reduced scale.
+  {
+    DatasetSpec s;
+    s.name = "dblp";
+    s.category = "social network";
+    s.family = GraphFamily::kBarabasiAlbert;
+    s.num_vertices = 12000;
+    s.avg_degree = 6.6;
+    s.ba_edges = 3;
+    s.num_labels = 15;
+    s.label_zipf = 0.8;
+    s.query_sizes = {4, 8, 16, 32};
+    s.default_query_size = 32;
+    s.seed = 103;
+    s.paper_vertices = 317080;
+    s.paper_edges = 1049866;
+    s.paper_labels = 15;
+    s.paper_avg_degree = 6.6;
+    specs.push_back(std::move(s));
+  }
+  // Youtube: heavy-tailed social network; emulated at reduced scale.
+  {
+    DatasetSpec s;
+    s.name = "youtube";
+    s.category = "social network";
+    s.family = GraphFamily::kPowerLaw;
+    s.num_vertices = 15000;
+    s.avg_degree = 5.3;
+    s.power_law_gamma = 2.2;
+    s.num_labels = 25;
+    s.label_zipf = 0.9;
+    s.query_sizes = {4, 8, 16, 32};
+    s.default_query_size = 32;
+    s.seed = 104;
+    s.paper_vertices = 1134890;
+    s.paper_edges = 2987624;
+    s.paper_labels = 25;
+    s.paper_avg_degree = 5.3;
+    specs.push_back(std::move(s));
+  }
+  // Wordnet: sparse lexical network with very few labels; reduced scale.
+  {
+    DatasetSpec s;
+    s.name = "wordnet";
+    s.category = "lexical network";
+    s.family = GraphFamily::kErdosRenyi;
+    s.num_vertices = 8000;
+    s.avg_degree = 3.1;
+    s.num_labels = 5;
+    s.label_zipf = 0.4;
+    s.query_sizes = {4, 8, 16};
+    s.default_query_size = 16;
+    s.seed = 105;
+    s.paper_vertices = 76853;
+    s.paper_edges = 120399;
+    s.paper_labels = 5;
+    s.paper_avg_degree = 3.1;
+    specs.push_back(std::move(s));
+  }
+  // EU2005: dense web graph with strong hubs; reduced scale.
+  {
+    DatasetSpec s;
+    s.name = "eu2005";
+    s.category = "web network";
+    s.family = GraphFamily::kPowerLaw;
+    s.num_vertices = 8000;
+    s.avg_degree = 37.4;
+    s.power_law_gamma = 2.1;
+    s.num_labels = 40;
+    s.label_zipf = 0.9;
+    s.query_sizes = {4, 8, 16, 32};
+    s.default_query_size = 32;
+    s.seed = 106;
+    s.paper_vertices = 862664;
+    s.paper_edges = 16138468;
+    s.paper_labels = 40;
+    s.paper_avg_degree = 37.4;
+    specs.push_back(std::move(s));
+  }
+  return specs;
+}
+
+}  // namespace
+
+const std::vector<DatasetSpec>& AllDatasets() {
+  static const std::vector<DatasetSpec> registry = MakeRegistry();
+  return registry;
+}
+
+Result<DatasetSpec> FindDataset(const std::string& name) {
+  for (const DatasetSpec& s : AllDatasets()) {
+    if (s.name == name) return s;
+  }
+  return Status::NotFound("unknown dataset '" + name +
+                          "' (expected one of citeseer, yeast, dblp, "
+                          "youtube, wordnet, eu2005)");
+}
+
+Result<Graph> BuildDataset(const DatasetSpec& spec, double scale) {
+  if (scale <= 0.0) return Status::InvalidArgument("scale must be positive");
+  const uint32_t n = std::max<uint32_t>(
+      64, static_cast<uint32_t>(spec.num_vertices * scale));
+  LabelConfig labels;
+  labels.num_labels = spec.num_labels;
+  labels.zipf_exponent = spec.label_zipf;
+  switch (spec.family) {
+    case GraphFamily::kErdosRenyi:
+      return GenerateErdosRenyi(n, spec.avg_degree, labels, spec.seed);
+    case GraphFamily::kPowerLaw:
+      return GeneratePowerLaw(n, spec.avg_degree, spec.power_law_gamma, labels,
+                              spec.seed);
+    case GraphFamily::kBarabasiAlbert:
+      return GenerateBarabasiAlbert(n, spec.ba_edges, labels, spec.seed);
+  }
+  return Status::Internal("unreachable");
+}
+
+}  // namespace rlqvo

@@ -1,0 +1,147 @@
+#include "graph/generators.h"
+
+#include <cmath>
+#include <vector>
+
+namespace rlqvo {
+
+namespace {
+
+Status ValidateLabels(const LabelConfig& labels) {
+  if (labels.num_labels == 0) {
+    return Status::InvalidArgument("num_labels must be positive");
+  }
+  if (labels.zipf_exponent < 0.0) {
+    return Status::InvalidArgument("zipf_exponent must be non-negative");
+  }
+  return Status::OK();
+}
+
+std::vector<double> ZipfWeights(const LabelConfig& config) {
+  std::vector<double> w(config.num_labels);
+  for (uint32_t l = 0; l < config.num_labels; ++l) {
+    w[l] = std::pow(static_cast<double>(l + 1), -config.zipf_exponent);
+  }
+  return w;
+}
+
+void AssignLabels(GraphBuilder* builder, uint32_t n, const LabelConfig& config,
+                  Rng* rng) {
+  const std::vector<double> weights = ZipfWeights(config);
+  for (uint32_t i = 0; i < n; ++i) {
+    size_t l = rng->SampleDiscrete(weights);
+    builder->AddVertex(static_cast<Label>(l));
+  }
+}
+
+}  // namespace
+
+Label SampleLabel(const LabelConfig& config, Rng* rng) {
+  const std::vector<double> weights = ZipfWeights(config);
+  return static_cast<Label>(rng->SampleDiscrete(weights));
+}
+
+Result<Graph> GenerateErdosRenyi(uint32_t n, double avg_degree,
+                                 const LabelConfig& labels, uint64_t seed) {
+  if (n < 2) return Status::InvalidArgument("need at least 2 vertices");
+  if (avg_degree <= 0.0 || avg_degree >= n) {
+    return Status::InvalidArgument("avg_degree must be in (0, n)");
+  }
+  RLQVO_RETURN_NOT_OK(ValidateLabels(labels));
+  Rng rng(seed);
+  GraphBuilder builder(n);
+  AssignLabels(&builder, n, labels, &rng);
+  const uint64_t target_edges =
+      static_cast<uint64_t>(avg_degree * n / 2.0 + 0.5);
+  for (uint64_t e = 0; e < target_edges; ++e) {
+    VertexId u = static_cast<VertexId>(rng.NextBounded(n));
+    VertexId v = static_cast<VertexId>(rng.NextBounded(n));
+    if (u != v) builder.AddEdge(u, v);
+  }
+  return builder.Build();
+}
+
+Result<Graph> GeneratePowerLaw(uint32_t n, double avg_degree, double gamma,
+                               const LabelConfig& labels, uint64_t seed) {
+  if (n < 2) return Status::InvalidArgument("need at least 2 vertices");
+  if (avg_degree <= 0.0 || avg_degree >= n) {
+    return Status::InvalidArgument("avg_degree must be in (0, n)");
+  }
+  if (gamma <= 1.0) {
+    return Status::InvalidArgument("gamma must exceed 1");
+  }
+  RLQVO_RETURN_NOT_OK(ValidateLabels(labels));
+  Rng rng(seed);
+  GraphBuilder builder(n);
+  AssignLabels(&builder, n, labels, &rng);
+
+  // Chung-Lu: sample edge endpoints proportionally to expected degrees.
+  std::vector<double> w(n);
+  double total = 0.0;
+  const double exponent = -1.0 / (gamma - 1.0);
+  for (uint32_t i = 0; i < n; ++i) {
+    w[i] = std::pow(static_cast<double>(i + 1), exponent);
+    total += w[i];
+  }
+  // Cumulative distribution for endpoint sampling.
+  std::vector<double> cdf(n);
+  double acc = 0.0;
+  for (uint32_t i = 0; i < n; ++i) {
+    acc += w[i] / total;
+    cdf[i] = acc;
+  }
+  auto sample_endpoint = [&]() -> VertexId {
+    const double r = rng.NextDouble();
+    auto it = std::lower_bound(cdf.begin(), cdf.end(), r);
+    if (it == cdf.end()) --it;
+    return static_cast<VertexId>(it - cdf.begin());
+  };
+  const uint64_t target_edges =
+      static_cast<uint64_t>(avg_degree * n / 2.0 + 0.5);
+  for (uint64_t e = 0; e < target_edges; ++e) {
+    VertexId u = sample_endpoint();
+    VertexId v = sample_endpoint();
+    if (u != v) builder.AddEdge(u, v);
+  }
+  return builder.Build();
+}
+
+Result<Graph> GenerateBarabasiAlbert(uint32_t n, uint32_t edges_per_vertex,
+                                     const LabelConfig& labels,
+                                     uint64_t seed) {
+  if (edges_per_vertex == 0) {
+    return Status::InvalidArgument("edges_per_vertex must be positive");
+  }
+  if (n < edges_per_vertex + 1) {
+    return Status::InvalidArgument("need more vertices than edges_per_vertex");
+  }
+  RLQVO_RETURN_NOT_OK(ValidateLabels(labels));
+  Rng rng(seed);
+  GraphBuilder builder(n);
+  AssignLabels(&builder, n, labels, &rng);
+
+  // `targets` holds one entry per edge endpoint, so uniform sampling from it
+  // is preferential attachment.
+  std::vector<VertexId> targets;
+  targets.reserve(2ull * n * edges_per_vertex);
+  // Seed clique over the first m+1 vertices.
+  for (uint32_t u = 0; u <= edges_per_vertex; ++u) {
+    for (uint32_t v = u + 1; v <= edges_per_vertex; ++v) {
+      builder.AddEdge(u, v);
+      targets.push_back(u);
+      targets.push_back(v);
+    }
+  }
+  for (uint32_t v = edges_per_vertex + 1; v < n; ++v) {
+    for (uint32_t k = 0; k < edges_per_vertex; ++k) {
+      VertexId t = targets[rng.NextBounded(targets.size())];
+      if (t == v) continue;
+      builder.AddEdge(v, t);
+      targets.push_back(v);
+      targets.push_back(t);
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace rlqvo

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "graph/graph.h"
+
+namespace rlqvo {
+
+/// \brief How labels are assigned to generated vertices.
+struct LabelConfig {
+  /// Number of distinct labels |L|.
+  uint32_t num_labels = 4;
+  /// Zipf exponent for the label distribution; 0 means uniform. Real graphs
+  /// (e.g. Citeseer's 6 classes, DBLP's venues) have skewed label histograms,
+  /// which is what makes infrequent-label-first heuristics meaningful.
+  double zipf_exponent = 0.8;
+};
+
+/// \brief G(n, p)-style random graph with a target average degree.
+///
+/// Edges are sampled by drawing `n * avg_degree / 2` endpoint pairs
+/// (duplicates deduplicated), which matches G(n, m) closely for sparse
+/// graphs and runs in O(m).
+Result<Graph> GenerateErdosRenyi(uint32_t n, double avg_degree,
+                                 const LabelConfig& labels, uint64_t seed);
+
+/// \brief Chung-Lu random graph with power-law expected degrees.
+///
+/// Expected degree of vertex i is proportional to (i+1)^(-1/(gamma-1)),
+/// rescaled to hit `avg_degree`; gamma in (2, 3] reproduces the heavy-tailed
+/// degree distributions of web/social graphs (EU2005, Youtube).
+Result<Graph> GeneratePowerLaw(uint32_t n, double avg_degree, double gamma,
+                               const LabelConfig& labels, uint64_t seed);
+
+/// \brief Barabási–Albert preferential attachment graph.
+///
+/// Each new vertex attaches to `edges_per_vertex` existing vertices chosen
+/// proportionally to degree. Produces hub-dominated citation-network-like
+/// structure (Citeseer, DBLP).
+Result<Graph> GenerateBarabasiAlbert(uint32_t n, uint32_t edges_per_vertex,
+                                     const LabelConfig& labels, uint64_t seed);
+
+/// \brief Samples a label from the configured Zipf distribution.
+Label SampleLabel(const LabelConfig& config, Rng* rng);
+
+}  // namespace rlqvo

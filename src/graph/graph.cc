@@ -1,0 +1,134 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+namespace rlqvo {
+
+bool Graph::HasEdge(VertexId u, VertexId v) const {
+  if (u >= num_vertices() || v >= num_vertices()) return false;
+  // Search the smaller adjacency list.
+  if (degree(u) > degree(v)) std::swap(u, v);
+  auto nbrs = neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+std::span<const VertexId> Graph::VerticesWithLabel(Label l) const {
+  if (l >= num_labels_) return {};
+  return {vertices_by_label_.data() + label_offsets_[l],
+          label_offsets_[l + 1] - label_offsets_[l]};
+}
+
+uint32_t Graph::CountVerticesWithDegreeGreaterThan(uint32_t d) const {
+  auto it = std::upper_bound(sorted_degrees_.begin(), sorted_degrees_.end(), d);
+  return static_cast<uint32_t>(sorted_degrees_.end() - it);
+}
+
+uint64_t Graph::EdgeLabelFrequency(Label la, Label lb) const {
+  // Scan the adjacency of the less frequent label's vertices.
+  if (LabelFrequency(la) > LabelFrequency(lb)) std::swap(la, lb);
+  uint64_t count = 0;
+  for (VertexId v : VerticesWithLabel(la)) {
+    for (VertexId w : neighbors(v)) {
+      if (label(w) == lb) ++count;
+    }
+  }
+  // Each same-label edge was visited from both endpoints.
+  if (la == lb) count /= 2;
+  return count;
+}
+
+size_t Graph::MemoryFootprintBytes() const {
+  return offsets_.size() * sizeof(uint64_t) + adj_.size() * sizeof(VertexId) +
+         labels_.size() * sizeof(Label) +
+         label_freq_.size() * sizeof(uint32_t) +
+         label_offsets_.size() * sizeof(uint64_t) +
+         vertices_by_label_.size() * sizeof(VertexId) +
+         sorted_degrees_.size() * sizeof(uint32_t);
+}
+
+std::string Graph::ToString() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "Graph(|V|=%u, |E|=%llu, |L|=%u, avg_d=%.2f)", num_vertices(),
+                static_cast<unsigned long long>(num_edges()), num_labels(),
+                num_vertices() ? 2.0 * static_cast<double>(num_edges()) /
+                                     num_vertices()
+                               : 0.0);
+  return buf;
+}
+
+GraphBuilder::GraphBuilder(uint32_t expected_vertices) {
+  labels_.reserve(expected_vertices);
+  adjacency_.reserve(expected_vertices);
+}
+
+VertexId GraphBuilder::AddVertex(Label label) {
+  labels_.push_back(label);
+  adjacency_.emplace_back();
+  return static_cast<VertexId>(labels_.size() - 1);
+}
+
+bool GraphBuilder::AddEdge(VertexId u, VertexId v) {
+  if (u == v) return false;
+  if (u >= labels_.size() || v >= labels_.size()) return false;
+  adjacency_[u].push_back(v);
+  adjacency_[v].push_back(u);
+  return true;
+}
+
+Graph GraphBuilder::Build() {
+  Graph g;
+  const uint32_t n = num_vertices();
+  g.labels_ = std::move(labels_);
+  g.offsets_.assign(n + 1, 0);
+
+  // Sort + dedup adjacency, then flatten to CSR.
+  uint64_t total = 0;
+  for (uint32_t v = 0; v < n; ++v) {
+    auto& nbrs = adjacency_[v];
+    std::sort(nbrs.begin(), nbrs.end());
+    nbrs.erase(std::unique(nbrs.begin(), nbrs.end()), nbrs.end());
+    total += nbrs.size();
+  }
+  g.adj_.reserve(total);
+  for (uint32_t v = 0; v < n; ++v) {
+    g.offsets_[v] = g.adj_.size();
+    g.adj_.insert(g.adj_.end(), adjacency_[v].begin(), adjacency_[v].end());
+  }
+  g.offsets_[n] = g.adj_.size();
+
+  g.num_labels_ = 0;
+  for (Label l : g.labels_) g.num_labels_ = std::max(g.num_labels_, l + 1);
+
+  // Label index.
+  g.label_freq_.assign(g.num_labels_, 0);
+  for (Label l : g.labels_) ++g.label_freq_[l];
+  g.label_offsets_.assign(g.num_labels_ + 1, 0);
+  for (uint32_t l = 0; l < g.num_labels_; ++l) {
+    g.label_offsets_[l + 1] = g.label_offsets_[l] + g.label_freq_[l];
+  }
+  g.vertices_by_label_.resize(n);
+  std::vector<uint64_t> cursor(g.label_offsets_.begin(),
+                               g.label_offsets_.end() - 1);
+  for (uint32_t v = 0; v < n; ++v) {
+    g.vertices_by_label_[cursor[g.labels_[v]]++] = v;
+  }
+
+  // Degree index.
+  g.sorted_degrees_.resize(n);
+  g.max_degree_ = 0;
+  for (uint32_t v = 0; v < n; ++v) {
+    g.sorted_degrees_[v] =
+        static_cast<uint32_t>(g.offsets_[v + 1] - g.offsets_[v]);
+    g.max_degree_ = std::max(g.max_degree_, g.sorted_degrees_[v]);
+  }
+  std::sort(g.sorted_degrees_.begin(), g.sorted_degrees_.end());
+
+  labels_.clear();
+  adjacency_.clear();
+  return g;
+}
+
+}  // namespace rlqvo

@@ -1,0 +1,129 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace rlqvo {
+
+/// Vertex identifier. Vertices of a graph are densely numbered [0, n).
+using VertexId = uint32_t;
+/// Vertex label identifier, densely numbered [0, |L|).
+using Label = uint32_t;
+
+/// Sentinel for "no vertex".
+inline constexpr VertexId kInvalidVertex = UINT32_MAX;
+
+/// \brief Immutable undirected labeled graph in CSR form.
+///
+/// This is the shared representation for both data graphs G and query graphs
+/// q (Definition II.1 of the paper). Neighbor lists are sorted, enabling
+/// O(log d) adjacency tests and ordered merges. Construct via GraphBuilder or
+/// the loaders in graph_io.h.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Number of vertices |V|.
+  uint32_t num_vertices() const { return static_cast<uint32_t>(labels_.size()); }
+
+  /// Number of undirected edges |E|.
+  uint64_t num_edges() const { return adj_.size() / 2; }
+
+  /// Number of distinct labels that appear (= max label id + 1).
+  uint32_t num_labels() const { return num_labels_; }
+
+  /// Label of vertex v.
+  Label label(VertexId v) const {
+    RLQVO_DCHECK_LT(v, num_vertices());
+    return labels_[v];
+  }
+
+  /// Degree d(v).
+  uint32_t degree(VertexId v) const {
+    RLQVO_DCHECK_LT(v, num_vertices());
+    return static_cast<uint32_t>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  /// Maximum degree over all vertices.
+  uint32_t max_degree() const { return max_degree_; }
+
+  /// Sorted neighbor list N(v).
+  std::span<const VertexId> neighbors(VertexId v) const {
+    RLQVO_DCHECK_LT(v, num_vertices());
+    return {adj_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
+  }
+
+  /// True iff edge (u, v) exists. O(log min(d(u), d(v))).
+  bool HasEdge(VertexId u, VertexId v) const;
+
+  /// Number of data vertices carrying label l (0 for unseen labels).
+  uint32_t LabelFrequency(Label l) const {
+    return l < label_freq_.size() ? label_freq_[l] : 0;
+  }
+
+  /// Vertices carrying label l, ascending. Empty span for unseen labels.
+  std::span<const VertexId> VerticesWithLabel(Label l) const;
+
+  /// \brief |{v in V : d(v) > d}| — used by feature h(0)_u(4) of the paper.
+  /// O(log n) via a sorted-degree index.
+  uint32_t CountVerticesWithDegreeGreaterThan(uint32_t d) const;
+
+  /// \brief Number of edges whose endpoint labels are {la, lb} (unordered).
+  /// Used by QuickSI's infrequent-edge-first ordering.
+  uint64_t EdgeLabelFrequency(Label la, Label lb) const;
+
+  /// \brief Approximate in-memory footprint in bytes (Table IV).
+  size_t MemoryFootprintBytes() const;
+
+  /// Human-readable one-line summary.
+  std::string ToString() const;
+
+ private:
+  friend class GraphBuilder;
+
+  std::vector<uint64_t> offsets_;   // size n+1
+  std::vector<VertexId> adj_;       // size 2m, sorted per vertex
+  std::vector<Label> labels_;       // size n
+  uint32_t num_labels_ = 0;
+  uint32_t max_degree_ = 0;
+
+  // Indexes.
+  std::vector<uint32_t> label_freq_;            // per label
+  std::vector<uint64_t> label_offsets_;         // size |L|+1
+  std::vector<VertexId> vertices_by_label_;     // size n
+  std::vector<uint32_t> sorted_degrees_;        // size n, ascending
+};
+
+/// \brief Incremental builder for Graph.
+///
+/// Vertices are added first (fixing labels), then edges. Duplicate edges are
+/// deduplicated; self-loops are rejected.
+class GraphBuilder {
+ public:
+  GraphBuilder() = default;
+
+  /// Pre-sizes internal storage for n vertices.
+  explicit GraphBuilder(uint32_t expected_vertices);
+
+  /// Adds a vertex with the given label; returns its id (sequential).
+  VertexId AddVertex(Label label);
+
+  /// Adds an undirected edge. Both endpoints must already exist and differ.
+  /// Returns false (and ignores the edge) for self-loops or unknown vertices.
+  bool AddEdge(VertexId u, VertexId v);
+
+  uint32_t num_vertices() const { return static_cast<uint32_t>(labels_.size()); }
+
+  /// Finalises into an immutable Graph. The builder is left empty.
+  Graph Build();
+
+ private:
+  std::vector<Label> labels_;
+  std::vector<std::vector<VertexId>> adjacency_;
+};
+
+}  // namespace rlqvo

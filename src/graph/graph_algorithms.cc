@@ -1,0 +1,147 @@
+#include "graph/graph_algorithms.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace rlqvo {
+
+std::vector<uint32_t> ConnectedComponents(const Graph& g) {
+  const uint32_t n = g.num_vertices();
+  std::vector<uint32_t> comp(n, UINT32_MAX);
+  uint32_t next = 0;
+  std::deque<VertexId> queue;
+  for (VertexId s = 0; s < n; ++s) {
+    if (comp[s] != UINT32_MAX) continue;
+    comp[s] = next;
+    queue.push_back(s);
+    while (!queue.empty()) {
+      VertexId v = queue.front();
+      queue.pop_front();
+      for (VertexId w : g.neighbors(v)) {
+        if (comp[w] == UINT32_MAX) {
+          comp[w] = next;
+          queue.push_back(w);
+        }
+      }
+    }
+    ++next;
+  }
+  return comp;
+}
+
+uint32_t CountConnectedComponents(const Graph& g) {
+  if (g.num_vertices() == 0) return 0;
+  auto comp = ConnectedComponents(g);
+  return *std::max_element(comp.begin(), comp.end()) + 1;
+}
+
+bool IsConnected(const Graph& g) {
+  return g.num_vertices() == 0 || CountConnectedComponents(g) == 1;
+}
+
+bool IsConnectedSubset(const Graph& g, const std::vector<VertexId>& vertices) {
+  if (vertices.empty()) return true;
+  std::vector<bool> in_set(g.num_vertices(), false);
+  for (VertexId v : vertices) {
+    if (v >= g.num_vertices()) return false;
+    in_set[v] = true;
+  }
+  std::vector<bool> seen(g.num_vertices(), false);
+  std::deque<VertexId> queue{vertices[0]};
+  seen[vertices[0]] = true;
+  size_t reached = 1;
+  while (!queue.empty()) {
+    VertexId v = queue.front();
+    queue.pop_front();
+    for (VertexId w : g.neighbors(v)) {
+      if (in_set[w] && !seen[w]) {
+        seen[w] = true;
+        ++reached;
+        queue.push_back(w);
+      }
+    }
+  }
+  // Duplicate entries in `vertices` would overcount; count distinct members.
+  size_t distinct = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) distinct += in_set[v];
+  return reached == distinct;
+}
+
+std::vector<VertexId> BfsOrder(const Graph& g, VertexId start) {
+  std::vector<VertexId> order;
+  if (start >= g.num_vertices()) return order;
+  std::vector<bool> seen(g.num_vertices(), false);
+  std::deque<VertexId> queue{start};
+  seen[start] = true;
+  while (!queue.empty()) {
+    VertexId v = queue.front();
+    queue.pop_front();
+    order.push_back(v);
+    for (VertexId w : g.neighbors(v)) {
+      if (!seen[w]) {
+        seen[w] = true;
+        queue.push_back(w);
+      }
+    }
+  }
+  return order;
+}
+
+std::vector<uint32_t> CoreNumbers(const Graph& g) {
+  const uint32_t n = g.num_vertices();
+  std::vector<uint32_t> degree(n);
+  uint32_t max_degree = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    degree[v] = g.degree(v);
+    max_degree = std::max(max_degree, degree[v]);
+  }
+  // Bucket sort by degree (Batagelj-Zaversnik peeling).
+  std::vector<std::vector<VertexId>> buckets(max_degree + 1);
+  for (VertexId v = 0; v < n; ++v) buckets[degree[v]].push_back(v);
+  std::vector<uint32_t> core(n, 0);
+  std::vector<bool> removed(n, false);
+  uint32_t current = 0;
+  for (uint32_t d = 0; d <= max_degree; ++d) {
+    // Buckets gain entries below the cursor as degrees drop; re-scan.
+    for (size_t i = 0; i < buckets[d].size(); ++i) {
+      const VertexId v = buckets[d][i];
+      if (removed[v] || degree[v] != d) continue;
+      current = std::max(current, d);
+      core[v] = current;
+      removed[v] = true;
+      for (VertexId w : g.neighbors(v)) {
+        if (!removed[w] && degree[w] > d) {
+          // New degree stays >= d, so w lands in the current or a later
+          // bucket — both still scanned.
+          --degree[w];
+          buckets[degree[w]].push_back(w);
+        }
+      }
+    }
+  }
+  return core;
+}
+
+bool IsValidMatchingOrder(const Graph& g, const std::vector<VertexId>& order) {
+  const uint32_t n = g.num_vertices();
+  if (order.size() != n) return false;
+  std::vector<bool> placed(n, false);
+  for (size_t i = 0; i < order.size(); ++i) {
+    VertexId u = order[i];
+    if (u >= n || placed[u]) return false;
+    if (i > 0) {
+      bool attached = false;
+      for (VertexId w : g.neighbors(u)) {
+        if (placed[w]) {
+          attached = true;
+          break;
+        }
+      }
+      if (!attached) return false;
+    }
+    placed[u] = true;
+  }
+  return true;
+}
+
+}  // namespace rlqvo

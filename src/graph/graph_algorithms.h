@@ -1,0 +1,35 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace rlqvo {
+
+/// \brief True iff the graph is connected (empty graphs count as connected).
+bool IsConnected(const Graph& g);
+
+/// \brief True iff the induced subgraph on `vertices` is connected.
+bool IsConnectedSubset(const Graph& g, const std::vector<VertexId>& vertices);
+
+/// \brief Component id per vertex, components numbered from 0 by discovery.
+std::vector<uint32_t> ConnectedComponents(const Graph& g);
+
+/// \brief Number of connected components.
+uint32_t CountConnectedComponents(const Graph& g);
+
+/// \brief BFS order from `start` (only the reachable vertices).
+std::vector<VertexId> BfsOrder(const Graph& g, VertexId start);
+
+/// \brief True iff `order` is a permutation of [0, g.num_vertices()) such
+/// that every prefix beyond the first vertex is connected to an earlier
+/// vertex — the validity condition every ordering method must satisfy
+/// (the action-space constraint of Sec III-C).
+bool IsValidMatchingOrder(const Graph& g, const std::vector<VertexId>& order);
+
+/// \brief Core number per vertex (the largest k such that the vertex
+/// belongs to the k-core), via iterative minimum-degree peeling. Used by
+/// CFL's core-forest-leaf query decomposition.
+std::vector<uint32_t> CoreNumbers(const Graph& g);
+
+}  // namespace rlqvo

@@ -1,0 +1,136 @@
+#include "graph/graph_io.h"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace rlqvo {
+
+namespace {
+
+/// Parses a non-negative integer; false on any non-numeric content.
+bool ParseUint64(const std::string& token, uint64_t* out) {
+  if (token.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(token.c_str(), &end, 10);
+  if (end != token.c_str() + token.size() || errno == ERANGE) return false;
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+Result<Graph> ParseGraphText(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  GraphBuilder builder;
+  uint32_t declared_vertices = 0;
+  uint64_t declared_edges = 0;
+  uint64_t edges_added = 0;
+  bool saw_header = false;
+  size_t line_no = 0;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::vector<std::string> tok = SplitWhitespace(line);
+    if (tok.empty()) continue;
+    auto error = [&](const std::string& what) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) + ": " +
+                                     what + " in '" + line + "'");
+    };
+    if (tok[0] == "t") {
+      if (tok.size() < 3) return error("malformed header");
+      uint64_t vertices = 0;
+      if (!ParseUint64(tok[1], &vertices) ||
+          !ParseUint64(tok[2], &declared_edges)) {
+        return error("non-numeric header field");
+      }
+      saw_header = true;
+      declared_vertices = static_cast<uint32_t>(vertices);
+    } else if (tok[0] == "v") {
+      if (tok.size() < 3) return error("malformed vertex");
+      uint64_t id = 0, label = 0;
+      if (!ParseUint64(tok[1], &id) || !ParseUint64(tok[2], &label)) {
+        return error("non-numeric vertex field");
+      }
+      if (id != builder.num_vertices()) {
+        return error("vertex ids must be dense and ascending");
+      }
+      builder.AddVertex(static_cast<Label>(label));
+    } else if (tok[0] == "e") {
+      if (tok.size() < 3) return error("malformed edge");
+      uint64_t u = 0, v = 0;
+      if (!ParseUint64(tok[1], &u) || !ParseUint64(tok[2], &v)) {
+        return error("non-numeric edge field");
+      }
+      if (u >= builder.num_vertices() || v >= builder.num_vertices()) {
+        return error("edge references unknown vertex");
+      }
+      if (u == v) return error("self-loop");
+      builder.AddEdge(static_cast<VertexId>(u), static_cast<VertexId>(v));
+      ++edges_added;
+    } else {
+      return error("unknown record type");
+    }
+  }
+  if (!saw_header) {
+    return Status::InvalidArgument("missing 't <n> <m>' header");
+  }
+  if (builder.num_vertices() != declared_vertices) {
+    return Status::InvalidArgument(
+        "header declares " + std::to_string(declared_vertices) +
+        " vertices but " + std::to_string(builder.num_vertices()) +
+        " were defined");
+  }
+  Graph g = builder.Build();
+  // Duplicate edges are legal input but deduplicated; only flag shortfalls.
+  if (edges_added < declared_edges) {
+    return Status::InvalidArgument(
+        "header declares " + std::to_string(declared_edges) + " edges but " +
+        std::to_string(edges_added) + " were defined");
+  }
+  return g;
+}
+
+Result<Graph> LoadGraphFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IOError("cannot open '" + path + "': " +
+                           std::strerror(errno));
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseGraphText(buf.str());
+}
+
+std::string GraphToText(const Graph& g) {
+  std::ostringstream out;
+  out << "t " << g.num_vertices() << " " << g.num_edges() << "\n";
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    out << "v " << v << " " << g.label(v) << " " << g.degree(v) << "\n";
+  }
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (VertexId w : g.neighbors(v)) {
+      if (v < w) out << "e " << v << " " << w << "\n";
+    }
+  }
+  return out.str();
+}
+
+Status SaveGraphToFile(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IOError("cannot open '" + path + "' for writing: " +
+                           std::strerror(errno));
+  }
+  out << GraphToText(g);
+  if (!out) return Status::IOError("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+}  // namespace rlqvo

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace rlqvo {
+
+/// \brief Parses a graph in the Sun & Luo benchmark text format:
+///
+///     t <num_vertices> <num_edges>
+///     v <id> <label> <degree>
+///     ...
+///     e <u> <v>
+///     ...
+///
+/// The declared degree field is ignored (recomputed); vertices must be
+/// declared before edges reference them, and ids must be dense in [0, n).
+/// Lines starting with '#' or '%' are skipped as comments.
+Result<Graph> ParseGraphText(const std::string& text);
+
+/// \brief Loads a graph from a file in the format of ParseGraphText.
+Result<Graph> LoadGraphFromFile(const std::string& path);
+
+/// \brief Serialises a graph to the Sun & Luo text format.
+std::string GraphToText(const Graph& g);
+
+/// \brief Writes a graph to a file in the Sun & Luo text format.
+Status SaveGraphToFile(const Graph& g, const std::string& path);
+
+}  // namespace rlqvo

@@ -1,0 +1,91 @@
+#include "graph/graph_stats.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "graph/graph_algorithms.h"
+
+namespace rlqvo {
+
+GraphStats ComputeGraphStats(const Graph& g) {
+  GraphStats stats;
+  stats.num_vertices = g.num_vertices();
+  stats.num_edges = g.num_edges();
+  stats.num_labels = 0;
+  stats.max_degree = g.max_degree();
+  stats.avg_degree = g.num_vertices()
+                         ? 2.0 * static_cast<double>(g.num_edges()) /
+                               g.num_vertices()
+                         : 0.0;
+  stats.num_components = CountConnectedComponents(g);
+  stats.label_histogram.clear();
+  for (Label l = 0; l < g.num_labels(); ++l) {
+    const uint32_t f = g.LabelFrequency(l);
+    if (f > 0) {
+      ++stats.num_labels;
+      stats.label_histogram.push_back(f);
+    }
+  }
+  std::sort(stats.label_histogram.rbegin(), stats.label_histogram.rend());
+  return stats;
+}
+
+std::vector<uint32_t> DegreeHistogram(const Graph& g) {
+  std::vector<uint32_t> histogram(g.max_degree() + 1, 0);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    ++histogram[g.degree(v)];
+  }
+  if (g.num_vertices() == 0) histogram.clear();
+  return histogram;
+}
+
+uint32_t DegreePercentile(const Graph& g, double p) {
+  RLQVO_CHECK(p >= 0.0 && p <= 100.0);
+  const uint32_t n = g.num_vertices();
+  if (n == 0) return 0;
+  std::vector<uint32_t> degrees(n);
+  for (VertexId v = 0; v < n; ++v) degrees[v] = g.degree(v);
+  std::sort(degrees.begin(), degrees.end());
+  const size_t idx = std::min<size_t>(
+      n - 1, static_cast<size_t>(p / 100.0 * static_cast<double>(n)));
+  return degrees[idx];
+}
+
+uint64_t CountTriangles(const Graph& g) {
+  // Each triangle is counted once: enumerate ordered wedges u < v < w with
+  // v adjacent to both.
+  uint64_t triangles = 0;
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    auto nu = g.neighbors(u);
+    for (VertexId v : nu) {
+      if (v <= u) continue;
+      for (VertexId w : g.neighbors(v)) {
+        if (w <= v) continue;
+        if (g.HasEdge(u, w)) ++triangles;
+      }
+    }
+  }
+  return triangles;
+}
+
+double GlobalClusteringCoefficient(const Graph& g) {
+  uint64_t wedges = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const uint64_t d = g.degree(v);
+    wedges += d * (d - 1) / 2;
+  }
+  if (wedges == 0) return 0.0;
+  return 3.0 * static_cast<double>(CountTriangles(g)) /
+         static_cast<double>(wedges);
+}
+
+std::string GraphStats::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "|V|=%u |E|=%llu |L|=%u d=%.1f max_d=%u components=%u",
+                num_vertices, static_cast<unsigned long long>(num_edges),
+                num_labels, avg_degree, max_degree, num_components);
+  return buf;
+}
+
+}  // namespace rlqvo

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace rlqvo {
+
+/// \brief Summary statistics of a graph, mirroring Table II of the paper
+/// (|V|, |E|, |L|, average degree d).
+struct GraphStats {
+  uint32_t num_vertices = 0;
+  uint64_t num_edges = 0;
+  uint32_t num_labels = 0;
+  double avg_degree = 0.0;
+  uint32_t max_degree = 0;
+  uint32_t num_components = 0;
+  /// Histogram of label frequencies, descending.
+  std::vector<uint32_t> label_histogram;
+
+  /// One row in the style of Table II.
+  std::string ToString() const;
+};
+
+/// \brief Computes summary statistics for a graph.
+GraphStats ComputeGraphStats(const Graph& g);
+
+/// \brief Degree histogram: histogram[d] = number of vertices of degree d.
+std::vector<uint32_t> DegreeHistogram(const Graph& g);
+
+/// \brief p-th percentile (p in [0, 100]) of the degree distribution.
+uint32_t DegreePercentile(const Graph& g, double p);
+
+/// \brief Global clustering coefficient: 3 * #triangles / #wedges
+/// (0 for graphs without wedges). Distinguishes the emulated dataset
+/// families — preferential-attachment graphs close far more triangles than
+/// Erdős–Rényi graphs of equal density.
+double GlobalClusteringCoefficient(const Graph& g);
+
+/// \brief Exact triangle count via neighbor-list intersection,
+/// O(Σ d(v)^2 log d) — fine at emulated scales.
+uint64_t CountTriangles(const Graph& g);
+
+}  // namespace rlqvo

@@ -1,0 +1,78 @@
+#include "graph/query_sampler.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace rlqvo {
+
+QuerySampler::QuerySampler(const Graph* data, uint64_t seed)
+    : data_(data), rng_(seed) {
+  RLQVO_CHECK(data != nullptr);
+}
+
+Result<Graph> QuerySampler::SampleQuery(uint32_t num_vertices) {
+  const Graph& g = *data_;
+  if (num_vertices == 0) {
+    return Status::InvalidArgument("query size must be positive");
+  }
+  if (num_vertices > g.num_vertices()) {
+    return Status::InvalidArgument("query larger than data graph");
+  }
+  constexpr int kMaxRestarts = 256;
+  for (int attempt = 0; attempt < kMaxRestarts; ++attempt) {
+    const VertexId start = static_cast<VertexId>(
+        rng_.NextBounded(g.num_vertices()));
+    std::vector<VertexId> chosen{start};
+    std::unordered_set<VertexId> in_set{start};
+    // Frontier = multiset of candidate extension vertices (kept as a vector
+    // with lazy filtering; duplicates bias growth toward dense regions,
+    // mirroring random-walk extraction).
+    std::vector<VertexId> frontier;
+    for (VertexId w : g.neighbors(start)) frontier.push_back(w);
+    while (chosen.size() < num_vertices && !frontier.empty()) {
+      const size_t pick = rng_.NextBounded(frontier.size());
+      const VertexId v = frontier[pick];
+      frontier[pick] = frontier.back();
+      frontier.pop_back();
+      if (in_set.count(v)) continue;
+      in_set.insert(v);
+      chosen.push_back(v);
+      for (VertexId w : g.neighbors(v)) {
+        if (!in_set.count(w)) frontier.push_back(w);
+      }
+    }
+    if (chosen.size() < num_vertices) continue;  // stuck in a small component
+
+    // Induced subgraph over `chosen`, relabeling vertices to [0, k).
+    std::unordered_map<VertexId, VertexId> remap;
+    GraphBuilder builder(num_vertices);
+    for (VertexId v : chosen) {
+      remap[v] = builder.AddVertex(g.label(v));
+    }
+    for (VertexId v : chosen) {
+      for (VertexId w : g.neighbors(v)) {
+        auto it = remap.find(w);
+        if (it != remap.end() && v < w) {
+          builder.AddEdge(remap[v], it->second);
+        }
+      }
+    }
+    return builder.Build();
+  }
+  return Status::NotFound("no connected component of size " +
+                          std::to_string(num_vertices) + " found after " +
+                          std::to_string(kMaxRestarts) + " restarts");
+}
+
+Result<std::vector<Graph>> QuerySampler::SampleQuerySet(uint32_t num_vertices,
+                                                        uint32_t count) {
+  std::vector<Graph> queries;
+  queries.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    RLQVO_ASSIGN_OR_RETURN(Graph q, SampleQuery(num_vertices));
+    queries.push_back(std::move(q));
+  }
+  return queries;
+}
+
+}  // namespace rlqvo

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "graph/graph.h"
+
+namespace rlqvo {
+
+/// \brief Extracts connected query graphs from a data graph.
+///
+/// Matches the workload construction of the paper (Sec IV-A, following
+/// Sun & Luo): a query is a randomly extracted connected subgraph of G, so
+/// every query is guaranteed to have at least one embedding (the identity).
+class QuerySampler {
+ public:
+  /// \param data the data graph queries are extracted from (must outlive
+  ///        the sampler).
+  /// \param seed RNG seed; equal seeds reproduce identical query sets.
+  QuerySampler(const Graph* data, uint64_t seed);
+
+  /// \brief Samples one connected query with exactly `num_vertices` vertices.
+  ///
+  /// Grows a vertex set by repeatedly adding a uniformly random data-graph
+  /// neighbor of the frontier, then takes the induced subgraph. Fails with
+  /// InvalidArgument if the data graph has no component of that size (after
+  /// a bounded number of restarts).
+  Result<Graph> SampleQuery(uint32_t num_vertices);
+
+  /// \brief Samples a full query set Q_<num_vertices> of `count` queries.
+  Result<std::vector<Graph>> SampleQuerySet(uint32_t num_vertices,
+                                            uint32_t count);
+
+ private:
+  const Graph* data_;
+  Rng rng_;
+};
+
+}  // namespace rlqvo

@@ -1,0 +1,44 @@
+#include "matching/candidate_set.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace rlqvo {
+
+void CandidateSet::Set(VertexId u, std::vector<VertexId> candidates) {
+  RLQVO_DCHECK_LT(u, sets_.size());
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  sets_[u] = std::move(candidates);
+}
+
+bool CandidateSet::Contains(VertexId u, VertexId v) const {
+  RLQVO_DCHECK_LT(u, sets_.size());
+  const auto& c = sets_[u];
+  return std::binary_search(c.begin(), c.end(), v);
+}
+
+size_t CandidateSet::TotalSize() const {
+  size_t total = 0;
+  for (const auto& c : sets_) total += c.size();
+  return total;
+}
+
+bool CandidateSet::AnyEmpty() const {
+  for (const auto& c : sets_) {
+    if (c.empty()) return true;
+  }
+  return false;
+}
+
+std::string CandidateSet::ToString() const {
+  std::ostringstream out;
+  for (size_t u = 0; u < sets_.size(); ++u) {
+    if (u > 0) out << " ";
+    out << "C(" << u << ")=" << sets_[u].size();
+  }
+  return out.str();
+}
+
+}  // namespace rlqvo

@@ -1,0 +1,220 @@
+#include "matching/enumerator.h"
+
+#include <algorithm>
+
+#include "graph/graph_algorithms.h"
+
+namespace rlqvo {
+
+namespace {
+
+/// Recursion state shared across Extend() calls.
+struct EnumContext {
+  EnumContext(const Graph& q, const Graph& g, const CandidateSet& c,
+              const std::vector<VertexId>& o, const EnumerateOptions& opts)
+      : query(&q),
+        data(&g),
+        candidates(&c),
+        order(&o),
+        options(&opts),
+        deadline(opts.time_limit_seconds) {}
+
+  const Graph* query;
+  const Graph* data;
+  const CandidateSet* candidates;
+  const std::vector<VertexId>* order;
+  const EnumerateOptions* options;
+  Deadline deadline;
+
+  // position in order -> backward neighbors (query vertex ids).
+  std::vector<std::vector<VertexId>> backward;
+  // mapping[u] = mapped data vertex (kInvalidVertex if unmapped).
+  std::vector<VertexId> mapping;
+  std::vector<bool> visited;           // data vertex used in mapping
+  std::vector<char> candidate_bitmap;  // nq x |V(G)|
+
+  EnumerateResult result;
+  uint64_t calls_since_time_check = 0;
+
+  bool InCandidates(VertexId u, VertexId v) const {
+    return candidate_bitmap[static_cast<size_t>(u) * data->num_vertices() +
+                            v] != 0;
+  }
+
+  bool ShouldStop() {
+    if (options->match_limit > 0 &&
+        result.num_matches >= options->match_limit) {
+      result.hit_match_limit = true;
+      return true;
+    }
+    if (++calls_since_time_check >= 4096) {
+      calls_since_time_check = 0;
+      if (deadline.Expired()) {
+        result.timed_out = true;
+        return true;
+      }
+    }
+    return result.timed_out || result.hit_match_limit;
+  }
+
+  void EmitMatch() {
+    ++result.num_matches;
+    if (options->store_embeddings) {
+      result.embeddings.push_back(mapping);
+    }
+    if (options->match_limit > 0 &&
+        result.num_matches >= options->match_limit) {
+      result.hit_match_limit = true;
+    }
+  }
+
+  // Algorithm 2: extend the partial mapping at position `depth` of the order.
+  void Extend(size_t depth) {
+    ++result.num_enumerations;
+    if (ShouldStop()) return;
+    const VertexId u = (*order)[depth];
+
+    if (backward[depth].empty()) {
+      // Only the first vertex has no backward neighbors: iterate C(u).
+      for (VertexId v : candidates->candidates(u)) {
+        if (visited[v]) continue;
+        Descend(depth, u, v);
+        if (result.timed_out || result.hit_match_limit) return;
+      }
+      return;
+    }
+
+    // Pivot: the mapped backward neighbor with the smallest data degree;
+    // its neighborhood bounds the local candidates.
+    VertexId pivot_data = kInvalidVertex;
+    for (VertexId ub : backward[depth]) {
+      const VertexId vb = mapping[ub];
+      if (pivot_data == kInvalidVertex ||
+          data->degree(vb) < data->degree(pivot_data)) {
+        pivot_data = vb;
+      }
+    }
+    for (VertexId v : data->neighbors(pivot_data)) {
+      if (visited[v] || !InCandidates(u, v)) continue;
+      bool adjacent_to_all = true;
+      for (VertexId ub : backward[depth]) {
+        const VertexId vb = mapping[ub];
+        if (vb == pivot_data) continue;
+        if (!data->HasEdge(vb, v)) {
+          adjacent_to_all = false;
+          break;
+        }
+      }
+      if (!adjacent_to_all) continue;
+      Descend(depth, u, v);
+      if (result.timed_out || result.hit_match_limit) return;
+    }
+  }
+
+  void Descend(size_t depth, VertexId u, VertexId v) {
+    mapping[u] = v;
+    visited[v] = true;
+    if (depth + 1 == order->size()) {
+      ++result.num_enumerations;  // the terminating recursive call (line 3-4)
+      EmitMatch();
+    } else {
+      Extend(depth + 1);
+    }
+    visited[v] = false;
+    mapping[u] = kInvalidVertex;
+  }
+};
+
+}  // namespace
+
+Result<EnumerateResult> Enumerator::Run(const Graph& query, const Graph& data,
+                                        const CandidateSet& candidates,
+                                        const std::vector<VertexId>& order,
+                                        const EnumerateOptions& options) const {
+  if (query.num_vertices() == 0) {
+    return Status::InvalidArgument("query graph is empty");
+  }
+  if (candidates.num_query_vertices() != query.num_vertices()) {
+    return Status::InvalidArgument("candidate set size mismatch");
+  }
+  if (!IsValidMatchingOrder(query, order)) {
+    return Status::InvalidArgument("order is not a valid matching order");
+  }
+
+  EnumContext ctx(query, data, candidates, order, options);
+  const uint32_t nq = query.num_vertices();
+
+  ctx.backward.resize(nq);
+  std::vector<bool> placed(nq, false);
+  for (size_t i = 0; i < order.size(); ++i) {
+    for (VertexId w : query.neighbors(order[i])) {
+      if (placed[w]) ctx.backward[i].push_back(w);
+    }
+    placed[order[i]] = true;
+  }
+
+  ctx.mapping.assign(nq, kInvalidVertex);
+  ctx.visited.assign(data.num_vertices(), false);
+  ctx.candidate_bitmap.assign(
+      static_cast<size_t>(nq) * data.num_vertices(), 0);
+  for (VertexId u = 0; u < nq; ++u) {
+    for (VertexId v : candidates.candidates(u)) {
+      if (v >= data.num_vertices()) {
+        return Status::InvalidArgument("candidate vertex out of range");
+      }
+      ctx.candidate_bitmap[static_cast<size_t>(u) * data.num_vertices() + v] =
+          1;
+    }
+  }
+
+  Stopwatch watch;
+  if (!candidates.AnyEmpty()) {
+    ctx.Extend(0);
+  }
+  ctx.result.enum_time_seconds = watch.ElapsedSeconds();
+  return ctx.result;
+}
+
+namespace {
+
+void BruteForceExtend(const Graph& q, const Graph& g, uint64_t match_limit,
+                      std::vector<VertexId>* mapping,
+                      std::vector<bool>* visited, size_t depth,
+                      std::vector<std::vector<VertexId>>* out) {
+  if (match_limit > 0 && out->size() >= match_limit) return;
+  if (depth == q.num_vertices()) {
+    out->push_back(*mapping);
+    return;
+  }
+  const VertexId u = static_cast<VertexId>(depth);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if ((*visited)[v] || g.label(v) != q.label(u)) continue;
+    bool consistent = true;
+    for (VertexId w : q.neighbors(u)) {
+      if (w < u && !g.HasEdge((*mapping)[w], v)) {
+        consistent = false;
+        break;
+      }
+    }
+    if (!consistent) continue;
+    (*mapping)[u] = v;
+    (*visited)[v] = true;
+    BruteForceExtend(q, g, match_limit, mapping, visited, depth + 1, out);
+    (*visited)[v] = false;
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<VertexId>> BruteForceMatch(const Graph& query,
+                                                   const Graph& data,
+                                                   uint64_t match_limit) {
+  std::vector<std::vector<VertexId>> out;
+  if (query.num_vertices() == 0) return out;
+  std::vector<VertexId> mapping(query.num_vertices(), kInvalidVertex);
+  std::vector<bool> visited(data.num_vertices(), false);
+  BruteForceExtend(query, data, match_limit, &mapping, &visited, 0, &out);
+  return out;
+}
+
+}  // namespace rlqvo

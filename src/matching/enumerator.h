@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/timer.h"
+#include "matching/candidate_set.h"
+
+namespace rlqvo {
+
+/// \brief Controls for the enumeration procedure.
+struct EnumerateOptions {
+  /// Stop after this many embeddings. The paper caps evaluation at 1e5
+  /// matches (Sec IV-A). 0 means unlimited ("ALL" in Fig 11).
+  uint64_t match_limit = 100000;
+  /// Per-query time limit in seconds (the paper uses 500 s); 0 = unlimited.
+  double time_limit_seconds = 0.0;
+  /// Keep the embeddings (otherwise only counts are tracked).
+  bool store_embeddings = false;
+};
+
+/// \brief Outcome of one enumeration run.
+struct EnumerateResult {
+  /// Number of embeddings found (capped by match_limit).
+  uint64_t num_matches = 0;
+  /// #enum (Definition II.6): recursive calls of the enumeration procedure.
+  uint64_t num_enumerations = 0;
+  /// True iff the time limit fired before completion.
+  bool timed_out = false;
+  /// True iff the match limit fired.
+  bool hit_match_limit = false;
+  /// Wall-clock seconds spent enumerating.
+  double enum_time_seconds = 0.0;
+  /// Embeddings as query-vertex-indexed data-vertex vectors, if requested.
+  std::vector<std::vector<VertexId>> embeddings;
+};
+
+/// \brief Phase-3 engine: the recursive backtracking enumeration of
+/// Algorithm 2 (QuickSI-style, shared by Hybrid and RL-QVO).
+///
+/// For each query vertex, in the given matching order, the local candidate
+/// set is computed by intersecting the vertex's filtered candidates with the
+/// data-graph neighborhoods of all already-mapped backward neighbors,
+/// iterating the smallest mapped neighborhood for efficiency.
+class Enumerator {
+ public:
+  /// Runs the enumeration. `order` must be a valid matching order (a
+  /// connected permutation of V(q)); `candidates` must come from a complete
+  /// filter on the same (q, G).
+  Result<EnumerateResult> Run(const Graph& query, const Graph& data,
+                              const CandidateSet& candidates,
+                              const std::vector<VertexId>& order,
+                              const EnumerateOptions& options) const;
+};
+
+/// \brief Reference matcher: enumerates all embeddings by unconstrained
+/// backtracking over label-compatible assignments, with no filtering or
+/// ordering optimisations. Exponentially slow; for tests and tiny inputs
+/// only.
+std::vector<std::vector<VertexId>> BruteForceMatch(const Graph& query,
+                                                   const Graph& data,
+                                                   uint64_t match_limit = 0);
+
+}  // namespace rlqvo

@@ -1,0 +1,292 @@
+#include "matching/filters.h"
+
+#include <algorithm>
+#include <deque>
+#include <vector>
+
+namespace rlqvo {
+
+namespace {
+
+/// Sparse per-vertex neighbor-label histogram: (label, count), sorted.
+using LabelCounts = std::vector<std::pair<Label, uint32_t>>;
+
+LabelCounts NeighborLabelCounts(const Graph& g, VertexId v) {
+  LabelCounts counts;
+  for (VertexId w : g.neighbors(v)) {
+    const Label l = g.label(w);
+    auto it = std::lower_bound(
+        counts.begin(), counts.end(), l,
+        [](const auto& pair, Label key) { return pair.first < key; });
+    if (it != counts.end() && it->first == l) {
+      ++it->second;
+    } else {
+      counts.insert(it, {l, 1});
+    }
+  }
+  return counts;
+}
+
+/// True iff u's histogram is dominated by v's (every label count of the
+/// query vertex is available among the data vertex's neighbors).
+bool DominatedBy(const LabelCounts& query_counts, const Graph& data,
+                 VertexId v, std::vector<uint32_t>* scratch) {
+  // scratch is indexed by label and zeroed between calls.
+  for (VertexId w : data.neighbors(v)) {
+    ++(*scratch)[data.label(w)];
+  }
+  bool ok = true;
+  for (const auto& [label, count] : query_counts) {
+    if (label >= scratch->size() || (*scratch)[label] < count) {
+      ok = false;
+      break;
+    }
+  }
+  for (VertexId w : data.neighbors(v)) {
+    (*scratch)[data.label(w)] = 0;
+  }
+  return ok;
+}
+
+Status ValidateInputs(const Graph& query, const Graph& data) {
+  if (query.num_vertices() == 0) {
+    return Status::InvalidArgument("query graph is empty");
+  }
+  if (data.num_vertices() == 0) {
+    return Status::InvalidArgument("data graph is empty");
+  }
+  return Status::OK();
+}
+
+CandidateSet LdfCandidates(const Graph& query, const Graph& data) {
+  CandidateSet result(query.num_vertices());
+  for (VertexId u = 0; u < query.num_vertices(); ++u) {
+    std::vector<VertexId> c;
+    for (VertexId v : data.VerticesWithLabel(query.label(u))) {
+      if (data.degree(v) >= query.degree(u)) c.push_back(v);
+    }
+    result.Set(u, std::move(c));
+  }
+  return result;
+}
+
+CandidateSet NlfCandidates(const Graph& query, const Graph& data) {
+  CandidateSet result(query.num_vertices());
+  std::vector<uint32_t> scratch(data.num_labels(), 0);
+  for (VertexId u = 0; u < query.num_vertices(); ++u) {
+    const LabelCounts u_counts = NeighborLabelCounts(query, u);
+    std::vector<VertexId> c;
+    for (VertexId v : data.VerticesWithLabel(query.label(u))) {
+      if (data.degree(v) < query.degree(u)) continue;
+      if (DominatedBy(u_counts, data, v, &scratch)) c.push_back(v);
+    }
+    result.Set(u, std::move(c));
+  }
+  return result;
+}
+
+/// Dense candidate-membership bitmap for O(1) `v in C(u)` tests.
+class CandidateBitmap {
+ public:
+  CandidateBitmap(const CandidateSet& cs, uint32_t data_vertices)
+      : data_vertices_(data_vertices),
+        bits_(static_cast<size_t>(cs.num_query_vertices()) * data_vertices,
+              false) {
+    for (VertexId u = 0; u < cs.num_query_vertices(); ++u) {
+      for (VertexId v : cs.candidates(u)) {
+        bits_[Index(u, v)] = true;
+      }
+    }
+  }
+  bool Test(VertexId u, VertexId v) const { return bits_[Index(u, v)]; }
+  void Clear(VertexId u, VertexId v) { bits_[Index(u, v)] = false; }
+
+ private:
+  size_t Index(VertexId u, VertexId v) const {
+    return static_cast<size_t>(u) * data_vertices_ + v;
+  }
+  uint32_t data_vertices_;
+  std::vector<bool> bits_;
+};
+
+/// Kuhn's augmenting-path bipartite matching. Left side: query neighbors
+/// N(u); right side: data neighbors N(v). Returns true iff a matching covers
+/// every left vertex (GraphQL's semi-perfect matching test).
+class SemiPerfectMatcher {
+ public:
+  bool Covers(const Graph& query, const Graph& data,
+              const CandidateBitmap& bitmap, VertexId u, VertexId v) {
+    const auto left = query.neighbors(u);
+    const auto right = data.neighbors(v);
+    if (right.size() < left.size()) return false;
+    // right_match_[j] = left index matched to right slot j (or -1).
+    right_match_.assign(right.size(), -1);
+    for (size_t i = 0; i < left.size(); ++i) {
+      visited_.assign(right.size(), false);
+      if (!TryAugment(query, data, bitmap, left, right, i)) return false;
+    }
+    return true;
+  }
+
+ private:
+  bool TryAugment(const Graph& query, const Graph& data,
+                  const CandidateBitmap& bitmap,
+                  std::span<const VertexId> left,
+                  std::span<const VertexId> right, size_t i) {
+    for (size_t j = 0; j < right.size(); ++j) {
+      if (visited_[j]) continue;
+      if (!bitmap.Test(left[i], right[j])) continue;
+      visited_[j] = true;
+      if (right_match_[j] < 0 ||
+          TryAugment(query, data, bitmap, left, right,
+                     static_cast<size_t>(right_match_[j]))) {
+        right_match_[j] = static_cast<int>(i);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::vector<int> right_match_;
+  std::vector<bool> visited_;
+};
+
+}  // namespace
+
+Result<CandidateSet> LDFFilter::Filter(const Graph& query,
+                                       const Graph& data) const {
+  RLQVO_RETURN_NOT_OK(ValidateInputs(query, data));
+  return LdfCandidates(query, data);
+}
+
+Result<CandidateSet> NLFFilter::Filter(const Graph& query,
+                                       const Graph& data) const {
+  RLQVO_RETURN_NOT_OK(ValidateInputs(query, data));
+  return NlfCandidates(query, data);
+}
+
+Result<CandidateSet> GQLFilter::Filter(const Graph& query,
+                                       const Graph& data) const {
+  RLQVO_RETURN_NOT_OK(ValidateInputs(query, data));
+  // Local pruning: the profile sub-sequence test of GraphQL over sorted
+  // neighborhood label sequences is exactly neighbor-label-count dominance.
+  CandidateSet cs = NlfCandidates(query, data);
+
+  CandidateBitmap bitmap(cs, data.num_vertices());
+  SemiPerfectMatcher matcher;
+  for (int round = 0; round < max_refinement_rounds_; ++round) {
+    bool changed = false;
+    for (VertexId u = 0; u < query.num_vertices(); ++u) {
+      std::vector<VertexId> kept;
+      kept.reserve(cs.candidates(u).size());
+      for (VertexId v : cs.candidates(u)) {
+        if (matcher.Covers(query, data, bitmap, u, v)) {
+          kept.push_back(v);
+        } else {
+          bitmap.Clear(u, v);
+          changed = true;
+        }
+      }
+      cs.Set(u, std::move(kept));
+    }
+    if (!changed) break;
+  }
+  return cs;
+}
+
+Result<CandidateSet> DagDpFilter::Filter(const Graph& query,
+                                         const Graph& data) const {
+  RLQVO_RETURN_NOT_OK(ValidateInputs(query, data));
+  CandidateSet cs = NlfCandidates(query, data);
+  const uint32_t nq = query.num_vertices();
+
+  // Root: minimise |C(u)| / d(u) (CFL's start-vertex rule).
+  VertexId root = 0;
+  double best = 1e300;
+  for (VertexId u = 0; u < nq; ++u) {
+    const double score = static_cast<double>(cs.candidates(u).size()) /
+                         std::max(1u, query.degree(u));
+    if (score < best) {
+      best = score;
+      root = u;
+    }
+  }
+
+  // BFS levels define DAG edge directions (earlier level -> later level;
+  // ties within a level by vertex id).
+  std::vector<int> level(nq, -1);
+  std::deque<VertexId> queue{root};
+  level[root] = 0;
+  std::vector<VertexId> bfs_order;
+  while (!queue.empty()) {
+    VertexId u = queue.front();
+    queue.pop_front();
+    bfs_order.push_back(u);
+    for (VertexId w : query.neighbors(u)) {
+      if (level[w] < 0) {
+        level[w] = level[u] + 1;
+        queue.push_back(w);
+      }
+    }
+  }
+  // Disconnected query vertices (possible only for disconnected queries)
+  // keep their NLF candidates.
+  auto is_parent = [&](VertexId p, VertexId child) {
+    return level[p] >= 0 && level[child] >= 0 &&
+           (level[p] < level[child] ||
+            (level[p] == level[child] && p < child));
+  };
+
+  auto sweep = [&](bool top_down) {
+    CandidateBitmap bitmap(cs, data.num_vertices());
+    const auto& order = bfs_order;
+    for (size_t idx = 0; idx < order.size(); ++idx) {
+      const VertexId u = top_down ? order[idx] : order[order.size() - 1 - idx];
+      std::vector<VertexId> kept;
+      kept.reserve(cs.candidates(u).size());
+      for (VertexId v : cs.candidates(u)) {
+        bool ok = true;
+        for (VertexId w : query.neighbors(u)) {
+          const bool relevant =
+              top_down ? is_parent(w, u) : is_parent(u, w);
+          if (!relevant) continue;
+          bool found = false;
+          for (VertexId x : data.neighbors(v)) {
+            if (bitmap.Test(w, x)) {
+              found = true;
+              break;
+            }
+          }
+          if (!found) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) {
+          kept.push_back(v);
+        } else {
+          bitmap.Clear(u, v);
+        }
+      }
+      cs.Set(u, std::move(kept));
+    }
+  };
+
+  for (int s = 0; s < num_sweeps_; ++s) {
+    sweep(/*top_down=*/true);
+    sweep(/*top_down=*/false);
+  }
+  return cs;
+}
+
+Result<std::shared_ptr<CandidateFilter>> MakeFilter(const std::string& name) {
+  if (name == "LDF") return std::shared_ptr<CandidateFilter>(new LDFFilter());
+  if (name == "NLF") return std::shared_ptr<CandidateFilter>(new NLFFilter());
+  if (name == "GQL") return std::shared_ptr<CandidateFilter>(new GQLFilter());
+  if (name == "DAG-DP") {
+    return std::shared_ptr<CandidateFilter>(new DagDpFilter());
+  }
+  return Status::NotFound("unknown filter '" + name + "'");
+}
+
+}  // namespace rlqvo

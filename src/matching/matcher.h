@@ -1,0 +1,81 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "matching/enumerator.h"
+#include "matching/filters.h"
+#include "matching/ordering.h"
+
+namespace rlqvo {
+
+/// \brief Configuration of a complete subgraph-matching algorithm: a filter
+/// (phase 1), an ordering method (phase 2) and enumeration controls
+/// (phase 3) — the generic framework of Algorithm 1.
+struct MatcherConfig {
+  std::shared_ptr<CandidateFilter> filter;
+  std::shared_ptr<Ordering> ordering;
+  EnumerateOptions enum_options;
+  /// Display name for benchmark tables; defaults to "<filter>+<ordering>".
+  std::string name;
+};
+
+/// \brief Per-query outcome, with the phase time breakdown the paper reports
+/// (t = t_filter + t_order + t_enum, Sec IV-B).
+struct MatchRunStats {
+  double filter_time_seconds = 0.0;
+  double order_time_seconds = 0.0;
+  double enum_time_seconds = 0.0;
+  double total_time_seconds = 0.0;
+  uint64_t num_matches = 0;
+  uint64_t num_enumerations = 0;
+  /// Query finished within the time limit ("solved", Sec IV-A).
+  bool solved = true;
+  bool hit_match_limit = false;
+  size_t candidate_total = 0;
+  std::vector<VertexId> order;
+  std::vector<std::vector<VertexId>> embeddings;
+};
+
+/// \brief End-to-end subgraph matching: filter, order, enumerate.
+class SubgraphMatcher {
+ public:
+  /// \param config must have both a filter and an ordering.
+  explicit SubgraphMatcher(MatcherConfig config);
+
+  /// Runs Algorithm 1 on (query, data). The configured time limit covers
+  /// the whole pipeline: enumeration gets whatever remains after filtering
+  /// and ordering.
+  Result<MatchRunStats> Match(const Graph& query, const Graph& data) const;
+
+  const std::string& name() const { return config_.name; }
+  const MatcherConfig& config() const { return config_; }
+  /// Adjusts enumeration controls (match limit / time limit) in place.
+  EnumerateOptions* mutable_enum_options() { return &config_.enum_options; }
+
+ private:
+  MatcherConfig config_;
+};
+
+/// \brief Builds one of the paper's compared algorithms by name:
+///
+///   "QSI"    — LDF candidates + infrequent-edge-first order
+///   "RI"     — LDF candidates + RI order
+///   "VF2PP"  — LDF candidates + infrequent-label-first order
+///   "GQL"    — GQL filter + left-deep smallest-candidate order
+///   "VEQ"    — DAG-DP filter + candidate-size/NEC order
+///   "Hybrid" — GQL filter + RI order (Sun & Luo's recommendation)
+///   "Random" — LDF candidates + random connected order
+///
+/// All share the same enumeration engine, matching the paper's methodology
+/// for isolating ordering quality (Sec IV-C). RL-QVO matchers are built via
+/// rlqvo::RLQVOModel::MakeMatcher (src/core).
+Result<std::shared_ptr<SubgraphMatcher>> MakeMatcherByName(
+    const std::string& name, const EnumerateOptions& enum_options = {});
+
+/// \brief The names accepted by MakeMatcherByName, in Fig 3's order.
+const std::vector<std::string>& BaselineMatcherNames();
+
+}  // namespace rlqvo

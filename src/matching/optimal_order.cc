@@ -1,0 +1,90 @@
+#include "matching/optimal_order.h"
+
+#include <limits>
+
+namespace rlqvo {
+
+namespace {
+
+struct SearchState {
+  SearchState(const Graph& q, const Graph& g, const CandidateSet& c,
+              const EnumerateOptions& opts)
+      : query(&q), data(&g), candidates(&c), options(&opts) {}
+
+  const Graph* query;
+  const Graph* data;
+  const CandidateSet* candidates;
+  const EnumerateOptions* options;
+  Enumerator enumerator;
+
+  std::vector<VertexId> prefix;
+  std::vector<bool> used;
+
+  OptimalOrderResult best;
+  uint64_t best_enum = std::numeric_limits<uint64_t>::max();
+  Status failure = Status::OK();
+
+  void Recurse() {
+    if (!failure.ok()) return;
+    const uint32_t n = query->num_vertices();
+    if (prefix.size() == n) {
+      auto result =
+          enumerator.Run(*query, *data, *candidates, prefix, *options);
+      if (!result.ok()) {
+        failure = result.status();
+        return;
+      }
+      ++best.orders_evaluated;
+      if (result->num_enumerations < best_enum) {
+        best_enum = result->num_enumerations;
+        best.order = prefix;
+        best.num_enumerations = result->num_enumerations;
+      }
+      return;
+    }
+    for (VertexId u = 0; u < n; ++u) {
+      if (used[u]) continue;
+      if (!prefix.empty()) {
+        bool attached = false;
+        for (VertexId w : query->neighbors(u)) {
+          if (used[w]) {
+            attached = true;
+            break;
+          }
+        }
+        if (!attached) continue;  // only connected permutations
+      }
+      used[u] = true;
+      prefix.push_back(u);
+      Recurse();
+      prefix.pop_back();
+      used[u] = false;
+    }
+  }
+};
+
+}  // namespace
+
+Result<OptimalOrderResult> FindOptimalOrder(const Graph& query,
+                                            const Graph& data,
+                                            const CandidateSet& candidates,
+                                            const EnumerateOptions& options) {
+  if (query.num_vertices() == 0) {
+    return Status::InvalidArgument("query graph is empty");
+  }
+  if (query.num_vertices() > 12) {
+    return Status::InvalidArgument(
+        "optimal-order search is factorial; refusing queries above 12 "
+        "vertices");
+  }
+  SearchState state(query, data, candidates, options);
+  state.used.assign(query.num_vertices(), false);
+  state.Recurse();
+  RLQVO_RETURN_NOT_OK(state.failure);
+  if (state.best.order.empty()) {
+    return Status::NotFound("no connected permutation exists (disconnected query)");
+  }
+  return state.best;
+}
+
+}  // namespace rlqvo

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <vector>
+
+#include "common/result.h"
+#include "matching/enumerator.h"
+
+namespace rlqvo {
+
+/// \brief Outcome of the exhaustive optimal-order search (Sec IV-C).
+struct OptimalOrderResult {
+  std::vector<VertexId> order;
+  uint64_t num_enumerations = 0;
+  /// How many connected permutations were evaluated.
+  uint64_t orders_evaluated = 0;
+};
+
+/// \brief Finds the matching order minimising #enum by evaluating every
+/// connected permutation of V(q) with the shared enumeration engine — the
+/// "Opt" reference of Fig 6. Factorial cost; intended for queries of at most
+/// ~9 vertices.
+///
+/// \param options enumeration controls applied to each candidate order
+///        (use a match limit to bound per-order cost, as the paper does).
+Result<OptimalOrderResult> FindOptimalOrder(const Graph& query,
+                                            const Graph& data,
+                                            const CandidateSet& candidates,
+                                            const EnumerateOptions& options);
+
+}  // namespace rlqvo

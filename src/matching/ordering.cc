@@ -1,0 +1,478 @@
+#include "matching/ordering.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "graph/graph_algorithms.h"
+
+namespace rlqvo {
+
+namespace {
+
+Status ValidateQuery(const OrderingContext& ctx) {
+  if (ctx.query == nullptr) {
+    return Status::InvalidArgument("ordering context missing query graph");
+  }
+  if (ctx.query->num_vertices() == 0) {
+    return Status::InvalidArgument("query graph is empty");
+  }
+  if (!IsConnected(*ctx.query)) {
+    return Status::InvalidArgument(
+        "query graph must be connected to admit a connected matching order");
+  }
+  return Status::OK();
+}
+
+Status RequireData(const OrderingContext& ctx, const char* who) {
+  if (ctx.data == nullptr) {
+    return Status::InvalidArgument(std::string(who) +
+                                   " ordering requires the data graph");
+  }
+  return Status::OK();
+}
+
+Status RequireCandidates(const OrderingContext& ctx, const char* who) {
+  if (ctx.candidates == nullptr) {
+    return Status::InvalidArgument(std::string(who) +
+                                   " ordering requires candidate sets");
+  }
+  if (ctx.candidates->num_query_vertices() != ctx.query->num_vertices()) {
+    return Status::InvalidArgument(
+        "candidate set size does not match the query");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::vector<uint32_t> ComputeNecClasses(const Graph& query) {
+  const uint32_t n = query.num_vertices();
+  std::vector<uint32_t> cls(n);
+  std::iota(cls.begin(), cls.end(), 0);
+  // Group degree-one vertices by (label, unique neighbor).
+  std::vector<std::pair<uint64_t, VertexId>> keyed;
+  for (VertexId u = 0; u < n; ++u) {
+    if (query.degree(u) == 1) {
+      const VertexId nbr = query.neighbors(u)[0];
+      const uint64_t key =
+          (static_cast<uint64_t>(query.label(u)) << 32) | nbr;
+      keyed.emplace_back(key, u);
+    }
+  }
+  std::sort(keyed.begin(), keyed.end());
+  for (size_t i = 1; i < keyed.size(); ++i) {
+    if (keyed[i].first == keyed[i - 1].first) {
+      cls[keyed[i].second] = cls[keyed[i - 1].second];
+    }
+  }
+  return cls;
+}
+
+Result<std::vector<VertexId>> RIOrdering::MakeOrder(
+    const OrderingContext& ctx) {
+  RLQVO_RETURN_NOT_OK(ValidateQuery(ctx));
+  const Graph& q = *ctx.query;
+  const uint32_t n = q.num_vertices();
+
+  std::vector<bool> ordered(n, false);
+  std::vector<VertexId> order;
+  order.reserve(n);
+
+  // Start: maximum degree.
+  VertexId start = 0;
+  for (VertexId u = 1; u < n; ++u) {
+    if (q.degree(u) > q.degree(start)) start = u;
+  }
+  order.push_back(start);
+  ordered[start] = true;
+
+  while (order.size() < n) {
+    VertexId best = kInvalidVertex;
+    int best_backward = -1, best_neig = -1, best_unv = -1;
+    for (VertexId u = 0; u < n; ++u) {
+      if (ordered[u]) continue;
+      // |N(u) ∩ φ_t|
+      int backward = 0;
+      for (VertexId w : q.neighbors(u)) backward += ordered[w];
+      if (backward == 0) continue;  // keep the order connected
+      // |u_neig|: ordered vertices u' with an unordered neighbor u'' that is
+      // also adjacent to u.
+      int neig = 0;
+      for (VertexId up : order) {
+        bool found = false;
+        for (VertexId upp : q.neighbors(up)) {
+          if (!ordered[upp] && upp != u && q.HasEdge(u, upp)) {
+            found = true;
+            break;
+          }
+        }
+        neig += found;
+      }
+      // |u_unv|: neighbors of u that are unordered and not adjacent to any
+      // ordered vertex.
+      int unv = 0;
+      for (VertexId w : q.neighbors(u)) {
+        if (ordered[w]) continue;
+        bool adjacent_to_ordered = false;
+        for (VertexId x : q.neighbors(w)) {
+          if (ordered[x]) {
+            adjacent_to_ordered = true;
+            break;
+          }
+        }
+        unv += !adjacent_to_ordered;
+      }
+      if (std::tie(backward, neig, unv) >
+          std::tie(best_backward, best_neig, best_unv)) {
+        best = u;
+        best_backward = backward;
+        best_neig = neig;
+        best_unv = unv;
+      }
+    }
+    RLQVO_CHECK(best != kInvalidVertex);
+    order.push_back(best);
+    ordered[best] = true;
+  }
+  return order;
+}
+
+Result<std::vector<VertexId>> QSIOrdering::MakeOrder(
+    const OrderingContext& ctx) {
+  RLQVO_RETURN_NOT_OK(ValidateQuery(ctx));
+  RLQVO_RETURN_NOT_OK(RequireData(ctx, "QSI"));
+  const Graph& q = *ctx.query;
+  const Graph& g = *ctx.data;
+  const uint32_t n = q.num_vertices();
+  if (n == 1) return std::vector<VertexId>{0};
+
+  // Edge weights: frequency of the endpoint-label pair among data edges.
+  auto edge_weight = [&](VertexId a, VertexId b) {
+    return g.EdgeLabelFrequency(q.label(a), q.label(b));
+  };
+
+  // Seed with the globally cheapest edge; tie-break on rarer endpoint label.
+  VertexId seed_a = kInvalidVertex, seed_b = kInvalidVertex;
+  uint64_t seed_w = std::numeric_limits<uint64_t>::max();
+  for (VertexId a = 0; a < n; ++a) {
+    for (VertexId b : q.neighbors(a)) {
+      if (a >= b) continue;
+      const uint64_t w = edge_weight(a, b);
+      if (w < seed_w) {
+        seed_w = w;
+        seed_a = a;
+        seed_b = b;
+      }
+    }
+  }
+  // Put the endpoint with the rarer data label first.
+  if (g.LabelFrequency(q.label(seed_b)) < g.LabelFrequency(q.label(seed_a))) {
+    std::swap(seed_a, seed_b);
+  }
+
+  std::vector<bool> ordered(n, false);
+  std::vector<VertexId> order{seed_a, seed_b};
+  ordered[seed_a] = ordered[seed_b] = true;
+
+  // Prim-style growth over the infrequent-edge weights.
+  while (order.size() < n) {
+    VertexId best = kInvalidVertex;
+    uint64_t best_w = std::numeric_limits<uint64_t>::max();
+    for (VertexId u = 0; u < n; ++u) {
+      if (ordered[u]) continue;
+      for (VertexId w : q.neighbors(u)) {
+        if (!ordered[w]) continue;
+        const uint64_t weight = edge_weight(u, w);
+        if (weight < best_w) {
+          best_w = weight;
+          best = u;
+        }
+      }
+    }
+    RLQVO_CHECK(best != kInvalidVertex);
+    order.push_back(best);
+    ordered[best] = true;
+  }
+  return order;
+}
+
+Result<std::vector<VertexId>> VF2PPOrdering::MakeOrder(
+    const OrderingContext& ctx) {
+  RLQVO_RETURN_NOT_OK(ValidateQuery(ctx));
+  RLQVO_RETURN_NOT_OK(RequireData(ctx, "VF2++"));
+  const Graph& q = *ctx.query;
+  const Graph& g = *ctx.data;
+  const uint32_t n = q.num_vertices();
+
+  // Root: rarest data label, ties by larger degree.
+  VertexId root = 0;
+  for (VertexId u = 1; u < n; ++u) {
+    const uint32_t fu = g.LabelFrequency(q.label(u));
+    const uint32_t fr = g.LabelFrequency(q.label(root));
+    if (fu < fr || (fu == fr && q.degree(u) > q.degree(root))) root = u;
+  }
+
+  // BFS levels; sort each level by (ascending label frequency, descending
+  // degree, ascending id).
+  std::vector<int> level(n, -1);
+  std::vector<std::vector<VertexId>> levels;
+  level[root] = 0;
+  levels.push_back({root});
+  for (size_t li = 0; li < levels.size(); ++li) {
+    std::vector<VertexId> next;
+    for (VertexId u : levels[li]) {
+      for (VertexId w : q.neighbors(u)) {
+        if (level[w] < 0) {
+          level[w] = static_cast<int>(li) + 1;
+          next.push_back(w);
+        }
+      }
+    }
+    if (!next.empty()) levels.push_back(std::move(next));
+  }
+  std::vector<VertexId> order;
+  order.reserve(n);
+  for (auto& lvl : levels) {
+    std::sort(lvl.begin(), lvl.end(), [&](VertexId a, VertexId b) {
+      const uint32_t fa = g.LabelFrequency(q.label(a));
+      const uint32_t fb = g.LabelFrequency(q.label(b));
+      if (fa != fb) return fa < fb;
+      if (q.degree(a) != q.degree(b)) return q.degree(a) > q.degree(b);
+      return a < b;
+    });
+    for (VertexId u : lvl) order.push_back(u);
+  }
+  // BFS level order is connected only level-by-level as a whole; repair any
+  // within-level violations by a stable connectivity-respecting insertion.
+  std::vector<VertexId> repaired;
+  std::vector<bool> placed(n, false);
+  repaired.push_back(order[0]);
+  placed[order[0]] = true;
+  while (repaired.size() < n) {
+    for (VertexId u : order) {
+      if (placed[u]) continue;
+      bool attached = false;
+      for (VertexId w : q.neighbors(u)) {
+        if (placed[w]) {
+          attached = true;
+          break;
+        }
+      }
+      if (attached) {
+        repaired.push_back(u);
+        placed[u] = true;
+        break;
+      }
+    }
+  }
+  return repaired;
+}
+
+Result<std::vector<VertexId>> GQLOrdering::MakeOrder(
+    const OrderingContext& ctx) {
+  RLQVO_RETURN_NOT_OK(ValidateQuery(ctx));
+  RLQVO_RETURN_NOT_OK(RequireCandidates(ctx, "GQL"));
+  const Graph& q = *ctx.query;
+  const CandidateSet& cs = *ctx.candidates;
+  const uint32_t n = q.num_vertices();
+
+  VertexId start = 0;
+  for (VertexId u = 1; u < n; ++u) {
+    if (cs.candidates(u).size() < cs.candidates(start).size()) start = u;
+  }
+  std::vector<bool> ordered(n, false);
+  std::vector<VertexId> order{start};
+  ordered[start] = true;
+  while (order.size() < n) {
+    VertexId best = kInvalidVertex;
+    size_t best_size = std::numeric_limits<size_t>::max();
+    for (VertexId u = 0; u < n; ++u) {
+      if (ordered[u]) continue;
+      bool attached = false;
+      for (VertexId w : q.neighbors(u)) {
+        if (ordered[w]) {
+          attached = true;
+          break;
+        }
+      }
+      if (!attached) continue;
+      if (cs.candidates(u).size() < best_size) {
+        best_size = cs.candidates(u).size();
+        best = u;
+      }
+    }
+    RLQVO_CHECK(best != kInvalidVertex);
+    order.push_back(best);
+    ordered[best] = true;
+  }
+  return order;
+}
+
+Result<std::vector<VertexId>> VEQOrdering::MakeOrder(
+    const OrderingContext& ctx) {
+  RLQVO_RETURN_NOT_OK(ValidateQuery(ctx));
+  RLQVO_RETURN_NOT_OK(RequireCandidates(ctx, "VEQ"));
+  const Graph& q = *ctx.query;
+  const CandidateSet& cs = *ctx.candidates;
+  const uint32_t n = q.num_vertices();
+
+  const std::vector<uint32_t> nec = ComputeNecClasses(q);
+  std::vector<uint32_t> nec_size(n, 0);
+  for (VertexId u = 0; u < n; ++u) ++nec_size[nec[u]];
+  auto score = [&](VertexId u) {
+    // Candidate size shrunk by the size of u's equivalence class: large NEC
+    // classes are interchangeable and cheap, so they rank as if their
+    // candidates were shared across the class.
+    return static_cast<double>(cs.candidates(u).size()) /
+           static_cast<double>(nec_size[nec[u]]);
+  };
+
+  // Degree-one NEC leaves are postponed throughout — VEQ enumerates them
+  // last, where dynamic equivalence prunes their subtrees.
+  auto penalized_score = [&](VertexId u) {
+    return score(u) + (q.degree(u) == 1 ? 1e6 : 0.0);
+  };
+  VertexId start = 0;
+  for (VertexId u = 1; u < n; ++u) {
+    // Prefer non-leaf starts; VEQ roots its DAG at a rare, well-connected
+    // vertex.
+    const bool u_better =
+        std::make_pair(penalized_score(u), -static_cast<double>(q.degree(u))) <
+        std::make_pair(penalized_score(start),
+                       -static_cast<double>(q.degree(start)));
+    if (u_better) start = u;
+  }
+  std::vector<bool> ordered(n, false);
+  std::vector<VertexId> order{start};
+  ordered[start] = true;
+  while (order.size() < n) {
+    VertexId best = kInvalidVertex;
+    double best_score = std::numeric_limits<double>::max();
+    for (VertexId u = 0; u < n; ++u) {
+      if (ordered[u]) continue;
+      bool attached = false;
+      for (VertexId w : q.neighbors(u)) {
+        if (ordered[w]) {
+          attached = true;
+          break;
+        }
+      }
+      if (!attached) continue;
+      const double s = penalized_score(u);
+      if (s < best_score) {
+        best_score = s;
+        best = u;
+      }
+    }
+    RLQVO_CHECK(best != kInvalidVertex);
+    order.push_back(best);
+    ordered[best] = true;
+  }
+  return order;
+}
+
+Result<std::vector<VertexId>> CFLOrdering::MakeOrder(
+    const OrderingContext& ctx) {
+  RLQVO_RETURN_NOT_OK(ValidateQuery(ctx));
+  RLQVO_RETURN_NOT_OK(RequireCandidates(ctx, "CFL"));
+  const Graph& q = *ctx.query;
+  const CandidateSet& cs = *ctx.candidates;
+  const uint32_t n = q.num_vertices();
+
+  const std::vector<uint32_t> core = CoreNumbers(q);
+  // Stratum per vertex: 0 = core (2-core), 1 = forest (internal tree
+  // vertices), 2 = leaves. A tree-shaped query has an empty core; its
+  // highest-core vertices then play the core role.
+  uint32_t max_core = 0;
+  for (uint32_t c : core) max_core = std::max(max_core, c);
+  auto stratum = [&](VertexId u) -> int {
+    if (max_core >= 2 && core[u] >= 2) return 0;
+    if (q.degree(u) > 1) return 1;
+    return 2;
+  };
+
+  std::vector<bool> ordered(n, false);
+  std::vector<VertexId> order;
+  order.reserve(n);
+  // Start: the smallest-candidate vertex within the best present stratum.
+  VertexId start = 0;
+  auto start_key = [&](VertexId u) {
+    return std::make_pair(stratum(u), cs.candidates(u).size());
+  };
+  for (VertexId u = 1; u < n; ++u) {
+    if (start_key(u) < start_key(start)) start = u;
+  }
+  order.push_back(start);
+  ordered[start] = true;
+  while (order.size() < n) {
+    VertexId best = kInvalidVertex;
+    std::pair<int, size_t> best_key{std::numeric_limits<int>::max(),
+                                    std::numeric_limits<size_t>::max()};
+    for (VertexId u = 0; u < n; ++u) {
+      if (ordered[u]) continue;
+      bool attached = false;
+      for (VertexId w : q.neighbors(u)) {
+        if (ordered[w]) {
+          attached = true;
+          break;
+        }
+      }
+      if (!attached) continue;
+      const auto key = start_key(u);
+      if (key < best_key) {
+        best_key = key;
+        best = u;
+      }
+    }
+    RLQVO_CHECK(best != kInvalidVertex);
+    order.push_back(best);
+    ordered[best] = true;
+  }
+  return order;
+}
+
+Result<std::vector<VertexId>> RandomOrdering::MakeOrder(
+    const OrderingContext& ctx) {
+  RLQVO_RETURN_NOT_OK(ValidateQuery(ctx));
+  const Graph& q = *ctx.query;
+  const uint32_t n = q.num_vertices();
+  Rng local_rng(12345);
+  Rng* rng = ctx.rng ? ctx.rng : &local_rng;
+
+  std::vector<bool> ordered(n, false);
+  std::vector<VertexId> order;
+  order.reserve(n);
+  order.push_back(static_cast<VertexId>(rng->NextBounded(n)));
+  ordered[order[0]] = true;
+  while (order.size() < n) {
+    std::vector<VertexId> frontier;
+    for (VertexId u = 0; u < n; ++u) {
+      if (ordered[u]) continue;
+      for (VertexId w : q.neighbors(u)) {
+        if (ordered[w]) {
+          frontier.push_back(u);
+          break;
+        }
+      }
+    }
+    RLQVO_CHECK(!frontier.empty());
+    const VertexId pick = rng->Choice(frontier);
+    order.push_back(pick);
+    ordered[pick] = true;
+  }
+  return order;
+}
+
+Result<std::shared_ptr<Ordering>> MakeOrdering(const std::string& name) {
+  if (name == "RI") return std::shared_ptr<Ordering>(new RIOrdering());
+  if (name == "QSI") return std::shared_ptr<Ordering>(new QSIOrdering());
+  if (name == "VF2PP") return std::shared_ptr<Ordering>(new VF2PPOrdering());
+  if (name == "GQL") return std::shared_ptr<Ordering>(new GQLOrdering());
+  if (name == "VEQ") return std::shared_ptr<Ordering>(new VEQOrdering());
+  if (name == "CFL") return std::shared_ptr<Ordering>(new CFLOrdering());
+  if (name == "Random") return std::shared_ptr<Ordering>(new RandomOrdering());
+  return Status::NotFound("unknown ordering '" + name + "'");
+}
+
+}  // namespace rlqvo

@@ -1,0 +1,120 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "matching/candidate_set.h"
+
+namespace rlqvo {
+
+/// \brief Inputs available to an ordering method (phase 2 of Algorithm 1).
+struct OrderingContext {
+  const Graph* query = nullptr;
+  const Graph* data = nullptr;
+  /// Candidate sets from phase 1. May be null for structure-only methods
+  /// (RI uses only the query structure); methods that need it return
+  /// InvalidArgument when absent.
+  const CandidateSet* candidates = nullptr;
+  /// RNG for stochastic methods / randomized tie-breaking; may be null, in
+  /// which case ties break deterministically by vertex id.
+  Rng* rng = nullptr;
+};
+
+/// \brief Phase-2 interface: produce a matching order — a permutation of
+/// V(q) (Definition II.3) in which every vertex after the first is adjacent
+/// to an earlier one (connectivity, the action-space constraint of the
+/// paper's MDP).
+class Ordering {
+ public:
+  virtual ~Ordering() = default;
+
+  /// Display name used in benchmark tables, e.g. "RI".
+  virtual std::string name() const = 0;
+
+  /// Computes the matching order for the given query.
+  virtual Result<std::vector<VertexId>> MakeOrder(
+      const OrderingContext& ctx) = 0;
+};
+
+/// \brief RI ordering (Bonnici et al.), the method Hybrid uses and the
+/// paper's baseline for the RL reward. Start at the maximum-degree vertex;
+/// then repeatedly take the vertex with the most backward neighbors
+/// (|N(u) ∩ φ_t|), breaking ties by (1) |u_neig| — the number of ordered
+/// vertices that share an unordered neighbor with u — then (2) |u_unv| —
+/// the number of u's neighbors that are unordered and not adjacent to any
+/// ordered vertex; remaining ties break by vertex id (Sec II-C).
+class RIOrdering : public Ordering {
+ public:
+  std::string name() const override { return "RI"; }
+  Result<std::vector<VertexId>> MakeOrder(const OrderingContext& ctx) override;
+};
+
+/// \brief QuickSI's infrequent-edge-first ordering: weight each query edge by
+/// the frequency of its endpoint-label pair among data edges, then grow a
+/// minimum-weight spanning walk starting from the globally cheapest edge.
+class QSIOrdering : public Ordering {
+ public:
+  std::string name() const override { return "QSI"; }
+  Result<std::vector<VertexId>> MakeOrder(const OrderingContext& ctx) override;
+};
+
+/// \brief VF2++'s infrequent-label-first ordering: BFS from the vertex with
+/// the rarest label in G (ties by larger degree); within each BFS level,
+/// vertices ascend by data-label frequency and descend by degree.
+class VF2PPOrdering : public Ordering {
+ public:
+  std::string name() const override { return "VF2PP"; }
+  Result<std::vector<VertexId>> MakeOrder(const OrderingContext& ctx) override;
+};
+
+/// \brief GraphQL's left-deep ordering: start at the smallest candidate set;
+/// repeatedly append the connected vertex with the fewest candidates.
+/// Requires candidate sets.
+class GQLOrdering : public Ordering {
+ public:
+  std::string name() const override { return "GQL"; }
+  Result<std::vector<VertexId>> MakeOrder(const OrderingContext& ctx) override;
+};
+
+/// \brief VEQ-style ordering: greedy connected order minimising
+/// |C(u)| / |NEC class of u| so that vertices whose neighbor-equivalence
+/// class is large (interchangeable degree-one leaves) are postponed and
+/// grouped. Requires candidate sets.
+class VEQOrdering : public Ordering {
+ public:
+  std::string name() const override { return "VEQ"; }
+  Result<std::vector<VertexId>> MakeOrder(const OrderingContext& ctx) override;
+};
+
+/// \brief CFL-style core-forest-leaf ordering (Bi et al., SIGMOD'16):
+/// decompose the query by core number — the dense 2-core first, then the
+/// tree ("forest") vertices hanging off it, then degree-one leaves — and
+/// within each stratum greedily take the connected vertex with the fewest
+/// candidates. Postponing the cartesian-product-prone forest/leaf parts is
+/// CFL's central idea. Requires candidate sets.
+class CFLOrdering : public Ordering {
+ public:
+  std::string name() const override { return "CFL"; }
+  Result<std::vector<VertexId>> MakeOrder(const OrderingContext& ctx) override;
+};
+
+/// \brief Uniformly random connected order (sanity-check baseline).
+class RandomOrdering : public Ordering {
+ public:
+  std::string name() const override { return "Random"; }
+  Result<std::vector<VertexId>> MakeOrder(const OrderingContext& ctx) override;
+};
+
+/// \brief Computes neighbor equivalence classes (NEC, VEQ Sec II-C): class
+/// id per query vertex; degree-one vertices with equal label and equal
+/// neighbor share a class, every other vertex is a singleton.
+std::vector<uint32_t> ComputeNecClasses(const Graph& query);
+
+/// \brief Builds an ordering by name: "RI", "QSI", "VF2PP", "GQL", "VEQ",
+/// "CFL" or "Random".
+Result<std::shared_ptr<Ordering>> MakeOrdering(const std::string& name);
+
+}  // namespace rlqvo

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <vector>
+
+#include "common/result.h"
+#include "matching/enumerator.h"
+
+namespace rlqvo {
+
+/// \brief Distribution of enumeration counts over ALL connected matching
+/// orders of a query — the "spectrum" behind the paper's Fig 6 analysis.
+/// Quantifies how much ordering quality matters for a given (q, G, C): a
+/// wide min-max spread means order choice dominates query cost.
+struct OrderSpectrum {
+  uint64_t num_orders = 0;
+  uint64_t min_enumerations = 0;
+  uint64_t max_enumerations = 0;
+  double mean_enumerations = 0.0;
+  double median_enumerations = 0.0;
+  /// #enum of every connected permutation, ascending.
+  std::vector<uint64_t> sorted_enumerations;
+
+  /// Fraction of orders with #enum within `factor` of the optimum — how
+  /// likely a random connected order is near-optimal.
+  double FractionWithinFactorOfOptimal(double factor) const;
+
+  /// Rank (0 = optimal) of a given enumeration count within the spectrum.
+  size_t RankOf(uint64_t enumerations) const;
+};
+
+/// \brief Evaluates every connected permutation of V(q) with the shared
+/// enumeration engine and aggregates the distribution. Factorial cost;
+/// refuses queries above 10 vertices.
+Result<OrderSpectrum> ComputeOrderSpectrum(const Graph& query,
+                                           const Graph& data,
+                                           const CandidateSet& candidates,
+                                           const EnumerateOptions& options);
+
+}  // namespace rlqvo

@@ -1,0 +1,91 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace rlqvo {
+namespace nn {
+
+Adam::Adam(std::vector<Var> parameters, const Options& options)
+    : parameters_(std::move(parameters)), options_(options) {
+  for (const Var& p : parameters_) {
+    RLQVO_CHECK(p.requires_grad()) << "Adam parameter without requires_grad";
+    m_.push_back(Matrix::Zeros(p.rows(), p.cols()));
+    v_.push_back(Matrix::Zeros(p.rows(), p.cols()));
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  // Optional global grad-norm clipping.
+  double scale = 1.0;
+  if (options_.max_grad_norm > 0.0) {
+    double sq = 0.0;
+    for (const Var& p : parameters_) {
+      if (p.grad().empty()) continue;
+      for (double g : p.grad().values()) sq += g * g;
+    }
+    const double norm = std::sqrt(sq);
+    if (norm > options_.max_grad_norm) {
+      scale = options_.max_grad_norm / norm;
+    }
+  }
+  const double bc1 = 1.0 - std::pow(options_.beta1, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(options_.beta2, static_cast<double>(t_));
+  for (size_t i = 0; i < parameters_.size(); ++i) {
+    Var& p = parameters_[i];
+    if (p.grad().empty()) continue;
+    Matrix value = p.value();
+    const Matrix& grad = p.grad();
+    for (size_t k = 0; k < value.values().size(); ++k) {
+      const double g = grad.values()[k] * scale;
+      double& m = m_[i].values()[k];
+      double& v = v_[i].values()[k];
+      m = options_.beta1 * m + (1.0 - options_.beta1) * g;
+      v = options_.beta2 * v + (1.0 - options_.beta2) * g * g;
+      const double m_hat = m / bc1;
+      const double v_hat = v / bc2;
+      value.values()[k] -=
+          options_.learning_rate * m_hat / (std::sqrt(v_hat) + options_.epsilon);
+    }
+    p.SetValue(std::move(value));
+  }
+}
+
+void Adam::ZeroGrad() {
+  for (Var& p : parameters_) p.ZeroGrad();
+}
+
+Sgd::Sgd(std::vector<Var> parameters, double learning_rate)
+    : parameters_(std::move(parameters)), learning_rate_(learning_rate) {
+  for (const Var& p : parameters_) {
+    RLQVO_CHECK(p.requires_grad()) << "SGD parameter without requires_grad";
+  }
+}
+
+void Sgd::Step() {
+  for (Var& p : parameters_) {
+    if (p.grad().empty()) continue;
+    Matrix value = p.value();
+    for (size_t k = 0; k < value.values().size(); ++k) {
+      value.values()[k] -= learning_rate_ * p.grad().values()[k];
+    }
+    p.SetValue(std::move(value));
+  }
+}
+
+void Sgd::ZeroGrad() {
+  for (Var& p : parameters_) p.ZeroGrad();
+}
+
+size_t ParameterCount(const std::vector<Var>& parameters) {
+  size_t count = 0;
+  for (const Var& p : parameters) count += p.value().size();
+  return count;
+}
+
+size_t ParameterBytesFloat32(const std::vector<Var>& parameters) {
+  return ParameterCount(parameters) * 4;
+}
+
+}  // namespace nn
+}  // namespace rlqvo

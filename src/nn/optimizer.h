@@ -1,0 +1,68 @@
+#pragma once
+
+#include <vector>
+
+#include "nn/autograd.h"
+
+namespace rlqvo {
+namespace nn {
+
+/// \brief Adam optimiser (Kingma & Ba) over a fixed parameter list.
+///
+/// The paper trains the policy with learning rate 1e-3 (Sec IV-A); these
+/// are the PyTorch-default moments.
+class Adam {
+ public:
+  struct Options {
+    double learning_rate = 1e-3;
+    double beta1 = 0.9;
+    double beta2 = 0.999;
+    double epsilon = 1e-8;
+    /// Optional global gradient-norm clip; 0 disables.
+    double max_grad_norm = 0.0;
+  };
+
+  /// \param parameters leaves with requires_grad; the list is captured.
+  Adam(std::vector<Var> parameters, const Options& options);
+
+  /// Applies one update using the gradients accumulated since ZeroGrad().
+  void Step();
+
+  /// Clears all parameter gradients.
+  void ZeroGrad();
+
+  /// Number of Step() calls so far.
+  int64_t steps() const { return t_; }
+  const Options& options() const { return options_; }
+  /// Adjusts the learning rate (e.g. for decay schedules).
+  void set_learning_rate(double lr) { options_.learning_rate = lr; }
+
+ private:
+  std::vector<Var> parameters_;
+  Options options_;
+  std::vector<Matrix> m_;
+  std::vector<Matrix> v_;
+  int64_t t_ = 0;
+};
+
+/// \brief Plain SGD, for tests and ablations.
+class Sgd {
+ public:
+  Sgd(std::vector<Var> parameters, double learning_rate);
+  void Step();
+  void ZeroGrad();
+
+ private:
+  std::vector<Var> parameters_;
+  double learning_rate_;
+};
+
+/// \brief Total scalar count across a parameter list.
+size_t ParameterCount(const std::vector<Var>& parameters);
+
+/// \brief Storage footprint of the parameters in float32 (the PyTorch
+/// serialisation convention the paper's Table IV reports).
+size_t ParameterBytesFloat32(const std::vector<Var>& parameters);
+
+}  // namespace nn
+}  // namespace rlqvo

@@ -1,0 +1,127 @@
+#include "nn/serialize.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace rlqvo {
+namespace nn {
+
+namespace {
+constexpr char kMagic[] = "RLQVO-MODEL v1";
+}
+
+Status SaveParameters(const std::vector<Var>& parameters,
+                      const std::map<std::string, std::string>& metadata,
+                      const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IOError("cannot open '" + path + "' for writing: " +
+                           std::strerror(errno));
+  }
+  out << kMagic << "\n";
+  for (const auto& [key, value] : metadata) {
+    if (key.find_first_of(" \n") != std::string::npos) {
+      return Status::InvalidArgument("metadata key contains whitespace: '" +
+                                     key + "'");
+    }
+    out << "meta " << key << " " << value << "\n";
+  }
+  out << "params " << parameters.size() << "\n";
+  char buf[64];
+  for (const Var& p : parameters) {
+    const Matrix& m = p.value();
+    out << m.rows() << " " << m.cols() << "\n";
+    for (size_t i = 0; i < m.values().size(); ++i) {
+      std::snprintf(buf, sizeof(buf), "%a", m.values()[i]);
+      out << buf << (i + 1 == m.values().size() ? "" : " ");
+    }
+    out << "\n";
+  }
+  if (!out) return Status::IOError("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+Result<Checkpoint> LoadCheckpoint(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IOError("cannot open '" + path + "': " +
+                           std::strerror(errno));
+  }
+  std::string line;
+  if (!std::getline(in, line) || line != kMagic) {
+    return Status::InvalidArgument("'" + path + "' is not an RLQVO model file");
+  }
+  Checkpoint ckpt;
+  size_t num_params = 0;
+  while (std::getline(in, line)) {
+    if (line.rfind("meta ", 0) == 0) {
+      const std::string rest = line.substr(5);
+      const size_t space = rest.find(' ');
+      if (space == std::string::npos) {
+        return Status::InvalidArgument("malformed meta line: '" + line + "'");
+      }
+      ckpt.metadata[rest.substr(0, space)] = rest.substr(space + 1);
+    } else if (line.rfind("params ", 0) == 0) {
+      num_params = std::stoull(line.substr(7));
+      break;
+    } else if (!line.empty()) {
+      return Status::InvalidArgument("unexpected line: '" + line + "'");
+    }
+  }
+  for (size_t i = 0; i < num_params; ++i) {
+    size_t rows = 0, cols = 0;
+    if (!(in >> rows >> cols)) {
+      return Status::InvalidArgument("truncated checkpoint (header of matrix " +
+                                     std::to_string(i) + ")");
+    }
+    Matrix m(rows, cols);
+    for (size_t k = 0; k < rows * cols; ++k) {
+      std::string tok;
+      if (!(in >> tok)) {
+        return Status::InvalidArgument("truncated checkpoint (matrix " +
+                                       std::to_string(i) + ")");
+      }
+      errno = 0;
+      char* end = nullptr;
+      m.values()[k] = std::strtod(tok.c_str(), &end);
+      if (end == tok.c_str() || errno == ERANGE) {
+        return Status::InvalidArgument("bad value '" + tok + "' in matrix " +
+                                       std::to_string(i));
+      }
+    }
+    ckpt.matrices.push_back(std::move(m));
+  }
+  return ckpt;
+}
+
+Status AssignParameters(const std::vector<Matrix>& values,
+                        std::vector<Var>* parameters) {
+  RLQVO_CHECK(parameters != nullptr);
+  if (values.size() != parameters->size()) {
+    return Status::InvalidArgument(
+        "checkpoint has " + std::to_string(values.size()) +
+        " matrices, model expects " + std::to_string(parameters->size()));
+  }
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (!values[i].SameShape((*parameters)[i].value())) {
+      return Status::InvalidArgument(
+          "shape mismatch at parameter " + std::to_string(i) + ": checkpoint " +
+          std::to_string(values[i].rows()) + "x" +
+          std::to_string(values[i].cols()) + " vs model " +
+          std::to_string((*parameters)[i].rows()) + "x" +
+          std::to_string((*parameters)[i].cols()));
+    }
+  }
+  for (size_t i = 0; i < values.size(); ++i) {
+    (*parameters)[i].SetValue(values[i]);
+  }
+  return Status::OK();
+}
+
+}  // namespace nn
+}  // namespace rlqvo

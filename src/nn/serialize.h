@@ -1,0 +1,34 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "nn/autograd.h"
+
+namespace rlqvo {
+namespace nn {
+
+/// \brief Writes parameter matrices (plus string metadata) to a portable
+/// text file. Values are written as C hexfloats, so round-trips are exact.
+Status SaveParameters(const std::vector<Var>& parameters,
+                      const std::map<std::string, std::string>& metadata,
+                      const std::string& path);
+
+/// \brief Loaded checkpoint: raw matrices plus metadata.
+struct Checkpoint {
+  std::vector<Matrix> matrices;
+  std::map<std::string, std::string> metadata;
+};
+
+/// \brief Reads a checkpoint written by SaveParameters.
+Result<Checkpoint> LoadCheckpoint(const std::string& path);
+
+/// \brief Copies checkpoint matrices into existing parameter Vars, checking
+/// count and shapes.
+Status AssignParameters(const std::vector<Matrix>& values,
+                        std::vector<Var>* parameters);
+
+}  // namespace nn
+}  // namespace rlqvo

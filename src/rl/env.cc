@@ -1,0 +1,62 @@
+#include "rl/env.h"
+
+namespace rlqvo {
+
+OrderingEnv::OrderingEnv(const Graph* query, const Graph* data,
+                         const FeatureConfig& feature_config)
+    : query_(query),
+      feature_builder_(query, data, feature_config),
+      tensors_(BuildGraphTensors(*query)) {
+  Reset();
+}
+
+void OrderingEnv::Reset() {
+  order_.clear();
+  ordered_.assign(query_->num_vertices(), false);
+  RecomputeMask();
+}
+
+VertexId OrderingEnv::SoleAction() const {
+  if (num_actions_ != 1) return kInvalidVertex;
+  for (VertexId u = 0; u < query_->num_vertices(); ++u) {
+    if (action_mask_[u]) return u;
+  }
+  return kInvalidVertex;
+}
+
+nn::Matrix OrderingEnv::Features() const {
+  return feature_builder_.Build(ordered_, order_.size());
+}
+
+void OrderingEnv::Step(VertexId u) {
+  RLQVO_CHECK_LT(u, query_->num_vertices());
+  RLQVO_CHECK(action_mask_[u]) << "action " << u << " not in action space";
+  order_.push_back(u);
+  ordered_[u] = true;
+  RecomputeMask();
+}
+
+void OrderingEnv::RecomputeMask() {
+  const uint32_t n = query_->num_vertices();
+  action_mask_.assign(n, false);
+  num_actions_ = 0;
+  if (order_.empty()) {
+    // Before the first selection every vertex is selectable.
+    action_mask_.assign(n, true);
+    num_actions_ = n;
+    return;
+  }
+  if (Done()) return;
+  for (VertexId u = 0; u < n; ++u) {
+    if (ordered_[u]) continue;
+    for (VertexId w : query_->neighbors(u)) {
+      if (ordered_[w]) {
+        action_mask_[u] = true;
+        ++num_actions_;
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace rlqvo

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "rl/features.h"
+
+namespace rlqvo {
+
+/// \brief The query-vertex-ordering MDP of Sec III-C.
+///
+/// State: the partial order φ_t plus the feature matrix H_t (whose step
+/// features evolve). Action space: the unordered neighbors of ordered
+/// vertices, N(φ_t) — all vertices before the first selection. An episode
+/// ends when φ is a full permutation.
+class OrderingEnv {
+ public:
+  /// \param query / data must outlive the env.
+  OrderingEnv(const Graph* query, const Graph* data,
+              const FeatureConfig& feature_config);
+
+  /// Clears the order and restores the initial state.
+  void Reset();
+
+  const Graph& query() const { return *query_; }
+  /// t = number of ordered vertices so far.
+  size_t step() const { return order_.size(); }
+  bool Done() const { return order_.size() == query_->num_vertices(); }
+
+  /// Action mask over query vertices: true = selectable at this step.
+  const std::vector<bool>& ActionMask() const { return action_mask_; }
+  /// Number of currently selectable vertices.
+  size_t NumActions() const { return num_actions_; }
+  /// The single legal action, when NumActions()==1 (the |AS(t)|=1 shortcut
+  /// of Sec III-D); kInvalidVertex otherwise.
+  VertexId SoleAction() const;
+
+  /// Current feature matrix H_t, (|V(q)|, 7).
+  nn::Matrix Features() const;
+
+  /// Constant graph matrices for the policy GNN.
+  const nn::GraphTensors& tensors() const { return tensors_; }
+
+  /// Applies action u (must be in the action mask); updates φ, the mask and
+  /// the step features.
+  void Step(VertexId u);
+
+  /// The order built so far (complete permutation once Done()).
+  const std::vector<VertexId>& order() const { return order_; }
+
+ private:
+  void RecomputeMask();
+
+  const Graph* query_;
+  FeatureBuilder feature_builder_;
+  nn::GraphTensors tensors_;
+  std::vector<VertexId> order_;
+  std::vector<bool> ordered_;
+  std::vector<bool> action_mask_;
+  size_t num_actions_ = 0;
+};
+
+}  // namespace rlqvo

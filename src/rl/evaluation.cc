@@ -1,0 +1,69 @@
+#include "rl/evaluation.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "matching/enumerator.h"
+
+namespace rlqvo {
+
+std::string OrderQualityReport::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "queries=%zu geomean_ratio_vs_RI=%.3f (W/T/L %zu/%zu/%zu)",
+                num_queries, geomean_enum_ratio_vs_ri, wins, ties, losses);
+  return buf;
+}
+
+Result<OrderQualityReport> EvaluateOrderingQuality(
+    Ordering* ordering, const std::vector<Graph>& queries, const Graph& data,
+    const CandidateFilter& filter, uint64_t match_limit,
+    double time_limit_seconds) {
+  RLQVO_CHECK(ordering != nullptr);
+  if (queries.empty()) {
+    return Status::InvalidArgument("no queries to evaluate");
+  }
+  EnumerateOptions opts;
+  opts.match_limit = match_limit;
+  opts.time_limit_seconds = time_limit_seconds;
+
+  Enumerator enumerator;
+  RIOrdering baseline;
+  OrderQualityReport report;
+  double log_ratio_sum = 0.0;
+  for (const Graph& q : queries) {
+    RLQVO_ASSIGN_OR_RETURN(CandidateSet cs, filter.Filter(q, data));
+    OrderingContext ctx;
+    ctx.query = &q;
+    ctx.data = &data;
+    ctx.candidates = &cs;
+    RLQVO_ASSIGN_OR_RETURN(std::vector<VertexId> method_order,
+                           ordering->MakeOrder(ctx));
+    RLQVO_ASSIGN_OR_RETURN(std::vector<VertexId> base_order,
+                           baseline.MakeOrder(ctx));
+    RLQVO_ASSIGN_OR_RETURN(
+        EnumerateResult method_run,
+        enumerator.Run(q, data, cs, method_order, opts));
+    RLQVO_ASSIGN_OR_RETURN(EnumerateResult base_run,
+                           enumerator.Run(q, data, cs, base_order, opts));
+    const double ratio =
+        (static_cast<double>(method_run.num_enumerations) + 1.0) /
+        (static_cast<double>(base_run.num_enumerations) + 1.0);
+    log_ratio_sum += std::log(ratio);
+    report.total_enumerations += method_run.num_enumerations;
+    report.total_baseline_enumerations += base_run.num_enumerations;
+    if (method_run.num_enumerations < base_run.num_enumerations) {
+      ++report.wins;
+    } else if (method_run.num_enumerations == base_run.num_enumerations) {
+      ++report.ties;
+    } else {
+      ++report.losses;
+    }
+    ++report.num_queries;
+  }
+  report.geomean_enum_ratio_vs_ri =
+      std::exp(log_ratio_sum / static_cast<double>(report.num_queries));
+  return report;
+}
+
+}  // namespace rlqvo

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "matching/filters.h"
+#include "matching/ordering.h"
+
+namespace rlqvo {
+
+/// \brief Order-quality metrics of one ordering method over a query set,
+/// measured in enumeration counts (the paper's quality proxy, Sec IV-C)
+/// relative to the RI baseline that also drives the training reward.
+struct OrderQualityReport {
+  size_t num_queries = 0;
+  /// Geometric mean of (#enum_method + 1) / (#enum_RI + 1); < 1 means the
+  /// method beats RI on average.
+  double geomean_enum_ratio_vs_ri = 1.0;
+  /// Queries where the method's order strictly beats / ties / loses to RI.
+  size_t wins = 0;
+  size_t ties = 0;
+  size_t losses = 0;
+  /// Total enumeration counts across the set.
+  uint64_t total_enumerations = 0;
+  uint64_t total_baseline_enumerations = 0;
+
+  std::string ToString() const;
+};
+
+/// \brief Evaluates `ordering` against the RI baseline on every query:
+/// both run on identical candidate sets (from `filter`) and the shared
+/// enumeration engine, so the ratio isolates ordering quality exactly as
+/// the paper's enumeration-time comparison does.
+Result<OrderQualityReport> EvaluateOrderingQuality(
+    Ordering* ordering, const std::vector<Graph>& queries, const Graph& data,
+    const CandidateFilter& filter, uint64_t match_limit = 100000,
+    double time_limit_seconds = 10.0);
+
+}  // namespace rlqvo

@@ -1,0 +1,108 @@
+#include "rl/features.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace rlqvo {
+
+FeatureBuilder::FeatureBuilder(const Graph* query, const Graph* data,
+                               const FeatureConfig& config)
+    : query_(query), config_(config) {
+  RLQVO_CHECK(query != nullptr);
+  RLQVO_CHECK(data != nullptr);
+  const uint32_t n = query->num_vertices();
+  static_features_ = nn::Matrix(n, 5);
+  if (config_.random_features) {
+    Rng rng(config_.random_feature_seed);
+    for (double& v : static_features_.values()) v = rng.NextUniform(0.0, 1.0);
+    return;
+  }
+  const double nv = static_cast<double>(data->num_vertices());
+  const double label_scale =
+      config_.scale_ids ? std::max(1.0, static_cast<double>(data->num_labels()))
+                        : 1.0;
+  const double id_scale =
+      config_.scale_ids ? static_cast<double>(n) : 1.0;
+  for (VertexId u = 0; u < n; ++u) {
+    static_features_.At(u, 0) =
+        static_cast<double>(query->degree(u)) / config_.alpha_degree;
+    static_features_.At(u, 1) =
+        static_cast<double>(query->label(u)) / label_scale;
+    static_features_.At(u, 2) = static_cast<double>(u) / id_scale;
+    static_features_.At(u, 3) =
+        static_cast<double>(
+            data->CountVerticesWithDegreeGreaterThan(query->degree(u))) /
+        (nv * config_.alpha_d);
+    static_features_.At(u, 4) =
+        static_cast<double>(data->LabelFrequency(query->label(u))) /
+        (nv * config_.alpha_l);
+  }
+}
+
+nn::Matrix FeatureBuilder::Build(const std::vector<bool>& ordered,
+                                 size_t t) const {
+  const uint32_t n = query_->num_vertices();
+  RLQVO_CHECK_EQ(ordered.size(), n);
+  nn::Matrix features(n, kFeatureDim);
+  const double remaining_scale =
+      config_.scale_ids ? static_cast<double>(n) + 1.0 : 1.0;
+  for (VertexId u = 0; u < n; ++u) {
+    for (int f = 0; f < 5; ++f) {
+      features.At(u, f) = static_features_.At(u, f);
+    }
+    features.At(u, 5) =
+        (static_cast<double>(n) - static_cast<double>(t) + 1.0) /
+        remaining_scale;
+    features.At(u, 6) = ordered[u] ? 1.0 : 0.0;
+  }
+  return features;
+}
+
+nn::GraphTensors BuildGraphTensors(const Graph& query) {
+  const uint32_t n = query.num_vertices();
+  nn::Matrix adj(n, n);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId w : query.neighbors(u)) {
+      adj.At(u, w) = 1.0;
+    }
+  }
+  // GCN propagation matrix with self loops: D̃^-1/2 (A+I) D̃^-1/2.
+  nn::Matrix adj_self = adj;
+  for (VertexId u = 0; u < n; ++u) adj_self.At(u, u) = 1.0;
+  std::vector<double> inv_sqrt_deg(n);
+  for (VertexId u = 0; u < n; ++u) {
+    double row_sum = 0.0;
+    for (VertexId v = 0; v < n; ++v) row_sum += adj_self.At(u, v);
+    inv_sqrt_deg[u] = 1.0 / std::sqrt(row_sum);
+  }
+  nn::Matrix norm_adj(n, n);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = 0; v < n; ++v) {
+      norm_adj.At(u, v) = inv_sqrt_deg[u] * adj_self.At(u, v) * inv_sqrt_deg[v];
+    }
+  }
+  // Mean aggregator D^-1 A (isolated vertices keep an all-zero row).
+  nn::Matrix mean_adj(n, n);
+  for (VertexId u = 0; u < n; ++u) {
+    const double d = static_cast<double>(query.degree(u));
+    if (d == 0.0) continue;
+    for (VertexId v = 0; v < n; ++v) {
+      mean_adj.At(u, v) = adj.At(u, v) / d;
+    }
+  }
+  nn::Matrix degree_diag(n, n);
+  for (VertexId u = 0; u < n; ++u) {
+    degree_diag.At(u, u) = static_cast<double>(query.degree(u));
+  }
+
+  nn::GraphTensors tensors;
+  tensors.adjacency = nn::Var::Constant(adj);
+  tensors.norm_adjacency = nn::Var::Constant(std::move(norm_adj));
+  tensors.mean_adjacency = nn::Var::Constant(std::move(mean_adj));
+  tensors.attention_mask = std::move(adj_self);
+  tensors.degree_diag = nn::Var::Constant(std::move(degree_diag));
+  return tensors;
+}
+
+}  // namespace rlqvo

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "nn/layers.h"
+#include "nn/matrix.h"
+
+namespace rlqvo {
+
+/// \brief Controls for the initial vertex features of Sec III-C.
+struct FeatureConfig {
+  /// Scaling factors α_degree, α_d, α_l; the paper sets all to 1 (Sec IV-A).
+  double alpha_degree = 1.0;
+  double alpha_d = 1.0;
+  double alpha_l = 1.0;
+  /// RL-QVO-RIF ablation: replace the five designed heuristics h(1..5) with
+  /// fixed random values (the step features h(6..7) still evolve so the MDP
+  /// stays observable).
+  bool random_features = false;
+  uint64_t random_feature_seed = 7;
+  /// Normalise the id-valued features — h(2) by |L(G)|, h(3) and h(6) by
+  /// |V(q)| — so no input column dwarfs the others. The paper feeds raw
+  /// integer ids; with Xavier initialisation that makes the initial action
+  /// distribution nearly deterministic (no exploration), so scaling is on
+  /// by default here (same "computation stability" rationale the paper
+  /// gives for α_degree). Set false for the paper-literal features.
+  bool scale_ids = true;
+};
+
+/// \brief Builds the 7-dimensional query-vertex features h(0)_u of the paper:
+///
+///   h(1) = d(u) / α_degree                  (scaled query degree)
+///   h(2) = label id of u
+///   h(3) = vertex id of u
+///   h(4) = |{v in G : d(u) < d(v)}| / (|V(G)| α_d)
+///   h(5) = |{v in G : L(u) = L(v)}| / (|V(G)| α_l)
+///   h(6) = |V(q)| - t + 1                   (vertices left to order)
+///   h(7) = 1(u already ordered)
+///
+/// h(1..5) are static per (q, G) and precomputed; h(6..7) change every step.
+class FeatureBuilder {
+ public:
+  static constexpr int kFeatureDim = 7;
+
+  FeatureBuilder(const Graph* query, const Graph* data,
+                 const FeatureConfig& config);
+
+  /// Feature matrix (|V(q)|, 7) for ordering step t (t = |φ_t|, so t=0
+  /// before the first selection) with `ordered` flags per query vertex.
+  nn::Matrix Build(const std::vector<bool>& ordered, size_t t) const;
+
+  const FeatureConfig& config() const { return config_; }
+
+ private:
+  const Graph* query_;
+  FeatureConfig config_;
+  nn::Matrix static_features_;  // (n, 5)
+};
+
+/// \brief Precomputes the constant graph matrices every GNN backbone needs
+/// for a query graph (dense; query graphs are tiny).
+nn::GraphTensors BuildGraphTensors(const Graph& query);
+
+}  // namespace rlqvo

@@ -1,0 +1,285 @@
+#include "rl/ppo.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/timer.h"
+#include "matching/enumerator.h"
+#include "matching/ordering.h"
+#include "nn/optimizer.h"
+
+namespace rlqvo {
+
+namespace {
+
+/// One recorded decision of an episode (steps with a single legal action
+/// are taken directly and not recorded, per the |AS(t)|=1 shortcut).
+struct StepRecord {
+  nn::Matrix features;
+  std::vector<bool> mask;
+  VertexId action = kInvalidVertex;
+  double old_log_prob = 0.0;
+  /// β-weighted validity + entropy portion of Eq. (1); the shared
+  /// enumeration reward is added once the episode completes.
+  double partial_reward = 0.0;
+  double advantage = 0.0;
+};
+
+struct Episode {
+  size_t query_index = 0;
+  std::vector<StepRecord> steps;
+  std::vector<VertexId> order;
+  double enum_reward = 0.0;
+  double episode_return = 0.0;
+};
+
+}  // namespace
+
+/// Per-query cached state: env (features + graph tensors), candidates, the
+/// RI-baseline enumeration count, and a memo of already-scored orders.
+struct PPOTrainer::QueryContext {
+  QueryContext(const Graph* query, const Graph* data,
+               const FeatureConfig& features)
+      : env(query, data, features) {}
+
+  OrderingEnv env;
+  CandidateSet candidates;
+  uint64_t baseline_enum = 0;
+  std::map<std::vector<VertexId>, uint64_t> enum_memo;
+};
+
+PPOTrainer::PPOTrainer(PolicyNetwork* policy, const TrainConfig& config)
+    : policy_(policy), config_(config) {
+  RLQVO_CHECK(policy != nullptr);
+}
+
+Result<TrainStats> PPOTrainer::Train(const std::vector<Graph>& queries,
+                                     const Graph& data) {
+  if (queries.empty()) {
+    return Status::InvalidArgument("no training queries");
+  }
+  Stopwatch train_watch;
+  Rng rng(config_.seed);
+
+  RLQVO_ASSIGN_OR_RETURN(std::shared_ptr<CandidateFilter> filter,
+                         MakeFilter(config_.filter_name));
+  EnumerateOptions enum_options;
+  enum_options.match_limit = config_.train_match_limit;
+  enum_options.time_limit_seconds = config_.train_time_limit_seconds;
+
+  Enumerator enumerator;
+  RIOrdering baseline_ordering;
+
+  // Build per-query contexts: candidates + RI baseline #enum.
+  std::vector<std::unique_ptr<QueryContext>> contexts;
+  contexts.reserve(queries.size());
+  for (const Graph& q : queries) {
+    auto ctx = std::make_unique<QueryContext>(&q, &data, config_.features);
+    RLQVO_ASSIGN_OR_RETURN(ctx->candidates, filter->Filter(q, data));
+    OrderingContext octx;
+    octx.query = &q;
+    octx.data = &data;
+    octx.candidates = &ctx->candidates;
+    RLQVO_ASSIGN_OR_RETURN(std::vector<VertexId> base_order,
+                           baseline_ordering.MakeOrder(octx));
+    RLQVO_ASSIGN_OR_RETURN(
+        EnumerateResult base_result,
+        enumerator.Run(q, data, ctx->candidates, base_order, enum_options));
+    ctx->baseline_enum = base_result.num_enumerations;
+    contexts.push_back(std::move(ctx));
+  }
+
+  std::vector<nn::Var> params = policy_->Parameters();
+  nn::Adam::Options adam_options;
+  adam_options.learning_rate = config_.learning_rate;
+  adam_options.max_grad_norm = config_.max_grad_norm;
+  nn::Adam adam(params, adam_options);
+
+  TrainStats stats;
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    // Sampling policy π_θ' — frozen for this epoch (Sec III-E).
+    PolicyNetwork sampling_policy = policy_->Clone();
+
+    std::vector<Episode> batch;
+    double epoch_enum_reward = 0.0;
+    double epoch_return = 0.0;
+    size_t episodes_this_epoch = 0;
+
+    // Rolls out one episode for query `qi` under the frozen sampling policy;
+    // `greedy` selects argmax actions (the inference mode) instead of
+    // sampling from the masked distribution.
+    auto run_episode = [&](size_t qi, bool greedy) -> Status {
+      QueryContext& qc = *contexts[qi];
+      qc.env.Reset();
+      Episode episode;
+      episode.query_index = qi;
+      std::vector<double> step_rewards;
+
+      while (!qc.env.Done()) {
+        const VertexId sole = qc.env.SoleAction();
+        if (sole != kInvalidVertex) {
+          qc.env.Step(sole);
+          continue;
+        }
+        StepRecord record;
+        record.features = qc.env.Features();
+        record.mask = qc.env.ActionMask();
+        auto forward = sampling_policy.Forward(qc.env.tensors(),
+                                               record.features, record.mask,
+                                               /*training=*/false, nullptr);
+        std::vector<double> probs;
+        std::vector<VertexId> actions;
+        for (VertexId u = 0; u < qc.env.query().num_vertices(); ++u) {
+          if (record.mask[u]) {
+            probs.push_back(std::exp(forward.log_probs.value().At(u, 0)));
+            actions.push_back(u);
+          }
+        }
+        VertexId action;
+        if (greedy) {
+          size_t best = 0;
+          for (size_t i = 1; i < probs.size(); ++i) {
+            if (probs[i] > probs[best]) best = i;
+          }
+          action = actions[best];
+        } else {
+          const size_t pick = rng.SampleDiscrete(probs);
+          action = pick < actions.size() ? actions[pick] : actions[0];
+        }
+        record.action = action;
+        record.old_log_prob = forward.log_probs.value().At(action, 0);
+
+        // Validity reward: is the *unmasked* argmax a legal action?
+        size_t argmax = 0;
+        const nn::Matrix& raw = forward.raw_scores.value();
+        for (size_t i = 1; i < raw.rows(); ++i) {
+          if (raw.At(i, 0) > raw.At(argmax, 0)) argmax = i;
+        }
+        const bool valid = record.mask[argmax];
+        const double entropy = Entropy(probs);
+        record.partial_reward =
+            StepReward(config_.reward, /*enum_reward=*/0.0, valid, entropy);
+        step_rewards.push_back(record.partial_reward);
+
+        episode.steps.push_back(std::move(record));
+        qc.env.Step(action);
+      }
+      episode.order = qc.env.order();
+
+      // Enumeration reward: run (or recall) the enumeration for this order.
+      uint64_t learned_enum = 0;
+      auto memo = qc.enum_memo.find(episode.order);
+      if (memo != qc.enum_memo.end()) {
+        learned_enum = memo->second;
+      } else {
+        RLQVO_ASSIGN_OR_RETURN(
+            EnumerateResult run,
+            enumerator.Run(queries[qi], data, qc.candidates, episode.order,
+                           enum_options));
+        learned_enum = run.num_enumerations;
+        qc.enum_memo[episode.order] = learned_enum;
+      }
+      episode.enum_reward = EnumerationReward(qc.baseline_enum, learned_enum);
+      epoch_enum_reward += episode.enum_reward;
+
+      // Total step rewards (Eq. 1) and decayed returns-to-go (Eq. 2).
+      for (double& r : step_rewards) r += episode.enum_reward;
+      const std::vector<double> returns =
+          DiscountedReturns(config_.reward, step_rewards);
+      for (size_t i = 0; i < episode.steps.size(); ++i) {
+        episode.steps[i].advantage = returns[i];
+      }
+      episode.episode_return = returns.empty() ? 0.0 : returns[0];
+      epoch_return += episode.episode_return;
+      ++stats.episodes;
+      ++episodes_this_epoch;
+      if (!episode.steps.empty()) batch.push_back(std::move(episode));
+      return Status::OK();
+    };
+
+    for (size_t qi = 0; qi < contexts.size(); ++qi) {
+      RLQVO_RETURN_NOT_OK(run_episode(qi, /*greedy=*/false));
+      if (config_.include_greedy_episode) {
+        RLQVO_RETURN_NOT_OK(run_episode(qi, /*greedy=*/true));
+      }
+    }
+
+    stats.epoch_mean_enum_reward.push_back(
+        epoch_enum_reward / static_cast<double>(episodes_this_epoch));
+    stats.epoch_mean_return.push_back(
+        epoch_return / static_cast<double>(episodes_this_epoch));
+
+    // Advantage standardisation across the whole batch.
+    if (config_.normalize_advantages) {
+      double mean = 0.0;
+      size_t count = 0;
+      for (const Episode& e : batch) {
+        for (const StepRecord& s : e.steps) {
+          mean += s.advantage;
+          ++count;
+        }
+      }
+      if (count > 1) {
+        mean /= static_cast<double>(count);
+        double var = 0.0;
+        for (const Episode& e : batch) {
+          for (const StepRecord& s : e.steps) {
+            var += (s.advantage - mean) * (s.advantage - mean);
+          }
+        }
+        const double stddev = std::sqrt(var / static_cast<double>(count));
+        for (Episode& e : batch) {
+          for (StepRecord& s : e.steps) {
+            s.advantage = (s.advantage - mean) / (stddev + 1e-8);
+          }
+        }
+      }
+    }
+
+    // Clipped-surrogate updates (Eq. 6-7), `ppo_epochs` passes per batch.
+    for (int k = 0; k < config_.ppo_epochs; ++k) {
+      adam.ZeroGrad();
+      nn::Var loss = nn::Var::Leaf(nn::Matrix(1, 1), /*requires_grad=*/false);
+      size_t num_steps = 0;
+      for (const Episode& e : batch) {
+        const QueryContext& qc = *contexts[e.query_index];
+        for (const StepRecord& s : e.steps) {
+          auto forward =
+              policy_->Forward(qc.env.tensors(), s.features, s.mask,
+                               /*training=*/true, &rng);
+          nn::Var log_prob = nn::Pick(forward.log_probs, s.action, 0);
+          nn::Var ratio =
+              nn::Exp(nn::AddScalar(log_prob, -s.old_log_prob));
+          nn::Var unclipped = nn::Scale(ratio, s.advantage);
+          nn::Var clipped = nn::Scale(
+              nn::Clip(ratio, 1.0 - config_.clip_epsilon,
+                       1.0 + config_.clip_epsilon),
+              s.advantage);
+          loss = nn::Sub(loss, nn::Min(unclipped, clipped));
+          ++num_steps;
+        }
+      }
+      if (num_steps == 0) continue;
+      loss = nn::Scale(loss, 1.0 / static_cast<double>(num_steps));
+      nn::Backward(loss);
+      adam.Step();
+    }
+
+    stats.epochs_run = epoch + 1;
+    if (config_.verbose) {
+      RLQVO_LOG(Info) << "epoch " << epoch + 1 << "/" << config_.epochs
+                      << " mean_enum_reward="
+                      << stats.epoch_mean_enum_reward.back()
+                      << " mean_return=" << stats.epoch_mean_return.back();
+    }
+    if (config_.max_train_seconds > 0.0 &&
+        train_watch.ElapsedSeconds() >= config_.max_train_seconds) {
+      break;
+    }
+  }
+  stats.train_time_seconds = train_watch.ElapsedSeconds();
+  return stats;
+}
+
+}  // namespace rlqvo

@@ -1,0 +1,49 @@
+#include "rl/reward.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace rlqvo {
+
+double EnumerationReward(uint64_t baseline_enumerations,
+                         uint64_t learned_enumerations) {
+  const double base = static_cast<double>(baseline_enumerations) + 1.0;
+  const double ours = static_cast<double>(learned_enumerations) + 1.0;
+  return std::log(base / ours);
+}
+
+double Entropy(const std::vector<double>& probabilities) {
+  double h = 0.0;
+  for (double p : probabilities) {
+    RLQVO_DCHECK(p >= -1e-12 && p <= 1.0 + 1e-9);
+    if (p > 0.0) h -= p * std::log(p);
+  }
+  return h;
+}
+
+double StepReward(const RewardConfig& config, double enum_reward,
+                  bool prediction_valid, double entropy) {
+  const double validity =
+      prediction_valid ? config.valid_bonus : -config.invalid_penalty;
+  return enum_reward + config.beta_val * validity + config.beta_h * entropy;
+}
+
+std::vector<double> DiscountedReturns(const RewardConfig& config,
+                                      const std::vector<double>& step_rewards) {
+  RLQVO_CHECK(config.gamma > 0.0 && config.gamma < 1.0);
+  const size_t n = step_rewards.size();
+  std::vector<double> returns(n, 0.0);
+  // G_t = Σ_{t'>=t} γ^{t'+1} R_{t'}, computed backwards; the γ^{t'+1}
+  // weighting matches Eq. (2)'s Σ_t γ^t R_t with 1-based t.
+  double tail = 0.0;
+  for (size_t i = n; i-- > 0;) {
+    tail = std::pow(config.gamma, static_cast<double>(i) + 1.0) *
+               step_rewards[i] +
+           tail;
+    returns[i] = tail;
+  }
+  return returns;
+}
+
+}  // namespace rlqvo

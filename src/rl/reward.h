@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace rlqvo {
+
+/// \brief Coefficients for the step-wise reward of Eq. (1) and the decayed
+/// episode return of Eq. (2).
+struct RewardConfig {
+  /// β_val: weight of the validity reward.
+  double beta_val = 0.2;
+  /// β_h: weight of the entropy reward.
+  double beta_h = 0.05;
+  /// γ in (0, 1): per-step decay; earlier selections weigh more.
+  double gamma = 0.95;
+  /// Positive validity reward when the unmasked argmax is a legal action.
+  double valid_bonus = 0.1;
+  /// Penalty (subtracted) when it is not; larger in magnitude than the
+  /// bonus, per Sec III-C.
+  double invalid_penalty = 0.3;
+};
+
+/// \brief The enumeration reward r_enum = f_enum(Δ#enum): a symmetric
+/// log-ratio log((#enum_base + 1) / (#enum_ours + 1)). Positive when the
+/// learned order enumerates less than the baseline (RI) order, with the
+/// logarithm damping the orders-of-magnitude spread across queries that the
+/// paper calls out.
+double EnumerationReward(uint64_t baseline_enumerations,
+                         uint64_t learned_enumerations);
+
+/// \brief Shannon entropy (nats) of a probability vector restricted to its
+/// positive entries — the entropy reward r_h of Sec III-C.
+double Entropy(const std::vector<double>& probabilities);
+
+/// \brief Combines per-step rewards into the step total of Eq. (1):
+/// R_t = r_enum + β_val r_val,t + β_h r_h,t.
+double StepReward(const RewardConfig& config, double enum_reward,
+                  bool prediction_valid, double entropy);
+
+/// \brief Decayed returns-to-go: G_t = Σ_{t' >= t} γ^{t'+1} R_{t'}, so that
+/// G_0 equals the episode objective of Eq. (2) and every step's advantage
+/// still sees the shared long-term enumeration reward.
+std::vector<double> DiscountedReturns(const RewardConfig& config,
+                                      const std::vector<double>& step_rewards);
+
+}  // namespace rlqvo

@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+
+namespace rlqvo {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(s.message(), "bad input");
+  EXPECT_EQ(s.ToString(), "Invalid argument: bad input");
+
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::TimedOut("x").IsTimedOut());
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_EQ(Status::Internal("a"), Status::Internal("a"));
+  EXPECT_FALSE(Status::Internal("a") == Status::Internal("b"));
+  EXPECT_FALSE(Status::Internal("a") == Status::IOError("a"));
+}
+
+TEST(StatusTest, EveryCodeHasAName) {
+  for (int code = 0; code <= 8; ++code) {
+    EXPECT_STRNE(StatusCodeToString(static_cast<StatusCode>(code)), "Unknown");
+  }
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+
+Result<int> DoublePositive(int x) {
+  RLQVO_ASSIGN_OR_RETURN(int v, ParsePositive(x));
+  return v * 2;
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie(), 42);
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("missing");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.ValueOr(-1), -1);
+}
+
+TEST(ResultTest, AssignOrReturnPropagatesError) {
+  EXPECT_FALSE(DoublePositive(-3).ok());
+  EXPECT_EQ(DoublePositive(21).ValueOrDie(), 42);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  std::unique_ptr<int> v = std::move(r).ValueOrDie();
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(RngTest, DeterministicForEqualSeeds) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    equal += a.NextUint64() == b.NextUint64();
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(7), 7u);
+  }
+}
+
+TEST(RngTest, BoundedCoversAllResidues) {
+  Rng rng(5);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.NextBounded(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, NextIntInclusiveRange) {
+  Rng rng(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.NextInt(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, GaussianMomentsApproximatelyStandard) {
+  Rng rng(23);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.NextGaussian();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, SampleDiscreteRespectsWeights) {
+  Rng rng(31);
+  std::vector<double> weights = {0.0, 3.0, 1.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 4000; ++i) {
+    ++counts[rng.SampleDiscrete(weights)];
+  }
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_GT(counts[1], counts[2] * 2);
+}
+
+TEST(RngTest, SampleDiscreteZeroTotalReturnsSize) {
+  Rng rng(1);
+  std::vector<double> weights = {0.0, 0.0};
+  EXPECT_EQ(rng.SampleDiscrete(weights), weights.size());
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(77);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(StringUtilTest, SplitWhitespace) {
+  EXPECT_EQ(SplitWhitespace("  a  bb\tc \n"),
+            (std::vector<std::string>{"a", "bb", "c"}));
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+  EXPECT_TRUE(SplitWhitespace("").empty());
+}
+
+TEST(StringUtilTest, SplitCharKeepsEmptyTokens) {
+  EXPECT_EQ(SplitChar("a,,b", ','),
+            (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(SplitChar("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringUtilTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(1.0, 0), "1");
+}
+
+TEST(StringUtilTest, FormatBytes) {
+  EXPECT_EQ(FormatBytes(512), "512.0 B");
+  EXPECT_EQ(FormatBytes(186 * 1024 + 205), "186.2 kB");
+  EXPECT_EQ(FormatBytes(437ull * 1024 * 1024 + 629145), "437.6 MB");
+}
+
+TEST(TimerTest, StopwatchAdvances) {
+  Stopwatch watch;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  EXPECT_GT(watch.ElapsedNanos(), 0);
+  EXPECT_GE(watch.ElapsedSeconds(), 0.0);
+}
+
+TEST(TimerTest, DeadlineUnlimitedNeverExpires) {
+  Deadline d = Deadline::Unlimited();
+  EXPECT_FALSE(d.HasLimit());
+  EXPECT_FALSE(d.Expired());
+}
+
+TEST(TimerTest, DeadlineExpires) {
+  Deadline d(1e-9);
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  EXPECT_TRUE(d.Expired());
+}
+
+}  // namespace
+}  // namespace rlqvo

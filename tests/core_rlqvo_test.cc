@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "core/rlqvo.h"
+#include "graph/graph_algorithms.h"
+#include "matching/enumerator.h"
+#include "test_util.h"
+
+namespace rlqvo {
+namespace {
+
+using testing_util::RandomData;
+using testing_util::RandomQuery;
+
+PolicyConfig TinyPolicy() {
+  PolicyConfig config;
+  config.hidden_dim = 8;
+  config.num_gnn_layers = 2;
+  return config;
+}
+
+TEST(RLQVOOrderingTest, UntrainedPolicyStillProducesValidOrders) {
+  Graph data = RandomData(301);
+  RLQVOModel model(TinyPolicy());
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    Graph q = RandomQuery(data, 400 + seed, 4 + seed % 5);
+    auto order = model.MakeOrder(q, data);
+    ASSERT_TRUE(order.ok()) << order.status().ToString();
+    EXPECT_TRUE(IsValidMatchingOrder(q, *order));
+  }
+}
+
+TEST(RLQVOOrderingTest, RequiresDataGraph) {
+  Graph data = RandomData(302);
+  Graph q = RandomQuery(data, 303, 4);
+  RLQVOModel model(TinyPolicy());
+  auto ordering = model.MakeOrdering();
+  OrderingContext ctx;
+  ctx.query = &q;
+  EXPECT_FALSE(ordering->MakeOrder(ctx).ok());
+}
+
+TEST(RLQVOOrderingTest, StochasticModeAlsoValid) {
+  Graph data = RandomData(304);
+  Graph q = RandomQuery(data, 305, 8);
+  RLQVOModel model(TinyPolicy());
+  auto ordering = model.MakeOrdering(/*stochastic=*/true, /*seed=*/9);
+  OrderingContext ctx;
+  ctx.query = &q;
+  ctx.data = &data;
+  for (int i = 0; i < 5; ++i) {
+    auto order = ordering->MakeOrder(ctx);
+    ASSERT_TRUE(order.ok());
+    EXPECT_TRUE(IsValidMatchingOrder(q, *order));
+  }
+}
+
+TEST(RLQVOOrderingTest, ReportsInferenceTime) {
+  Graph data = RandomData(306);
+  Graph q = RandomQuery(data, 307, 6);
+  RLQVOModel model(TinyPolicy());
+  auto ordering = std::make_shared<RLQVOOrdering>(
+      std::shared_ptr<const PolicyNetwork>(
+          std::make_shared<PolicyNetwork>(model.policy().Clone())),
+      FeatureConfig{});
+  OrderingContext ctx;
+  ctx.query = &q;
+  ctx.data = &data;
+  ASSERT_TRUE(ordering->MakeOrder(ctx).ok());
+  EXPECT_GT(ordering->last_inference_seconds(), 0.0);
+}
+
+TEST(RLQVOModelTest, MatcherCountsAgreeWithBruteForce) {
+  Graph data = RandomData(308);
+  RLQVOModel model(TinyPolicy());
+  EnumerateOptions opts;
+  opts.match_limit = 0;
+  auto matcher = model.MakeMatcher(opts).ValueOrDie();
+  EXPECT_EQ(matcher->name(), "RL-QVO");
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    Graph q = RandomQuery(data, 500 + seed, 4);
+    const uint64_t expected = BruteForceMatch(q, data).size();
+    auto stats = matcher->Match(q, data).ValueOrDie();
+    EXPECT_EQ(stats.num_matches, expected);
+  }
+}
+
+TEST(RLQVOModelTest, TrainThenOrderStillValid) {
+  Graph data = RandomData(309, 100, 4.0, 3);
+  QuerySampler sampler(&data, 1);
+  auto queries = sampler.SampleQuerySet(5, 4).ValueOrDie();
+  RLQVOModel model(TinyPolicy());
+  TrainConfig config;
+  config.epochs = 2;
+  config.ppo_epochs = 2;
+  config.train_match_limit = 500;
+  auto stats = model.Train(queries, data, config);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  Graph q = RandomQuery(data, 310, 6);
+  auto order = model.MakeOrder(q, data).ValueOrDie();
+  EXPECT_TRUE(IsValidMatchingOrder(q, order));
+}
+
+TEST(RLQVOModelTest, SaveLoadPreservesOrders) {
+  Graph data = RandomData(311);
+  RLQVOModel model(TinyPolicy());
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "rlqvo_model.model").string();
+  ASSERT_TRUE(model.Save(path).ok());
+  auto loaded = RLQVOModel::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    Graph q = RandomQuery(data, 600 + seed, 6);
+    EXPECT_EQ(model.MakeOrder(q, data).ValueOrDie(),
+              loaded->MakeOrder(q, data).ValueOrDie());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(RLQVOModelTest, SaveLoadPreservesFeatureConfig) {
+  FeatureConfig features;
+  features.alpha_degree = 2.5;
+  features.random_features = true;
+  RLQVOModel model(TinyPolicy(), features);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "rlqvo_model2.model").string();
+  ASSERT_TRUE(model.Save(path).ok());
+  auto loaded = RLQVOModel::Load(path).ValueOrDie();
+  EXPECT_DOUBLE_EQ(loaded.feature_config().alpha_degree, 2.5);
+  EXPECT_TRUE(loaded.feature_config().random_features);
+  std::remove(path.c_str());
+}
+
+TEST(RLQVOModelTest, ParameterBytesConstantAcrossDataSizes) {
+  // Table IV's key claim: model space does not grow with the data graph.
+  RLQVOModel model;  // paper-default architecture
+  const size_t bytes = model.ParameterBytes();
+  EXPECT_GT(bytes, 10u * 1024);   // tens of kB
+  EXPECT_LT(bytes, 500u * 1024);  // well under a MB
+  RLQVOModel model2;
+  EXPECT_EQ(model2.ParameterBytes(), bytes);
+}
+
+TEST(RLQVOModelTest, UnknownFilterRejected) {
+  RLQVOModel model(TinyPolicy());
+  EXPECT_FALSE(model.MakeMatcher({}, "bogus").ok());
+}
+
+}  // namespace
+}  // namespace rlqvo

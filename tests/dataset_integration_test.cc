@@ -1,0 +1,59 @@
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "matching/enumerator.h"
+
+namespace rlqvo {
+namespace {
+
+/// Dataset-level integration sweep: for every emulated benchmark graph (at
+/// tiny scale), sampled queries must (a) agree with the brute-force oracle
+/// and (b) yield identical counts across all engines — the end-to-end
+/// correctness contract of the reproduction.
+class DatasetSweepTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DatasetSweepTest, AllEnginesAgreeWithOracle) {
+  const std::string dataset = GetParam();
+  WorkloadConfig config;
+  config.scale = 0.03;
+  config.queries_per_set = 4;
+  config.query_sizes = {4};
+  config.seed = 11;
+  Workload workload = BuildWorkload(dataset, config).ValueOrDie();
+
+  EnumerateOptions opts;
+  opts.match_limit = 0;
+  for (const Graph& q : workload.eval_queries.at(4)) {
+    const uint64_t expected = BruteForceMatch(q, workload.data).size();
+    ASSERT_GT(expected, 0u) << dataset;
+    for (const std::string& name : BaselineMatcherNames()) {
+      auto matcher = MakeMatcherByName(name, opts).ValueOrDie();
+      auto stats = matcher->Match(q, workload.data).ValueOrDie();
+      EXPECT_EQ(stats.num_matches, expected) << dataset << "/" << name;
+    }
+  }
+}
+
+TEST_P(DatasetSweepTest, WorkloadQueriesMatchDatasetLabels) {
+  const std::string dataset = GetParam();
+  WorkloadConfig config;
+  config.scale = 0.03;
+  config.queries_per_set = 4;
+  config.query_sizes = {4, 8};
+  Workload workload = BuildWorkload(dataset, config).ValueOrDie();
+  for (const auto& [size, queries] : workload.train_queries) {
+    for (const Graph& q : queries) {
+      EXPECT_EQ(q.num_vertices(), size);
+      for (VertexId u = 0; u < q.num_vertices(); ++u) {
+        EXPECT_LT(q.label(u), workload.data.num_labels()) << dataset;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, DatasetSweepTest,
+                         ::testing::Values("citeseer", "yeast", "dblp",
+                                           "youtube", "wordnet", "eu2005"));
+
+}  // namespace
+}  // namespace rlqvo

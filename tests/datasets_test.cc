@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "datasets/datasets.h"
+#include "graph/graph_stats.h"
+
+namespace rlqvo {
+namespace {
+
+TEST(DatasetsTest, RegistryHasAllSixPaperDatasets) {
+  const auto& all = AllDatasets();
+  ASSERT_EQ(all.size(), 6u);
+  EXPECT_EQ(all[0].name, "citeseer");
+  EXPECT_EQ(all[1].name, "yeast");
+  EXPECT_EQ(all[2].name, "dblp");
+  EXPECT_EQ(all[3].name, "youtube");
+  EXPECT_EQ(all[4].name, "wordnet");
+  EXPECT_EQ(all[5].name, "eu2005");
+}
+
+TEST(DatasetsTest, FindDatasetByName) {
+  auto spec = FindDataset("yeast");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->num_labels, 71u);
+  EXPECT_FALSE(FindDataset("imaginary").ok());
+}
+
+TEST(DatasetsTest, PaperTableIIPropertiesRecorded) {
+  auto spec = FindDataset("eu2005").ValueOrDie();
+  EXPECT_EQ(spec.paper_vertices, 862664u);
+  EXPECT_EQ(spec.paper_edges, 16138468u);
+  EXPECT_EQ(spec.paper_labels, 40u);
+  EXPECT_NEAR(spec.paper_avg_degree, 37.4, 1e-9);
+}
+
+TEST(DatasetsTest, WordnetUsesSmallerQuerySets) {
+  auto spec = FindDataset("wordnet").ValueOrDie();
+  EXPECT_EQ(spec.query_sizes, (std::vector<uint32_t>{4, 8, 16}));
+  EXPECT_EQ(spec.default_query_size, 16u);
+  auto dblp = FindDataset("dblp").ValueOrDie();
+  EXPECT_EQ(dblp.default_query_size, 32u);
+}
+
+TEST(DatasetsTest, BuildMatchesSpecSize) {
+  auto spec = FindDataset("citeseer").ValueOrDie();
+  Graph g = BuildDataset(spec).ValueOrDie();
+  EXPECT_EQ(g.num_vertices(), spec.num_vertices);
+  GraphStats stats = ComputeGraphStats(g);
+  EXPECT_LE(stats.num_labels, spec.num_labels);
+  EXPECT_NEAR(stats.avg_degree, spec.avg_degree, spec.avg_degree * 0.25);
+}
+
+TEST(DatasetsTest, ScaleShrinksGraph) {
+  auto spec = FindDataset("dblp").ValueOrDie();
+  Graph full = BuildDataset(spec, 0.5).ValueOrDie();
+  Graph small = BuildDataset(spec, 0.1).ValueOrDie();
+  EXPECT_GT(full.num_vertices(), small.num_vertices());
+  EXPECT_EQ(small.num_vertices(),
+            static_cast<uint32_t>(spec.num_vertices * 0.1));
+}
+
+TEST(DatasetsTest, ScaleClampsToMinimum) {
+  auto spec = FindDataset("citeseer").ValueOrDie();
+  Graph tiny = BuildDataset(spec, 1e-9).ValueOrDie();
+  EXPECT_EQ(tiny.num_vertices(), 64u);
+}
+
+TEST(DatasetsTest, RejectsNonPositiveScale) {
+  auto spec = FindDataset("yeast").ValueOrDie();
+  EXPECT_FALSE(BuildDataset(spec, 0.0).ok());
+  EXPECT_FALSE(BuildDataset(spec, -1.0).ok());
+}
+
+TEST(DatasetsTest, BuildIsDeterministic) {
+  auto spec = FindDataset("youtube").ValueOrDie();
+  Graph a = BuildDataset(spec, 0.05).ValueOrDie();
+  Graph b = BuildDataset(spec, 0.05).ValueOrDie();
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+}
+
+TEST(DatasetsTest, AllDatasetsBuildAtSmallScale) {
+  for (const DatasetSpec& spec : AllDatasets()) {
+    auto g = BuildDataset(spec, 0.05);
+    ASSERT_TRUE(g.ok()) << spec.name << ": " << g.status().ToString();
+    EXPECT_GT(g->num_edges(), 0u) << spec.name;
+  }
+}
+
+TEST(DatasetsTest, Eu2005IsDensest) {
+  // The web graph should have by far the highest average degree, as in
+  // Table II.
+  Graph eu = BuildDataset(FindDataset("eu2005").ValueOrDie(), 0.2).ValueOrDie();
+  Graph wn =
+      BuildDataset(FindDataset("wordnet").ValueOrDie(), 0.2).ValueOrDie();
+  const double eu_avg = 2.0 * static_cast<double>(eu.num_edges()) /
+                        eu.num_vertices();
+  const double wn_avg = 2.0 * static_cast<double>(wn.num_edges()) /
+                        wn.num_vertices();
+  EXPECT_GT(eu_avg, 4 * wn_avg);
+}
+
+}  // namespace
+}  // namespace rlqvo

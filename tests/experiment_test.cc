@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+
+namespace rlqvo {
+namespace {
+
+WorkloadConfig SmallConfig() {
+  WorkloadConfig config;
+  config.scale = 0.08;
+  config.queries_per_set = 6;
+  config.query_sizes = {4, 8};
+  return config;
+}
+
+TEST(WorkloadTest, BuildsDataAndSplitsQueries) {
+  auto workload = BuildWorkload("citeseer", SmallConfig());
+  ASSERT_TRUE(workload.ok()) << workload.status().ToString();
+  EXPECT_EQ(workload->spec.name, "citeseer");
+  EXPECT_GT(workload->data.num_vertices(), 0u);
+  ASSERT_EQ(workload->train_queries.size(), 2u);
+  EXPECT_EQ(workload->train_queries.at(4).size(), 3u);
+  EXPECT_EQ(workload->eval_queries.at(4).size(), 3u);
+  for (const Graph& q : workload->eval_queries.at(8)) {
+    EXPECT_EQ(q.num_vertices(), 8u);
+  }
+}
+
+TEST(WorkloadTest, DefaultsToDatasetQuerySizes) {
+  WorkloadConfig config;
+  config.scale = 0.05;
+  config.queries_per_set = 2;
+  auto workload = BuildWorkload("wordnet", config);
+  ASSERT_TRUE(workload.ok());
+  EXPECT_EQ(workload->train_queries.size(), 3u);  // Q4, Q8, Q16
+}
+
+TEST(WorkloadTest, UnknownDatasetFails) {
+  EXPECT_FALSE(BuildWorkload("atlantis", SmallConfig()).ok());
+}
+
+TEST(RunQuerySetTest, AggregatesOverQueries) {
+  auto workload = BuildWorkload("citeseer", SmallConfig()).ValueOrDie();
+  EnumerateOptions opts;
+  opts.match_limit = 1000;
+  opts.time_limit_seconds = 5.0;
+  auto matcher = MakeMatcherByName("Hybrid", opts).ValueOrDie();
+  const auto& queries = workload.eval_queries.at(4);
+  auto agg = RunQuerySet(matcher.get(), queries, workload.data);
+  ASSERT_TRUE(agg.ok()) << agg.status().ToString();
+  EXPECT_EQ(agg->num_queries, queries.size());
+  EXPECT_EQ(agg->per_query_time.size(), queries.size());
+  EXPECT_EQ(agg->unsolved, 0u);
+  EXPECT_GT(agg->avg_query_time, 0.0);
+  EXPECT_GE(agg->avg_query_time,
+            agg->avg_enum_time - 1e-12);
+  // Every sampled query has at least one embedding.
+  EXPECT_GE(agg->total_matches, queries.size());
+}
+
+TEST(RunQuerySetTest, SortedTimesAscending) {
+  AggregateStats stats;
+  stats.per_query_time = {3.0, 1.0, 2.0};
+  auto sorted = SortedTimes(stats);
+  EXPECT_EQ(sorted, (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+TEST(RunQuerySetTest, UnsolvedChargedTheLimit) {
+  // Unlabeled dense graph + big query + microscopic limit -> unsolved.
+  WorkloadConfig config;
+  config.scale = 0.3;
+  config.queries_per_set = 2;
+  config.query_sizes = {16};
+  auto workload = BuildWorkload("eu2005", config).ValueOrDie();
+  EnumerateOptions opts;
+  opts.match_limit = 0;
+  opts.time_limit_seconds = 1e-4;
+  auto matcher = MakeMatcherByName("RI", opts).ValueOrDie();
+  auto agg =
+      RunQuerySet(matcher.get(), workload.eval_queries.at(16), workload.data)
+          .ValueOrDie();
+  for (size_t i = 0; i < agg.per_query_solved.size(); ++i) {
+    if (!agg.per_query_solved[i]) {
+      EXPECT_DOUBLE_EQ(agg.per_query_time[i], 1e-4);
+    }
+  }
+}
+
+TEST(TrainModelForWorkloadTest, TrainsOnRequestedSize) {
+  auto workload = BuildWorkload("citeseer", SmallConfig()).ValueOrDie();
+  PolicyConfig policy;
+  policy.hidden_dim = 8;
+  auto model = TrainModelForWorkload(workload, 4, /*epochs=*/1,
+                                     /*seconds_budget=*/10.0, policy);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  EXPECT_FALSE(
+      TrainModelForWorkload(workload, 99, 1, 1.0, policy).ok());
+}
+
+}  // namespace
+}  // namespace rlqvo

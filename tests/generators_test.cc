@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/graph_stats.h"
+
+namespace rlqvo {
+namespace {
+
+LabelConfig Labels(uint32_t n, double zipf = 0.8) {
+  LabelConfig cfg;
+  cfg.num_labels = n;
+  cfg.zipf_exponent = zipf;
+  return cfg;
+}
+
+TEST(ErdosRenyiTest, RespectsSizeAndDegree) {
+  auto g = GenerateErdosRenyi(2000, 6.0, Labels(5), 42);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_EQ(g->num_vertices(), 2000u);
+  const double avg = 2.0 * static_cast<double>(g->num_edges()) / 2000.0;
+  EXPECT_NEAR(avg, 6.0, 0.5);  // duplicates shave a little off
+}
+
+TEST(ErdosRenyiTest, DeterministicBySeed) {
+  Graph a = GenerateErdosRenyi(300, 4.0, Labels(3), 7).ValueOrDie();
+  Graph b = GenerateErdosRenyi(300, 4.0, Labels(3), 7).ValueOrDie();
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (VertexId v = 0; v < a.num_vertices(); ++v) {
+    EXPECT_EQ(a.label(v), b.label(v));
+    auto na = a.neighbors(v), nb = b.neighbors(v);
+    ASSERT_EQ(na.size(), nb.size());
+  }
+}
+
+TEST(ErdosRenyiTest, DifferentSeedsDiffer) {
+  Graph a = GenerateErdosRenyi(300, 4.0, Labels(3), 7).ValueOrDie();
+  Graph b = GenerateErdosRenyi(300, 4.0, Labels(3), 8).ValueOrDie();
+  bool differs = a.num_edges() != b.num_edges();
+  for (VertexId v = 0; !differs && v < a.num_vertices(); ++v) {
+    differs = a.degree(v) != b.degree(v);
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(ErdosRenyiTest, LabelsWithinRange) {
+  Graph g = GenerateErdosRenyi(500, 3.0, Labels(4), 1).ValueOrDie();
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_LT(g.label(v), 4u);
+  }
+}
+
+TEST(ErdosRenyiTest, ZipfSkewsLabels) {
+  Graph g = GenerateErdosRenyi(5000, 3.0, Labels(6, 1.2), 3).ValueOrDie();
+  // Label 0 should be clearly more frequent than label 5.
+  EXPECT_GT(g.LabelFrequency(0), 2 * g.LabelFrequency(5));
+}
+
+TEST(ErdosRenyiTest, UniformLabelsWhenZipfZero) {
+  Graph g = GenerateErdosRenyi(6000, 3.0, Labels(3, 0.0), 3).ValueOrDie();
+  const double expected = 2000.0;
+  for (Label l = 0; l < 3; ++l) {
+    EXPECT_NEAR(g.LabelFrequency(l), expected, 0.15 * expected);
+  }
+}
+
+TEST(ErdosRenyiTest, RejectsBadArguments) {
+  EXPECT_FALSE(GenerateErdosRenyi(1, 0.5, Labels(2), 1).ok());
+  EXPECT_FALSE(GenerateErdosRenyi(100, 0.0, Labels(2), 1).ok());
+  EXPECT_FALSE(GenerateErdosRenyi(100, 200.0, Labels(2), 1).ok());
+  EXPECT_FALSE(GenerateErdosRenyi(100, 3.0, Labels(0), 1).ok());
+  LabelConfig negative = Labels(2);
+  negative.zipf_exponent = -1.0;
+  EXPECT_FALSE(GenerateErdosRenyi(100, 3.0, negative, 1).ok());
+}
+
+TEST(PowerLawTest, HeavyTailedDegrees) {
+  Graph g = GeneratePowerLaw(3000, 8.0, 2.2, Labels(5), 9).ValueOrDie();
+  EXPECT_EQ(g.num_vertices(), 3000u);
+  const double avg = 2.0 * static_cast<double>(g.num_edges()) / 3000.0;
+  EXPECT_NEAR(avg, 8.0, 1.2);
+  // The hub should dominate: max degree far above the average.
+  EXPECT_GT(g.max_degree(), static_cast<uint32_t>(6 * avg));
+}
+
+TEST(PowerLawTest, GammaControlsSkew) {
+  Graph flat = GeneratePowerLaw(3000, 6.0, 3.5, Labels(4), 5).ValueOrDie();
+  Graph steep = GeneratePowerLaw(3000, 6.0, 2.05, Labels(4), 5).ValueOrDie();
+  EXPECT_GT(steep.max_degree(), flat.max_degree());
+}
+
+TEST(PowerLawTest, RejectsBadGamma) {
+  EXPECT_FALSE(GeneratePowerLaw(100, 3.0, 1.0, Labels(2), 1).ok());
+  EXPECT_FALSE(GeneratePowerLaw(100, 3.0, 0.5, Labels(2), 1).ok());
+}
+
+TEST(BarabasiAlbertTest, SizeAndDensity) {
+  Graph g = GenerateBarabasiAlbert(2000, 3, Labels(5), 11).ValueOrDie();
+  EXPECT_EQ(g.num_vertices(), 2000u);
+  // ~m edges per new vertex plus the seed clique.
+  const double avg = 2.0 * static_cast<double>(g.num_edges()) / 2000.0;
+  EXPECT_NEAR(avg, 6.0, 1.0);
+}
+
+TEST(BarabasiAlbertTest, ProducesHubs) {
+  Graph g = GenerateBarabasiAlbert(3000, 2, Labels(5), 13).ValueOrDie();
+  EXPECT_GT(g.max_degree(), 50u);
+}
+
+TEST(BarabasiAlbertTest, ConnectedByConstruction) {
+  Graph g = GenerateBarabasiAlbert(500, 2, Labels(3), 17).ValueOrDie();
+  GraphStats stats = ComputeGraphStats(g);
+  EXPECT_EQ(stats.num_components, 1u);
+}
+
+TEST(BarabasiAlbertTest, RejectsBadArguments) {
+  EXPECT_FALSE(GenerateBarabasiAlbert(5, 0, Labels(2), 1).ok());
+  EXPECT_FALSE(GenerateBarabasiAlbert(3, 3, Labels(2), 1).ok());
+}
+
+TEST(GraphStatsTest, MatchesHandComputation) {
+  GraphBuilder b;
+  b.AddVertex(0);
+  b.AddVertex(1);
+  b.AddVertex(1);
+  b.AddEdge(0, 1);
+  Graph g = b.Build();
+  GraphStats stats = ComputeGraphStats(g);
+  EXPECT_EQ(stats.num_vertices, 3u);
+  EXPECT_EQ(stats.num_edges, 1u);
+  EXPECT_EQ(stats.num_labels, 2u);
+  EXPECT_EQ(stats.num_components, 2u);
+  EXPECT_NEAR(stats.avg_degree, 2.0 / 3.0, 1e-9);
+  EXPECT_EQ(stats.label_histogram, (std::vector<uint32_t>{2, 1}));
+  EXPECT_NE(stats.ToString().find("|V|=3"), std::string::npos);
+}
+
+TEST(SampleLabelTest, InRangeAndDeterministic) {
+  Rng rng1(4), rng2(4);
+  for (int i = 0; i < 100; ++i) {
+    Label a = SampleLabel(Labels(7), &rng1);
+    Label b = SampleLabel(Labels(7), &rng2);
+    EXPECT_EQ(a, b);
+    EXPECT_LT(a, 7u);
+  }
+}
+
+}  // namespace
+}  // namespace rlqvo

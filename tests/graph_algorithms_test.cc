@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "graph/graph_algorithms.h"
+#include "graph/graph_io.h"
+
+namespace rlqvo {
+namespace {
+
+Graph TwoTriangles() {
+  // Components {0,1,2} and {3,4,5}.
+  GraphBuilder b;
+  for (int i = 0; i < 6; ++i) b.AddVertex(0);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(2, 0);
+  b.AddEdge(3, 4);
+  b.AddEdge(4, 5);
+  b.AddEdge(5, 3);
+  return b.Build();
+}
+
+Graph Path5() {
+  GraphBuilder b;
+  for (int i = 0; i < 5; ++i) b.AddVertex(0);
+  for (int i = 0; i < 4; ++i) b.AddEdge(i, i + 1);
+  return b.Build();
+}
+
+TEST(ConnectivityTest, EmptyGraphIsConnected) {
+  GraphBuilder b;
+  EXPECT_TRUE(IsConnected(b.Build()));
+}
+
+TEST(ConnectivityTest, SingleVertexIsConnected) {
+  GraphBuilder b;
+  b.AddVertex(0);
+  EXPECT_TRUE(IsConnected(b.Build()));
+}
+
+TEST(ConnectivityTest, PathIsConnected) { EXPECT_TRUE(IsConnected(Path5())); }
+
+TEST(ConnectivityTest, TwoComponents) {
+  Graph g = TwoTriangles();
+  EXPECT_FALSE(IsConnected(g));
+  EXPECT_EQ(CountConnectedComponents(g), 2u);
+  auto comp = ConnectedComponents(g);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[0], comp[2]);
+  EXPECT_EQ(comp[3], comp[5]);
+  EXPECT_NE(comp[0], comp[3]);
+}
+
+TEST(ConnectivityTest, IsConnectedSubset) {
+  Graph g = TwoTriangles();
+  EXPECT_TRUE(IsConnectedSubset(g, {0, 1, 2}));
+  EXPECT_TRUE(IsConnectedSubset(g, {0, 1}));
+  EXPECT_FALSE(IsConnectedSubset(g, {0, 3}));
+  EXPECT_TRUE(IsConnectedSubset(g, {}));
+  EXPECT_TRUE(IsConnectedSubset(g, {4}));
+  EXPECT_FALSE(IsConnectedSubset(g, {0, 99}));  // out of range
+}
+
+TEST(BfsTest, VisitsReachableOnlyOnce) {
+  Graph g = TwoTriangles();
+  auto order = BfsOrder(g, 0);
+  EXPECT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 0u);
+  auto order2 = BfsOrder(g, 4);
+  EXPECT_EQ(order2.size(), 3u);
+}
+
+TEST(BfsTest, InvalidStartIsEmpty) {
+  EXPECT_TRUE(BfsOrder(Path5(), 99).empty());
+}
+
+TEST(MatchingOrderValidityTest, AcceptsConnectedPermutation) {
+  Graph g = Path5();
+  EXPECT_TRUE(IsValidMatchingOrder(g, {2, 1, 0, 3, 4}));
+  EXPECT_TRUE(IsValidMatchingOrder(g, {0, 1, 2, 3, 4}));
+}
+
+TEST(MatchingOrderValidityTest, RejectsDisconnectedPrefix) {
+  Graph g = Path5();
+  // 0 then 4: 4 is not adjacent to 0.
+  EXPECT_FALSE(IsValidMatchingOrder(g, {0, 4, 3, 2, 1}));
+}
+
+TEST(MatchingOrderValidityTest, RejectsNonPermutations) {
+  Graph g = Path5();
+  EXPECT_FALSE(IsValidMatchingOrder(g, {0, 1, 2, 3}));        // too short
+  EXPECT_FALSE(IsValidMatchingOrder(g, {0, 1, 2, 3, 3}));     // duplicate
+  EXPECT_FALSE(IsValidMatchingOrder(g, {0, 1, 2, 3, 99}));    // out of range
+}
+
+TEST(CoreNumbersTest, TriangleWithTail) {
+  // Triangle {0,1,2} is the 2-core; pendant 3 has core number 1.
+  GraphBuilder b;
+  for (int i = 0; i < 4; ++i) b.AddVertex(0);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(2, 0);
+  b.AddEdge(2, 3);
+  auto core = CoreNumbers(b.Build());
+  EXPECT_EQ(core[0], 2u);
+  EXPECT_EQ(core[1], 2u);
+  EXPECT_EQ(core[2], 2u);
+  EXPECT_EQ(core[3], 1u);
+}
+
+TEST(CoreNumbersTest, PathIsAllOnes) {
+  auto core = CoreNumbers(Path5());
+  for (uint32_t c : core) EXPECT_EQ(c, 1u);
+}
+
+TEST(CoreNumbersTest, CliqueIsNMinusOne) {
+  GraphBuilder b;
+  for (int i = 0; i < 5; ++i) b.AddVertex(0);
+  for (VertexId u = 0; u < 5; ++u) {
+    for (VertexId v = u + 1; v < 5; ++v) b.AddEdge(u, v);
+  }
+  auto core = CoreNumbers(b.Build());
+  for (uint32_t c : core) EXPECT_EQ(c, 4u);
+}
+
+TEST(CoreNumbersTest, IsolatedVertexIsZero) {
+  GraphBuilder b;
+  b.AddVertex(0);
+  b.AddVertex(0);
+  b.AddVertex(0);
+  b.AddEdge(0, 1);
+  auto core = CoreNumbers(b.Build());
+  EXPECT_EQ(core[2], 0u);
+  EXPECT_EQ(core[0], 1u);
+}
+
+TEST(MatchingOrderValidityTest, SingleVertexGraph) {
+  GraphBuilder b;
+  b.AddVertex(0);
+  Graph g = b.Build();
+  EXPECT_TRUE(IsValidMatchingOrder(g, {0}));
+  EXPECT_FALSE(IsValidMatchingOrder(g, {}));
+}
+
+}  // namespace
+}  // namespace rlqvo

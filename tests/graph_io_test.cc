@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "graph/graph_io.h"
+
+namespace rlqvo {
+namespace {
+
+constexpr char kValidText[] =
+    "t 4 4\n"
+    "v 0 0 2\n"
+    "v 1 0 2\n"
+    "v 2 1 3\n"
+    "v 3 1 1\n"
+    "e 0 1\n"
+    "e 1 2\n"
+    "e 2 0\n"
+    "e 2 3\n";
+
+TEST(GraphIoTest, ParseValid) {
+  auto result = ParseGraphText(kValidText);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const Graph& g = *result;
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.label(2), 1u);
+  EXPECT_TRUE(g.HasEdge(2, 3));
+}
+
+TEST(GraphIoTest, CommentsAndBlankLinesSkipped) {
+  std::string text = "# comment\n\n% another\n";
+  text += kValidText;
+  EXPECT_TRUE(ParseGraphText(text).ok());
+}
+
+TEST(GraphIoTest, MissingHeaderFails) {
+  auto result = ParseGraphText("v 0 0 0\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+}
+
+TEST(GraphIoTest, VertexCountMismatchFails) {
+  auto result = ParseGraphText("t 2 0\nv 0 0 0\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("declares"), std::string::npos);
+}
+
+TEST(GraphIoTest, NonDenseVertexIdsFail) {
+  auto result = ParseGraphText("t 2 0\nv 0 0 0\nv 5 0 0\n");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(GraphIoTest, EdgeToUnknownVertexFails) {
+  auto result = ParseGraphText("t 1 1\nv 0 0 0\ne 0 7\n");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(GraphIoTest, SelfLoopFails) {
+  auto result = ParseGraphText("t 1 1\nv 0 0 0\ne 0 0\n");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(GraphIoTest, UnknownRecordTypeFails) {
+  auto result = ParseGraphText("t 0 0\nx 1 2\n");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(GraphIoTest, MissingEdgesFail) {
+  auto result = ParseGraphText("t 2 3\nv 0 0 0\nv 1 0 0\ne 0 1\n");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(GraphIoTest, RoundTripPreservesGraph) {
+  Graph g = ParseGraphText(kValidText).ValueOrDie();
+  std::string text = GraphToText(g);
+  Graph g2 = ParseGraphText(text).ValueOrDie();
+  ASSERT_EQ(g2.num_vertices(), g.num_vertices());
+  ASSERT_EQ(g2.num_edges(), g.num_edges());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(g2.label(v), g.label(v));
+    auto n1 = g.neighbors(v);
+    auto n2 = g2.neighbors(v);
+    EXPECT_EQ(std::vector<VertexId>(n1.begin(), n1.end()),
+              std::vector<VertexId>(n2.begin(), n2.end()));
+  }
+}
+
+TEST(GraphIoTest, FileRoundTrip) {
+  Graph g = ParseGraphText(kValidText).ValueOrDie();
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "rlqvo_io_test.graph")
+          .string();
+  ASSERT_TRUE(SaveGraphToFile(g, path).ok());
+  auto loaded = LoadGraphFromFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_vertices(), g.num_vertices());
+  EXPECT_EQ(loaded->num_edges(), g.num_edges());
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, LoadMissingFileFails) {
+  auto result = LoadGraphFromFile("/nonexistent/definitely/missing.graph");
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsIOError());
+}
+
+TEST(GraphIoTest, EmptyGraphRoundTrips) {
+  auto result = ParseGraphText("t 0 0\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_vertices(), 0u);
+  EXPECT_EQ(GraphToText(*result), "t 0 0\n");
+}
+
+}  // namespace
+}  // namespace rlqvo

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/graph_stats.h"
+
+namespace rlqvo {
+namespace {
+
+Graph TriangleWithTail() {
+  GraphBuilder b;
+  for (int i = 0; i < 4; ++i) b.AddVertex(0);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(2, 0);
+  b.AddEdge(2, 3);
+  return b.Build();
+}
+
+TEST(DegreeHistogramTest, CountsPerDegree) {
+  Graph g = TriangleWithTail();  // degrees 2,2,3,1
+  auto histogram = DegreeHistogram(g);
+  ASSERT_EQ(histogram.size(), 4u);
+  EXPECT_EQ(histogram[0], 0u);
+  EXPECT_EQ(histogram[1], 1u);
+  EXPECT_EQ(histogram[2], 2u);
+  EXPECT_EQ(histogram[3], 1u);
+}
+
+TEST(DegreeHistogramTest, EmptyGraph) {
+  GraphBuilder b;
+  EXPECT_TRUE(DegreeHistogram(b.Build()).empty());
+}
+
+TEST(DegreePercentileTest, OrderStatistics) {
+  Graph g = TriangleWithTail();  // sorted degrees: 1,2,2,3
+  EXPECT_EQ(DegreePercentile(g, 0), 1u);
+  EXPECT_EQ(DegreePercentile(g, 50), 2u);
+  EXPECT_EQ(DegreePercentile(g, 100), 3u);
+}
+
+TEST(TriangleCountTest, KnownGraphs) {
+  EXPECT_EQ(CountTriangles(TriangleWithTail()), 1u);
+  // K4 has 4 triangles.
+  GraphBuilder b;
+  for (int i = 0; i < 4; ++i) b.AddVertex(0);
+  for (VertexId u = 0; u < 4; ++u) {
+    for (VertexId v = u + 1; v < 4; ++v) b.AddEdge(u, v);
+  }
+  EXPECT_EQ(CountTriangles(b.Build()), 4u);
+  // A path has none.
+  GraphBuilder p;
+  for (int i = 0; i < 5; ++i) p.AddVertex(0);
+  for (int i = 0; i < 4; ++i) p.AddEdge(i, i + 1);
+  EXPECT_EQ(CountTriangles(p.Build()), 0u);
+}
+
+TEST(ClusteringTest, CliqueIsOne) {
+  GraphBuilder b;
+  for (int i = 0; i < 5; ++i) b.AddVertex(0);
+  for (VertexId u = 0; u < 5; ++u) {
+    for (VertexId v = u + 1; v < 5; ++v) b.AddEdge(u, v);
+  }
+  EXPECT_NEAR(GlobalClusteringCoefficient(b.Build()), 1.0, 1e-12);
+}
+
+TEST(ClusteringTest, TreeIsZero) {
+  GraphBuilder b;
+  for (int i = 0; i < 6; ++i) b.AddVertex(0);
+  for (int i = 1; i < 6; ++i) b.AddEdge(0, i);
+  EXPECT_DOUBLE_EQ(GlobalClusteringCoefficient(b.Build()), 0.0);
+}
+
+TEST(ClusteringTest, TriangleWithTailValue) {
+  // 1 triangle; wedges: d=2 -> 1 each (x2), d=3 -> 3, d=1 -> 0. Total 5.
+  EXPECT_NEAR(GlobalClusteringCoefficient(TriangleWithTail()), 3.0 / 5.0,
+              1e-12);
+}
+
+TEST(ClusteringTest, PreferentialAttachmentClosesMoreTriangles) {
+  LabelConfig labels;
+  labels.num_labels = 3;
+  Graph ba = GenerateBarabasiAlbert(1500, 3, labels, 5).ValueOrDie();
+  Graph er = GenerateErdosRenyi(1500, 6.0, labels, 5).ValueOrDie();
+  EXPECT_GT(GlobalClusteringCoefficient(ba),
+            2.0 * GlobalClusteringCoefficient(er));
+}
+
+}  // namespace
+}  // namespace rlqvo

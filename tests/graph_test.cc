@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include "graph/graph.h"
+
+namespace rlqvo {
+namespace {
+
+/// Path A-B-C with labels 0,1,0.
+Graph MakePath3() {
+  GraphBuilder b;
+  b.AddVertex(0);
+  b.AddVertex(1);
+  b.AddVertex(0);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  return b.Build();
+}
+
+/// Triangle with an attached leaf: 0-1, 1-2, 2-0, 2-3. Labels 0,0,1,1.
+Graph MakeTriangleWithTail() {
+  GraphBuilder b;
+  b.AddVertex(0);
+  b.AddVertex(0);
+  b.AddVertex(1);
+  b.AddVertex(1);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(2, 0);
+  b.AddEdge(2, 3);
+  return b.Build();
+}
+
+TEST(GraphTest, EmptyGraph) {
+  GraphBuilder b;
+  Graph g = b.Build();
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.num_labels(), 0u);
+  EXPECT_EQ(g.max_degree(), 0u);
+}
+
+TEST(GraphTest, BasicCounts) {
+  Graph g = MakeTriangleWithTail();
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.num_labels(), 2u);
+  EXPECT_EQ(g.max_degree(), 3u);
+}
+
+TEST(GraphTest, DegreesAndNeighbors) {
+  Graph g = MakeTriangleWithTail();
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(2), 3u);
+  EXPECT_EQ(g.degree(3), 1u);
+  auto n2 = g.neighbors(2);
+  EXPECT_EQ(std::vector<VertexId>(n2.begin(), n2.end()),
+            (std::vector<VertexId>{0, 1, 3}));
+}
+
+TEST(GraphTest, NeighborsAreSorted) {
+  GraphBuilder b;
+  for (int i = 0; i < 5; ++i) b.AddVertex(0);
+  b.AddEdge(2, 4);
+  b.AddEdge(2, 0);
+  b.AddEdge(2, 3);
+  b.AddEdge(2, 1);
+  Graph g = b.Build();
+  auto n = g.neighbors(2);
+  EXPECT_TRUE(std::is_sorted(n.begin(), n.end()));
+}
+
+TEST(GraphTest, HasEdgeSymmetric) {
+  Graph g = MakeTriangleWithTail();
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_TRUE(g.HasEdge(2, 3));
+  EXPECT_FALSE(g.HasEdge(0, 3));
+  EXPECT_FALSE(g.HasEdge(0, 0));
+}
+
+TEST(GraphTest, HasEdgeOutOfRangeIsFalse) {
+  Graph g = MakePath3();
+  EXPECT_FALSE(g.HasEdge(0, 99));
+  EXPECT_FALSE(g.HasEdge(99, 0));
+}
+
+TEST(GraphTest, DuplicateEdgesDeduplicated) {
+  GraphBuilder b;
+  b.AddVertex(0);
+  b.AddVertex(0);
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 0);
+  Graph g = b.Build();
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.degree(0), 1u);
+}
+
+TEST(GraphTest, SelfLoopsRejected) {
+  GraphBuilder b;
+  b.AddVertex(0);
+  EXPECT_FALSE(b.AddEdge(0, 0));
+  EXPECT_FALSE(b.AddEdge(0, 5));
+  Graph g = b.Build();
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(GraphTest, LabelFrequency) {
+  Graph g = MakeTriangleWithTail();
+  EXPECT_EQ(g.LabelFrequency(0), 2u);
+  EXPECT_EQ(g.LabelFrequency(1), 2u);
+  EXPECT_EQ(g.LabelFrequency(9), 0u);
+}
+
+TEST(GraphTest, VerticesWithLabel) {
+  Graph g = MakeTriangleWithTail();
+  auto l1 = g.VerticesWithLabel(1);
+  EXPECT_EQ(std::vector<VertexId>(l1.begin(), l1.end()),
+            (std::vector<VertexId>{2, 3}));
+  EXPECT_TRUE(g.VerticesWithLabel(5).empty());
+}
+
+TEST(GraphTest, CountVerticesWithDegreeGreaterThan) {
+  Graph g = MakeTriangleWithTail();  // degrees: 2, 2, 3, 1
+  EXPECT_EQ(g.CountVerticesWithDegreeGreaterThan(0), 4u);
+  EXPECT_EQ(g.CountVerticesWithDegreeGreaterThan(1), 3u);
+  EXPECT_EQ(g.CountVerticesWithDegreeGreaterThan(2), 1u);
+  EXPECT_EQ(g.CountVerticesWithDegreeGreaterThan(3), 0u);
+}
+
+TEST(GraphTest, EdgeLabelFrequency) {
+  Graph g = MakeTriangleWithTail();  // labels 0,0,1,1; edges 01,12,20,23
+  EXPECT_EQ(g.EdgeLabelFrequency(0, 0), 1u);  // edge (0,1)
+  EXPECT_EQ(g.EdgeLabelFrequency(0, 1), 2u);  // edges (1,2) and (0,2)
+  EXPECT_EQ(g.EdgeLabelFrequency(1, 0), 2u);  // symmetric
+  EXPECT_EQ(g.EdgeLabelFrequency(1, 1), 1u);  // edge (2,3)
+}
+
+TEST(GraphTest, MemoryFootprintGrowsWithGraph) {
+  Graph small = MakePath3();
+  Graph big = MakeTriangleWithTail();
+  EXPECT_GT(small.MemoryFootprintBytes(), 0u);
+  EXPECT_GT(big.MemoryFootprintBytes(), small.MemoryFootprintBytes());
+}
+
+TEST(GraphTest, ToStringMentionsCounts) {
+  Graph g = MakePath3();
+  std::string s = g.ToString();
+  EXPECT_NE(s.find("|V|=3"), std::string::npos);
+  EXPECT_NE(s.find("|E|=2"), std::string::npos);
+}
+
+TEST(GraphBuilderTest, VertexIdsSequential) {
+  GraphBuilder b;
+  EXPECT_EQ(b.AddVertex(3), 0u);
+  EXPECT_EQ(b.AddVertex(1), 1u);
+  EXPECT_EQ(b.AddVertex(4), 2u);
+  Graph g = b.Build();
+  EXPECT_EQ(g.label(0), 3u);
+  EXPECT_EQ(g.label(1), 1u);
+  EXPECT_EQ(g.label(2), 4u);
+  // num_labels is max label + 1.
+  EXPECT_EQ(g.num_labels(), 5u);
+}
+
+TEST(GraphBuilderTest, BuilderReusableAfterBuild) {
+  GraphBuilder b;
+  b.AddVertex(0);
+  Graph g1 = b.Build();
+  EXPECT_EQ(g1.num_vertices(), 1u);
+  // Builder is emptied by Build; adding again starts fresh.
+  b.AddVertex(1);
+  b.AddVertex(1);
+  b.AddEdge(0, 1);
+  Graph g2 = b.Build();
+  EXPECT_EQ(g2.num_vertices(), 2u);
+  EXPECT_EQ(g2.num_edges(), 1u);
+}
+
+}  // namespace
+}  // namespace rlqvo

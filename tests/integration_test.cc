@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "graph/graph_algorithms.h"
+#include "matching/enumerator.h"
+#include "test_util.h"
+
+namespace rlqvo {
+namespace {
+
+/// End-to-end pipeline: build an emulated dataset, train RL-QVO briefly,
+/// and verify that (a) the trained matcher is exactly as correct as every
+/// baseline, and (b) the full train->save->load->match loop works.
+class PipelineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    WorkloadConfig config;
+    config.scale = 0.06;
+    config.queries_per_set = 8;
+    config.query_sizes = {4, 6};
+    workload_ = new Workload(
+        BuildWorkload("yeast", config).ValueOrDie());
+    PolicyConfig policy;
+    policy.hidden_dim = 8;
+    model_ = new RLQVOModel(TrainModelForWorkload(*workload_, 4, /*epochs=*/2,
+                                                  /*seconds_budget=*/30.0,
+                                                  policy)
+                                .ValueOrDie());
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    delete workload_;
+    model_ = nullptr;
+    workload_ = nullptr;
+  }
+
+  static Workload* workload_;
+  static RLQVOModel* model_;
+};
+
+Workload* PipelineTest::workload_ = nullptr;
+RLQVOModel* PipelineTest::model_ = nullptr;
+
+TEST_F(PipelineTest, TrainedModelCountsAgreeWithAllBaselines) {
+  EnumerateOptions opts;
+  opts.match_limit = 0;
+  auto rlqvo_matcher = model_->MakeMatcher(opts).ValueOrDie();
+  for (const Graph& q : workload_->eval_queries.at(4)) {
+    auto rlqvo_stats = rlqvo_matcher->Match(q, workload_->data).ValueOrDie();
+    for (const std::string& name : BaselineMatcherNames()) {
+      auto matcher = MakeMatcherByName(name, opts).ValueOrDie();
+      auto stats = matcher->Match(q, workload_->data).ValueOrDie();
+      EXPECT_EQ(stats.num_matches, rlqvo_stats.num_matches)
+          << name << " disagrees with RL-QVO";
+    }
+  }
+}
+
+TEST_F(PipelineTest, TrainedOrdersAreValidOnUnseenQueries) {
+  for (const Graph& q : workload_->eval_queries.at(6)) {
+    auto order = model_->MakeOrder(q, workload_->data).ValueOrDie();
+    EXPECT_TRUE(IsValidMatchingOrder(q, order));
+  }
+}
+
+TEST_F(PipelineTest, EverySampledQueryHasAtLeastOneMatch) {
+  // Queries are extracted as induced subgraphs, so the identity embedding
+  // must exist — a workload-level sanity invariant.
+  EnumerateOptions opts;
+  opts.match_limit = 1;
+  auto matcher = MakeMatcherByName("Hybrid", opts).ValueOrDie();
+  for (const auto& [size, queries] : workload_->eval_queries) {
+    for (const Graph& q : queries) {
+      auto stats = matcher->Match(q, workload_->data).ValueOrDie();
+      EXPECT_GE(stats.num_matches, 1u) << "query size " << size;
+    }
+  }
+}
+
+TEST_F(PipelineTest, MatchLimitConsistentAcrossMethods) {
+  // With a match limit, every method must report exactly the limit whenever
+  // the true count exceeds it.
+  EnumerateOptions unlimited;
+  unlimited.match_limit = 0;
+  EnumerateOptions capped;
+  capped.match_limit = 5;
+  auto reference = MakeMatcherByName("Hybrid", unlimited).ValueOrDie();
+  const Graph& q = workload_->eval_queries.at(4).front();
+  const uint64_t total =
+      reference->Match(q, workload_->data).ValueOrDie().num_matches;
+  auto capped_matcher = MakeMatcherByName("RI", capped).ValueOrDie();
+  auto stats = capped_matcher->Match(q, workload_->data).ValueOrDie();
+  EXPECT_EQ(stats.num_matches, std::min<uint64_t>(total, 5));
+}
+
+TEST_F(PipelineTest, OrderInferenceIsFast) {
+  // Sec IV-F: order generation should be milliseconds, far below matching.
+  auto ordering = std::make_shared<RLQVOOrdering>(
+      std::shared_ptr<const PolicyNetwork>(
+          std::make_shared<PolicyNetwork>(model_->policy().Clone())),
+      model_->feature_config());
+  OrderingContext ctx;
+  const Graph& q = workload_->eval_queries.at(6).front();
+  ctx.query = &q;
+  ctx.data = &workload_->data;
+  ASSERT_TRUE(ordering->MakeOrder(ctx).ok());
+  EXPECT_LT(ordering->last_inference_seconds(), 0.1);
+}
+
+}  // namespace
+}  // namespace rlqvo

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "graph/graph.h"
+#include "nn/layers.h"
+#include "nn/optimizer.h"
+#include "rl/features.h"
+
+namespace rlqvo {
+namespace nn {
+namespace {
+
+GraphTensors TestTensors() {
+  // Triangle plus pendant vertex.
+  GraphBuilder b;
+  for (int i = 0; i < 4; ++i) b.AddVertex(0);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(2, 0);
+  b.AddEdge(2, 3);
+  return BuildGraphTensors(b.Build());
+}
+
+Matrix TestFeatures(size_t n, size_t d) {
+  Matrix m(n, d);
+  for (size_t i = 0; i < m.values().size(); ++i) {
+    m.values()[i] = 0.1 * static_cast<double>(i % 7) - 0.2;
+  }
+  return m;
+}
+
+TEST(LinearTest, ShapesAndBias) {
+  Rng rng(1);
+  Linear layer(3, 5, &rng);
+  EXPECT_EQ(layer.in_features(), 3u);
+  EXPECT_EQ(layer.out_features(), 5u);
+  Var x = Var::Constant(TestFeatures(4, 3));
+  Var y = layer.Forward(x);
+  EXPECT_EQ(y.rows(), 4u);
+  EXPECT_EQ(y.cols(), 5u);
+  EXPECT_EQ(layer.Parameters().size(), 2u);
+}
+
+TEST(LinearTest, ZeroInputYieldsBias) {
+  Rng rng(2);
+  Linear layer(2, 3, &rng);
+  Var x = Var::Constant(Matrix::Zeros(1, 2));
+  Var y = layer.Forward(x);
+  // Bias initialises to zero.
+  for (double v : y.value().values()) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(XavierTest, StddevFormula) {
+  EXPECT_NEAR(XavierStddev(8, 8), 0.3535, 1e-3);
+  EXPECT_GT(XavierStddev(4, 4), XavierStddev(64, 64));
+}
+
+class BackboneTest : public ::testing::TestWithParam<Backbone> {};
+
+TEST_P(BackboneTest, ForwardShapeAndGradientFlow) {
+  const Backbone backbone = GetParam();
+  Rng rng(7);
+  auto layer = MakeGraphLayer(backbone, 6, 8, &rng);
+  ASSERT_NE(layer, nullptr);
+  GraphTensors tensors = TestTensors();
+  Var h = Var::Constant(TestFeatures(4, 6));
+  Var out = layer->Forward(tensors, h);
+  EXPECT_EQ(out.rows(), 4u);
+  EXPECT_EQ(out.cols(), 8u);
+
+  // Gradients reach every parameter.
+  Backward(Sum(out));
+  for (const Var& p : layer->Parameters()) {
+    EXPECT_FALSE(p.grad().empty()) << BackboneName(backbone);
+  }
+}
+
+TEST_P(BackboneTest, DeterministicForward) {
+  const Backbone backbone = GetParam();
+  Rng rng1(7), rng2(7);
+  auto l1 = MakeGraphLayer(backbone, 4, 4, &rng1);
+  auto l2 = MakeGraphLayer(backbone, 4, 4, &rng2);
+  GraphTensors tensors = TestTensors();
+  Var h = Var::Constant(TestFeatures(4, 4));
+  EXPECT_EQ(l1->Forward(tensors, h).value().values(),
+            l2->Forward(tensors, h).value().values());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackbones, BackboneTest,
+                         ::testing::Values(Backbone::kGcn, Backbone::kMlp,
+                                           Backbone::kGat, Backbone::kSage,
+                                           Backbone::kGraphNN,
+                                           Backbone::kLEConv));
+
+TEST(BackboneTest, MlpIgnoresGraphStructure) {
+  Rng rng(5);
+  auto layer = MakeGraphLayer(Backbone::kMlp, 4, 4, &rng);
+  GraphTensors tensors = TestTensors();
+  // Same features, different graph: output must be identical for MLP.
+  GraphBuilder b2;
+  for (int i = 0; i < 4; ++i) b2.AddVertex(0);
+  b2.AddEdge(0, 1);
+  GraphTensors other = BuildGraphTensors(b2.Build());
+  Var h = Var::Constant(TestFeatures(4, 4));
+  EXPECT_EQ(layer->Forward(tensors, h).value().values(),
+            layer->Forward(other, h).value().values());
+}
+
+TEST(BackboneTest, GcnUsesGraphStructure) {
+  Rng rng(5);
+  auto layer = MakeGraphLayer(Backbone::kGcn, 4, 4, &rng);
+  GraphTensors tensors = TestTensors();
+  GraphBuilder b2;
+  for (int i = 0; i < 4; ++i) b2.AddVertex(0);
+  b2.AddEdge(0, 1);
+  GraphTensors other = BuildGraphTensors(b2.Build());
+  Var h = Var::Constant(TestFeatures(4, 4));
+  EXPECT_NE(layer->Forward(tensors, h).value().values(),
+            layer->Forward(other, h).value().values());
+}
+
+TEST(ParseBackboneTest, RoundTripsAllNames) {
+  for (Backbone b : {Backbone::kGcn, Backbone::kMlp, Backbone::kGat,
+                     Backbone::kSage, Backbone::kGraphNN, Backbone::kLEConv}) {
+    auto parsed = ParseBackbone(BackboneName(b));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, b);
+  }
+  EXPECT_EQ(ParseBackbone("ASAP").ValueOrDie(), Backbone::kLEConv);
+  EXPECT_FALSE(ParseBackbone("transformer").ok());
+}
+
+TEST(ParameterCountTest, CountsAllScalars) {
+  Rng rng(1);
+  Linear layer(3, 5, &rng);
+  EXPECT_EQ(ParameterCount(layer.Parameters()), 3u * 5u + 5u);
+  EXPECT_EQ(ParameterBytesFloat32(layer.Parameters()), (15u + 5u) * 4u);
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace rlqvo

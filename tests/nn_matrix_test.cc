@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "nn/matrix.h"
+
+namespace rlqvo {
+namespace nn {
+namespace {
+
+TEST(MatrixTest, ConstructionAndFill) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.size(), 6u);
+  EXPECT_DOUBLE_EQ(m.At(1, 2), 1.5);
+  m.Fill(0.0);
+  EXPECT_DOUBLE_EQ(m.Sum(), 0.0);
+}
+
+TEST(MatrixTest, Identity) {
+  Matrix eye = Matrix::Identity(3);
+  EXPECT_DOUBLE_EQ(eye.At(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(eye.At(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(eye.Sum(), 3.0);
+}
+
+TEST(MatrixTest, ColumnVector) {
+  Matrix v = Matrix::ColumnVector({1.0, 2.0, 3.0});
+  EXPECT_EQ(v.rows(), 3u);
+  EXPECT_EQ(v.cols(), 1u);
+  EXPECT_DOUBLE_EQ(v.At(2, 0), 3.0);
+}
+
+TEST(MatrixTest, RandnStats) {
+  Rng rng(3);
+  Matrix m = Matrix::Randn(100, 100, 0.5, &rng);
+  double sum = 0.0, sq = 0.0;
+  for (double v : m.values()) {
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / m.size(), 0.0, 0.02);
+  EXPECT_NEAR(sq / m.size(), 0.25, 0.02);
+}
+
+TEST(MatrixTest, MatMulKnownValues) {
+  Matrix a(2, 3);
+  // [1 2 3; 4 5 6]
+  for (int i = 0; i < 6; ++i) a.values()[i] = i + 1;
+  Matrix b(3, 2);
+  // [7 8; 9 10; 11 12]
+  for (int i = 0; i < 6; ++i) b.values()[i] = i + 7;
+  Matrix c = MatMul(a, b);
+  EXPECT_DOUBLE_EQ(c.At(0, 0), 58.0);
+  EXPECT_DOUBLE_EQ(c.At(0, 1), 64.0);
+  EXPECT_DOUBLE_EQ(c.At(1, 0), 139.0);
+  EXPECT_DOUBLE_EQ(c.At(1, 1), 154.0);
+}
+
+TEST(MatrixTest, Transpose) {
+  Matrix a(2, 3);
+  for (int i = 0; i < 6; ++i) a.values()[i] = i;
+  Matrix t = Transpose(a);
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  for (size_t r = 0; r < 2; ++r) {
+    for (size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(a.At(r, c), t.At(c, r));
+    }
+  }
+}
+
+TEST(MatrixTest, ElementwiseOps) {
+  Matrix a(1, 3);
+  a.values() = {1.0, 2.0, 3.0};
+  Matrix b(1, 3);
+  b.values() = {4.0, 5.0, 6.0};
+  EXPECT_EQ(Add(a, b).values(), (std::vector<double>{5.0, 7.0, 9.0}));
+  EXPECT_EQ(Sub(b, a).values(), (std::vector<double>{3.0, 3.0, 3.0}));
+  EXPECT_EQ(Hadamard(a, b).values(), (std::vector<double>{4.0, 10.0, 18.0}));
+  EXPECT_EQ(Scale(a, 2.0).values(), (std::vector<double>{2.0, 4.0, 6.0}));
+}
+
+TEST(MatrixTest, InPlaceOps) {
+  Matrix a(1, 2);
+  a.values() = {1.0, -3.0};
+  Matrix b(1, 2);
+  b.values() = {2.0, 2.0};
+  a.AddInPlace(b);
+  EXPECT_EQ(a.values(), (std::vector<double>{3.0, -1.0}));
+  a.ScaleInPlace(-2.0);
+  EXPECT_EQ(a.values(), (std::vector<double>{-6.0, 2.0}));
+  EXPECT_DOUBLE_EQ(a.MaxAbs(), 6.0);
+}
+
+TEST(MatrixTest, ToStringFormat) {
+  Matrix a(1, 2);
+  a.values() = {1.0, 2.5};
+  EXPECT_EQ(a.ToString(1), "[1.0 2.5]");
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace rlqvo

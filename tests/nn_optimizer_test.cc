@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/optimizer.h"
+
+namespace rlqvo {
+namespace nn {
+namespace {
+
+/// Quadratic bowl loss 0.5 * ||x - target||^2 as an autograd expression.
+Var QuadraticLoss(const Var& x, const Matrix& target) {
+  Var diff = Sub(x, Var::Constant(target));
+  return Scale(Sum(Hadamard(diff, diff)), 0.5);
+}
+
+TEST(AdamTest, MinimizesQuadratic) {
+  Matrix target(1, 3);
+  target.values() = {1.0, -2.0, 0.5};
+  Var x = Var::Leaf(Matrix::Zeros(1, 3), true);
+  Adam::Options options;
+  options.learning_rate = 0.05;
+  Adam adam({x}, options);
+  for (int i = 0; i < 400; ++i) {
+    adam.ZeroGrad();
+    Backward(QuadraticLoss(x, target));
+    adam.Step();
+  }
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(x.value().values()[i], target.values()[i], 1e-2);
+  }
+  EXPECT_EQ(adam.steps(), 400);
+}
+
+TEST(AdamTest, GradNormClipBoundsUpdates) {
+  Var x = Var::Leaf(Matrix::Zeros(1, 2), true);
+  Adam::Options options;
+  options.learning_rate = 1.0;
+  options.max_grad_norm = 1e-6;  // essentially freeze
+  Adam adam({x}, options);
+  adam.ZeroGrad();
+  Matrix target(1, 2);
+  target.values() = {100.0, -100.0};
+  Backward(QuadraticLoss(x, target));
+  adam.Step();
+  // With the clipped (tiny) gradient, Adam still normalises by sqrt(v), so
+  // the step magnitude is ~learning_rate; it must not explode toward the
+  // raw gradient magnitude of 100.
+  EXPECT_LT(x.value().MaxAbs(), 2.0);
+}
+
+TEST(AdamTest, SkipsParametersWithoutGradient) {
+  Var used = Var::Leaf(Matrix::Zeros(1, 1), true);
+  Var unused = Var::Leaf(Matrix::Ones(1, 1), true);
+  Adam adam({used, unused}, {});
+  adam.ZeroGrad();
+  Backward(Sum(used));
+  adam.Step();
+  EXPECT_DOUBLE_EQ(unused.value().At(0, 0), 1.0);
+  EXPECT_NE(used.value().At(0, 0), 0.0);
+}
+
+TEST(AdamTest, LearningRateAdjustable) {
+  Var x = Var::Leaf(Matrix::Zeros(1, 1), true);
+  Adam adam({x}, {});
+  adam.set_learning_rate(0.5);
+  EXPECT_DOUBLE_EQ(adam.options().learning_rate, 0.5);
+}
+
+TEST(SgdTest, TakesGradientSteps) {
+  Matrix target(1, 2);
+  target.values() = {2.0, -1.0};
+  Var x = Var::Leaf(Matrix::Zeros(1, 2), true);
+  Sgd sgd({x}, 0.1);
+  for (int i = 0; i < 200; ++i) {
+    sgd.ZeroGrad();
+    Backward(QuadraticLoss(x, target));
+    sgd.Step();
+  }
+  EXPECT_NEAR(x.value().values()[0], 2.0, 1e-6);
+  EXPECT_NEAR(x.value().values()[1], -1.0, 1e-6);
+}
+
+TEST(SgdTest, ZeroGradClears) {
+  Var x = Var::Leaf(Matrix::Ones(1, 1), true);
+  Sgd sgd({x}, 0.1);
+  Backward(Sum(x));
+  EXPECT_FALSE(x.grad().empty());
+  sgd.ZeroGrad();
+  EXPECT_DOUBLE_EQ(x.grad().At(0, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace rlqvo

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "nn/serialize.h"
+
+namespace rlqvo {
+namespace nn {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(SerializeTest, RoundTripIsExact) {
+  Rng rng(3);
+  std::vector<Var> params = {
+      Var::Leaf(Matrix::Randn(3, 4, 1.0, &rng), true),
+      Var::Leaf(Matrix::Randn(1, 7, 0.001, &rng), true),
+  };
+  const std::string path = TempPath("rlqvo_params.model");
+  ASSERT_TRUE(
+      SaveParameters(params, {{"key", "value with spaces"}}, path).ok());
+
+  auto ckpt = LoadCheckpoint(path);
+  ASSERT_TRUE(ckpt.ok()) << ckpt.status().ToString();
+  EXPECT_EQ(ckpt->metadata.at("key"), "value with spaces");
+  ASSERT_EQ(ckpt->matrices.size(), 2u);
+  // Hexfloat serialisation must be bit-exact.
+  for (size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(ckpt->matrices[i].values(), params[i].value().values());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, AssignParametersChecksShapes) {
+  std::vector<Var> params = {Var::Leaf(Matrix::Zeros(2, 2), true)};
+  std::vector<Matrix> wrong_count;
+  EXPECT_FALSE(AssignParameters(wrong_count, &params).ok());
+  std::vector<Matrix> wrong_shape = {Matrix::Zeros(3, 3)};
+  EXPECT_FALSE(AssignParameters(wrong_shape, &params).ok());
+  std::vector<Matrix> good = {Matrix::Ones(2, 2)};
+  EXPECT_TRUE(AssignParameters(good, &params).ok());
+  EXPECT_DOUBLE_EQ(params[0].value().At(1, 1), 1.0);
+}
+
+TEST(SerializeTest, RejectsBadMagic) {
+  const std::string path = TempPath("rlqvo_bad_magic.model");
+  std::ofstream(path) << "NOT-A-MODEL\n";
+  auto ckpt = LoadCheckpoint(path);
+  ASSERT_FALSE(ckpt.ok());
+  EXPECT_TRUE(ckpt.status().IsInvalidArgument());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, RejectsTruncatedFile) {
+  const std::string path = TempPath("rlqvo_truncated.model");
+  std::ofstream(path) << "RLQVO-MODEL v1\nparams 1\n3 3\n0x1p0 0x1p0\n";
+  auto ckpt = LoadCheckpoint(path);
+  EXPECT_FALSE(ckpt.ok());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, RejectsGarbageValues) {
+  const std::string path = TempPath("rlqvo_garbage.model");
+  std::ofstream(path) << "RLQVO-MODEL v1\nparams 1\n1 2\nhello world\n";
+  auto ckpt = LoadCheckpoint(path);
+  EXPECT_FALSE(ckpt.ok());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, RejectsWhitespaceMetadataKey) {
+  std::vector<Var> params;
+  EXPECT_FALSE(
+      SaveParameters(params, {{"bad key", "v"}}, TempPath("x.model")).ok());
+}
+
+TEST(SerializeTest, MissingFileIsIOError) {
+  auto ckpt = LoadCheckpoint("/definitely/not/here.model");
+  ASSERT_FALSE(ckpt.ok());
+  EXPECT_TRUE(ckpt.status().IsIOError());
+}
+
+TEST(SerializeTest, EmptyParameterListRoundTrips) {
+  const std::string path = TempPath("rlqvo_empty.model");
+  ASSERT_TRUE(SaveParameters({}, {}, path).ok());
+  auto ckpt = LoadCheckpoint(path);
+  ASSERT_TRUE(ckpt.ok());
+  EXPECT_TRUE(ckpt->matrices.empty());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace rlqvo

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "graph/graph_algorithms.h"
+#include "rl/env.h"
+#include "test_util.h"
+
+namespace rlqvo {
+namespace {
+
+using testing_util::RandomData;
+using testing_util::RandomQuery;
+
+Graph PathQuery4() {
+  GraphBuilder b;
+  for (int i = 0; i < 4; ++i) b.AddVertex(0);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(2, 3);
+  return b.Build();
+}
+
+TEST(OrderingEnvTest, InitialStateAllowsEveryVertex) {
+  Graph q = PathQuery4();
+  Graph g = RandomData(81);
+  OrderingEnv env(&q, &g, FeatureConfig{});
+  EXPECT_EQ(env.step(), 0u);
+  EXPECT_FALSE(env.Done());
+  EXPECT_EQ(env.NumActions(), 4u);
+  for (bool allowed : env.ActionMask()) EXPECT_TRUE(allowed);
+}
+
+TEST(OrderingEnvTest, MaskShrinksToNeighborsOfOrdered) {
+  Graph q = PathQuery4();
+  Graph g = RandomData(82);
+  OrderingEnv env(&q, &g, FeatureConfig{});
+  env.Step(1);
+  // Neighbors of 1 are {0, 2}.
+  EXPECT_EQ(env.NumActions(), 2u);
+  EXPECT_TRUE(env.ActionMask()[0]);
+  EXPECT_TRUE(env.ActionMask()[2]);
+  EXPECT_FALSE(env.ActionMask()[1]);
+  EXPECT_FALSE(env.ActionMask()[3]);
+}
+
+TEST(OrderingEnvTest, SoleActionShortcut) {
+  Graph q = PathQuery4();
+  Graph g = RandomData(83);
+  OrderingEnv env(&q, &g, FeatureConfig{});
+  env.Step(0);
+  // Only vertex 1 touches the ordered set.
+  EXPECT_EQ(env.NumActions(), 1u);
+  EXPECT_EQ(env.SoleAction(), 1u);
+  env.Step(1);
+  EXPECT_EQ(env.SoleAction(), 2u);
+}
+
+TEST(OrderingEnvTest, SoleActionInvalidWhenMultiple) {
+  Graph q = PathQuery4();
+  Graph g = RandomData(84);
+  OrderingEnv env(&q, &g, FeatureConfig{});
+  EXPECT_EQ(env.SoleAction(), kInvalidVertex);
+}
+
+TEST(OrderingEnvTest, CompletedEpisodeIsValidOrder) {
+  Graph g = RandomData(85);
+  Graph q = RandomQuery(g, 86, 7);
+  OrderingEnv env(&q, &g, FeatureConfig{});
+  Rng rng(1);
+  while (!env.Done()) {
+    std::vector<VertexId> legal;
+    for (VertexId u = 0; u < q.num_vertices(); ++u) {
+      if (env.ActionMask()[u]) legal.push_back(u);
+    }
+    ASSERT_FALSE(legal.empty());
+    env.Step(rng.Choice(legal));
+  }
+  EXPECT_TRUE(IsValidMatchingOrder(q, env.order()));
+  EXPECT_EQ(env.NumActions(), 0u);
+}
+
+TEST(OrderingEnvTest, FeaturesTrackOrderedFlag) {
+  Graph q = PathQuery4();
+  Graph g = RandomData(87);
+  OrderingEnv env(&q, &g, FeatureConfig{});
+  nn::Matrix h0 = env.Features();
+  EXPECT_DOUBLE_EQ(h0.At(2, 6), 0.0);
+  env.Step(2);
+  nn::Matrix h1 = env.Features();
+  EXPECT_DOUBLE_EQ(h1.At(2, 6), 1.0);
+  // Remaining-count feature decreased by one step (scaled by n+1 = 5).
+  EXPECT_DOUBLE_EQ(h0.At(0, 5) - h1.At(0, 5), 1.0 / 5.0);
+}
+
+TEST(OrderingEnvTest, ResetRestoresInitialState) {
+  Graph q = PathQuery4();
+  Graph g = RandomData(88);
+  OrderingEnv env(&q, &g, FeatureConfig{});
+  env.Step(1);
+  env.Step(2);
+  env.Reset();
+  EXPECT_EQ(env.step(), 0u);
+  EXPECT_EQ(env.NumActions(), 4u);
+  EXPECT_TRUE(env.order().empty());
+}
+
+TEST(OrderingEnvTest, TensorsHaveQuerySize) {
+  Graph q = PathQuery4();
+  Graph g = RandomData(89);
+  OrderingEnv env(&q, &g, FeatureConfig{});
+  EXPECT_EQ(env.tensors().adjacency.value().rows(), 4u);
+}
+
+}  // namespace
+}  // namespace rlqvo

@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "rl/evaluation.h"
+#include "test_util.h"
+
+namespace rlqvo {
+namespace {
+
+using testing_util::RandomData;
+
+std::vector<Graph> EvalQueries(const Graph& data, int count, uint32_t size) {
+  QuerySampler sampler(&data, 77);
+  return sampler.SampleQuerySet(size, count).ValueOrDie();
+}
+
+TEST(OrderQualityTest, RiAgainstItselfIsAllTies) {
+  Graph data = RandomData(501, 100, 4.0, 3);
+  auto queries = EvalQueries(data, 6, 6);
+  RIOrdering ri;
+  GQLFilter filter;
+  auto report =
+      EvaluateOrderingQuality(&ri, queries, data, filter).ValueOrDie();
+  EXPECT_EQ(report.num_queries, 6u);
+  EXPECT_EQ(report.ties, 6u);
+  EXPECT_EQ(report.wins, 0u);
+  EXPECT_EQ(report.losses, 0u);
+  EXPECT_DOUBLE_EQ(report.geomean_enum_ratio_vs_ri, 1.0);
+  EXPECT_EQ(report.total_enumerations, report.total_baseline_enumerations);
+}
+
+TEST(OrderQualityTest, CountsAreConsistent) {
+  Graph data = RandomData(502, 100, 4.0, 3);
+  auto queries = EvalQueries(data, 8, 5);
+  auto ordering = MakeOrdering("GQL").ValueOrDie();
+  GQLFilter filter;
+  auto report =
+      EvaluateOrderingQuality(ordering.get(), queries, data, filter)
+          .ValueOrDie();
+  EXPECT_EQ(report.wins + report.ties + report.losses, report.num_queries);
+  EXPECT_GT(report.geomean_enum_ratio_vs_ri, 0.0);
+  EXPECT_NE(report.ToString().find("queries=8"), std::string::npos);
+}
+
+TEST(OrderQualityTest, RandomOrderingIsNotBetterThanGql) {
+  // Sanity direction check: across a query set, the GQL (smallest
+  // candidate-set first) ordering should not be dominated by random
+  // connected orders.
+  Graph data = RandomData(503, 150, 5.0, 3);
+  auto queries = EvalQueries(data, 10, 7);
+  GQLFilter filter;
+  auto gql = MakeOrdering("GQL").ValueOrDie();
+  auto random = MakeOrdering("Random").ValueOrDie();
+  auto gql_report =
+      EvaluateOrderingQuality(gql.get(), queries, data, filter).ValueOrDie();
+  auto random_report =
+      EvaluateOrderingQuality(random.get(), queries, data, filter)
+          .ValueOrDie();
+  EXPECT_LE(gql_report.geomean_enum_ratio_vs_ri,
+            random_report.geomean_enum_ratio_vs_ri * 1.5);
+}
+
+TEST(OrderQualityTest, EmptyQuerySetRejected) {
+  Graph data = RandomData(504);
+  RIOrdering ri;
+  GQLFilter filter;
+  EXPECT_FALSE(EvaluateOrderingQuality(&ri, {}, data, filter).ok());
+}
+
+}  // namespace
+}  // namespace rlqvo

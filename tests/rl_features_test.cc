@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rl/features.h"
+#include "test_util.h"
+
+namespace rlqvo {
+namespace {
+
+using testing_util::RandomData;
+
+/// Query: path 0(label 1) - 1(label 0) - 2(label 1).
+Graph PathQuery() {
+  GraphBuilder b;
+  b.AddVertex(1);
+  b.AddVertex(0);
+  b.AddVertex(1);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  return b.Build();
+}
+
+/// Data: triangle labels {0,1,1} plus pendant label-1 vertex.
+Graph SmallData() {
+  GraphBuilder b;
+  b.AddVertex(0);
+  b.AddVertex(1);
+  b.AddVertex(1);
+  b.AddVertex(1);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(2, 0);
+  b.AddEdge(2, 3);
+  return b.Build();
+}
+
+TEST(FeatureBuilderTest, StaticFeaturesMatchHandComputation) {
+  Graph q = PathQuery();
+  Graph g = SmallData();  // degrees: 2,2,3,1 ; labels: 0:1, 1:3
+  FeatureConfig paper_literal;
+  paper_literal.scale_ids = false;  // the paper's raw-id features
+  FeatureBuilder builder(&q, &g, paper_literal);
+  std::vector<bool> ordered(3, false);
+  nn::Matrix h = builder.Build(ordered, 0);
+  ASSERT_EQ(h.rows(), 3u);
+  ASSERT_EQ(h.cols(), 7u);
+  // h(1): degree.
+  EXPECT_DOUBLE_EQ(h.At(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(h.At(1, 0), 2.0);
+  // h(2): label id; h(3): vertex id.
+  EXPECT_DOUBLE_EQ(h.At(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(h.At(2, 2), 2.0);
+  // h(4): fraction of data vertices with degree greater than d(u).
+  // d(u0)=1 -> data degrees {2,2,3,1}: 3 of 4 exceed 1.
+  EXPECT_DOUBLE_EQ(h.At(0, 3), 3.0 / 4.0);
+  // d(u1)=2 -> only degree-3 vertex exceeds.
+  EXPECT_DOUBLE_EQ(h.At(1, 3), 1.0 / 4.0);
+  // h(5): label frequency fraction. label 1 -> 3/4; label 0 -> 1/4.
+  EXPECT_DOUBLE_EQ(h.At(0, 4), 3.0 / 4.0);
+  EXPECT_DOUBLE_EQ(h.At(1, 4), 1.0 / 4.0);
+  // h(6) = |V(q)| - t + 1 = 3 - 0 + 1.
+  EXPECT_DOUBLE_EQ(h.At(0, 5), 4.0);
+  // h(7) indicator all zero initially.
+  EXPECT_DOUBLE_EQ(h.At(0, 6), 0.0);
+}
+
+TEST(FeatureBuilderTest, ScalingFactorsApplied) {
+  Graph q = PathQuery();
+  Graph g = SmallData();
+  FeatureConfig config;
+  config.alpha_degree = 2.0;
+  config.alpha_d = 4.0;
+  config.alpha_l = 0.5;
+  FeatureBuilder builder(&q, &g, config);
+  nn::Matrix h = builder.Build(std::vector<bool>(3, false), 0);
+  EXPECT_DOUBLE_EQ(h.At(1, 0), 1.0);          // 2 / 2
+  EXPECT_DOUBLE_EQ(h.At(0, 3), 3.0 / 16.0);   // 3 / (4*4)
+  EXPECT_DOUBLE_EQ(h.At(0, 4), 3.0 / 2.0);    // 3 / (4*0.5)
+}
+
+TEST(FeatureBuilderTest, StepFeaturesEvolve) {
+  Graph q = PathQuery();
+  Graph g = SmallData();
+  FeatureConfig paper_literal;
+  paper_literal.scale_ids = false;
+  FeatureBuilder builder(&q, &g, paper_literal);
+  std::vector<bool> ordered = {false, true, false};
+  nn::Matrix h = builder.Build(ordered, 1);
+  EXPECT_DOUBLE_EQ(h.At(0, 5), 3.0);  // 3 - 1 + 1
+  EXPECT_DOUBLE_EQ(h.At(1, 6), 1.0);
+  EXPECT_DOUBLE_EQ(h.At(0, 6), 0.0);
+}
+
+TEST(FeatureBuilderTest, IdScalingNormalizesColumns) {
+  Graph q = PathQuery();
+  Graph g = SmallData();
+  FeatureConfig scaled;  // scale_ids defaults to true
+  FeatureBuilder builder(&q, &g, scaled);
+  nn::Matrix h = builder.Build(std::vector<bool>(3, false), 0);
+  // h(2) = label / |L(G)| and h(3) = id / |V(q)| stay in [0, 1].
+  EXPECT_DOUBLE_EQ(h.At(0, 1), 1.0 / 2.0);
+  EXPECT_DOUBLE_EQ(h.At(2, 2), 2.0 / 3.0);
+  // h(6) = (n - t + 1) / (n + 1).
+  EXPECT_DOUBLE_EQ(h.At(0, 5), 4.0 / 4.0);
+}
+
+TEST(FeatureBuilderTest, RandomFeatureAblation) {
+  Graph q = PathQuery();
+  Graph g = SmallData();
+  FeatureConfig config;
+  config.random_features = true;
+  FeatureBuilder builder(&q, &g, config);
+  nn::Matrix h = builder.Build(std::vector<bool>(3, false), 0);
+  // Static features are random in [0,1), not the designed values.
+  EXPECT_NE(h.At(1, 0), 2.0);
+  // Step features still behave (scaled by n+1 under the default config).
+  EXPECT_DOUBLE_EQ(h.At(0, 5), 1.0);
+  // Deterministic under the same seed.
+  FeatureBuilder builder2(&q, &g, config);
+  nn::Matrix h2 = builder2.Build(std::vector<bool>(3, false), 0);
+  EXPECT_EQ(h.values(), h2.values());
+}
+
+TEST(GraphTensorsTest, NormalizedAdjacencyProperties) {
+  Graph q = PathQuery();
+  nn::GraphTensors t = BuildGraphTensors(q);
+  const nn::Matrix& na = t.norm_adjacency.value();
+  ASSERT_EQ(na.rows(), 3u);
+  // Symmetric.
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 3; ++j) {
+      EXPECT_NEAR(na.At(i, j), na.At(j, i), 1e-12);
+    }
+  }
+  // Diagonal: 1/(d+1). Vertex 0 has degree 1 -> 1/2.
+  EXPECT_NEAR(na.At(0, 0), 0.5, 1e-12);
+  // Entry (0,1): 1/sqrt(2)/sqrt(3).
+  EXPECT_NEAR(na.At(0, 1), 1.0 / std::sqrt(6.0), 1e-12);
+  // Non-edge (0,2) is zero.
+  EXPECT_DOUBLE_EQ(na.At(0, 2), 0.0);
+}
+
+TEST(GraphTensorsTest, MeanAdjacencyRowsSumToOne) {
+  Graph q = PathQuery();
+  nn::GraphTensors t = BuildGraphTensors(q);
+  const nn::Matrix& ma = t.mean_adjacency.value();
+  for (size_t r = 0; r < 3; ++r) {
+    double row = 0.0;
+    for (size_t c = 0; c < 3; ++c) row += ma.At(r, c);
+    EXPECT_NEAR(row, 1.0, 1e-12);
+  }
+}
+
+TEST(GraphTensorsTest, DegreeDiagAndAttentionMask) {
+  Graph q = PathQuery();
+  nn::GraphTensors t = BuildGraphTensors(q);
+  EXPECT_DOUBLE_EQ(t.degree_diag.value().At(1, 1), 2.0);
+  EXPECT_DOUBLE_EQ(t.degree_diag.value().At(0, 0), 1.0);
+  // Attention mask = A + I.
+  EXPECT_DOUBLE_EQ(t.attention_mask.At(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(t.attention_mask.At(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(t.attention_mask.At(0, 2), 0.0);
+}
+
+TEST(GraphTensorsTest, AdjacencyMatchesGraph) {
+  Graph g = RandomData(71, 20, 3.0, 2);
+  nn::GraphTensors t = BuildGraphTensors(g);
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      EXPECT_DOUBLE_EQ(t.adjacency.value().At(u, v),
+                       g.HasEdge(u, v) ? 1.0 : 0.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rlqvo

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rl/reward.h"
+
+namespace rlqvo {
+namespace {
+
+TEST(EnumerationRewardTest, PositiveWhenBeatingBaseline) {
+  EXPECT_GT(EnumerationReward(1000, 10), 0.0);
+  EXPECT_LT(EnumerationReward(10, 1000), 0.0);
+  EXPECT_DOUBLE_EQ(EnumerationReward(500, 500), 0.0);
+}
+
+TEST(EnumerationRewardTest, LogRatioValue) {
+  EXPECT_NEAR(EnumerationReward(99, 9), std::log(10.0), 1e-12);
+  // Symmetric: swapping roles flips the sign.
+  EXPECT_NEAR(EnumerationReward(9, 99), -std::log(10.0), 1e-12);
+}
+
+TEST(EnumerationRewardTest, HandlesZeroCounts) {
+  EXPECT_DOUBLE_EQ(EnumerationReward(0, 0), 0.0);
+  EXPECT_GT(EnumerationReward(10, 0), 0.0);
+}
+
+TEST(EntropyTest, UniformIsLogN) {
+  std::vector<double> uniform = {0.25, 0.25, 0.25, 0.25};
+  EXPECT_NEAR(Entropy(uniform), std::log(4.0), 1e-12);
+}
+
+TEST(EntropyTest, DeterministicIsZero) {
+  EXPECT_DOUBLE_EQ(Entropy({1.0, 0.0, 0.0}), 0.0);
+  EXPECT_DOUBLE_EQ(Entropy({}), 0.0);
+}
+
+TEST(EntropyTest, PeakedLessThanUniform) {
+  EXPECT_LT(Entropy({0.9, 0.05, 0.05}), Entropy({1.0 / 3, 1.0 / 3, 1.0 / 3}));
+}
+
+TEST(StepRewardTest, CombinesComponentsPerEquationOne) {
+  RewardConfig config;
+  config.beta_val = 0.5;
+  config.beta_h = 0.25;
+  config.valid_bonus = 0.2;
+  config.invalid_penalty = 0.4;
+  // Valid prediction: r = enum + 0.5*0.2 + 0.25*H.
+  EXPECT_NEAR(StepReward(config, 1.0, true, 2.0), 1.0 + 0.1 + 0.5, 1e-12);
+  // Invalid prediction: penalty enters negatively and outweighs the bonus.
+  EXPECT_NEAR(StepReward(config, 1.0, false, 0.0), 1.0 - 0.2, 1e-12);
+}
+
+TEST(StepRewardTest, PenaltyLargerThanBonus) {
+  RewardConfig config;
+  EXPECT_GT(config.invalid_penalty, config.valid_bonus);
+}
+
+TEST(DiscountedReturnsTest, HandComputedExample) {
+  RewardConfig config;
+  config.gamma = 0.5;
+  std::vector<double> rewards = {1.0, 2.0, 4.0};
+  // G_t = sum_{t'>=t} gamma^{t'+1} R_{t'}:
+  // G_2 = 0.125*4 = 0.5 ; G_1 = 0.25*2 + 0.5 = 1.0 ; G_0 = 0.5*1 + 1.0 = 1.5
+  auto returns = DiscountedReturns(config, rewards);
+  ASSERT_EQ(returns.size(), 3u);
+  EXPECT_NEAR(returns[2], 0.5, 1e-12);
+  EXPECT_NEAR(returns[1], 1.0, 1e-12);
+  EXPECT_NEAR(returns[0], 1.5, 1e-12);
+}
+
+TEST(DiscountedReturnsTest, EarlierStepsSeeFullFuture) {
+  RewardConfig config;
+  config.gamma = 0.9;
+  std::vector<double> rewards(5, 1.0);
+  auto returns = DiscountedReturns(config, rewards);
+  for (size_t i = 1; i < returns.size(); ++i) {
+    EXPECT_GT(returns[i - 1], returns[i]);
+  }
+}
+
+TEST(DiscountedReturnsTest, EmptyEpisode) {
+  RewardConfig config;
+  EXPECT_TRUE(DiscountedReturns(config, {}).empty());
+}
+
+TEST(DiscountedReturnsTest, G0MatchesEquationTwo) {
+  // Eq. (2): R = Σ_{t=1..n} γ^t R_t with 1-based t.
+  RewardConfig config;
+  config.gamma = 0.8;
+  std::vector<double> rewards = {3.0, -1.0, 2.0, 0.5};
+  auto returns = DiscountedReturns(config, rewards);
+  double expected = 0.0;
+  for (size_t t = 0; t < rewards.size(); ++t) {
+    expected += std::pow(0.8, static_cast<double>(t + 1)) * rewards[t];
+  }
+  EXPECT_NEAR(returns[0], expected, 1e-12);
+}
+
+}  // namespace
+}  // namespace rlqvo

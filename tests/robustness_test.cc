@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "core/rlqvo.h"
+#include "graph/graph_io.h"
+#include "matching/enumerator.h"
+#include "test_util.h"
+
+namespace rlqvo {
+namespace {
+
+using testing_util::RandomData;
+using testing_util::RandomQuery;
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+// Failure-injection tests: every malformed input must surface as a non-OK
+// Status (never a crash or silent wrong answer).
+
+TEST(RobustnessTest, GraphParserSurvivesGarbageLines) {
+  for (const char* text : {
+           "t x y\n",
+           "t 1 0\nv 0\n",
+           "t 1 0\nv 0 0 0\ne 0\n",
+           "e 0 1\nt 2 1\nv 0 0 0\nv 1 0 0\n",  // edge before vertices
+       }) {
+    auto result = ParseGraphText(text);
+    EXPECT_FALSE(result.ok()) << "accepted: " << text;
+  }
+}
+
+TEST(RobustnessTest, ModelLoadRejectsTamperedCheckpoints) {
+  RLQVOModel model;
+  const std::string path = TempPath("rlqvo_tampered.model");
+  ASSERT_TRUE(model.Save(path).ok());
+
+  // Truncate the file mid-matrix.
+  std::ifstream in(path);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream(path) << contents.substr(0, contents.size() / 2);
+  auto truncated = RLQVOModel::Load(path);
+  EXPECT_FALSE(truncated.ok());
+
+  // Corrupt the architecture metadata.
+  std::ofstream(path) << "RLQVO-MODEL v1\nmeta backbone Quantum\nparams 0\n";
+  auto bad_backbone = RLQVOModel::Load(path);
+  EXPECT_FALSE(bad_backbone.ok());
+  std::remove(path.c_str());
+}
+
+TEST(RobustnessTest, EnumeratorRejectsForeignCandidates) {
+  Graph data = RandomData(601);
+  Graph q = RandomQuery(data, 602, 4);
+  // Candidate ids beyond the data graph must be rejected, not crash.
+  CandidateSet cs(q.num_vertices());
+  for (VertexId u = 0; u < q.num_vertices(); ++u) {
+    cs.Set(u, {data.num_vertices() + 5});
+  }
+  Enumerator enumerator;
+  OrderingContext ctx;
+  ctx.query = &q;
+  ctx.data = &data;
+  ctx.candidates = &cs;
+  auto order = RIOrdering().MakeOrder(ctx).ValueOrDie();
+  EnumerateOptions opts;
+  auto result = enumerator.Run(q, data, cs, order, opts);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(RobustnessTest, MatcherPropagatesOrderingFailures) {
+  // A matcher whose ordering always fails must return the error, not abort.
+  class FailingOrdering : public Ordering {
+   public:
+    std::string name() const override { return "failing"; }
+    Result<std::vector<VertexId>> MakeOrder(const OrderingContext&) override {
+      return Status::Internal("injected failure");
+    }
+  };
+  MatcherConfig config;
+  config.filter = std::make_shared<LDFFilter>();
+  config.ordering = std::make_shared<FailingOrdering>();
+  SubgraphMatcher matcher(std::move(config));
+  Graph data = RandomData(603);
+  Graph q = RandomQuery(data, 604, 4);
+  auto stats = matcher.Match(q, data);
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().message(), "injected failure");
+}
+
+TEST(RobustnessTest, ZeroTimeLimitWorkloadCountsAllUnsolved) {
+  // A pipeline whose time limit is consumed by filtering must mark the
+  // query unsolved instead of running an unbounded enumeration.
+  Graph data = RandomData(605, 300, 8.0, 1);
+  QuerySampler sampler(&data, 9);
+  Graph q = sampler.SampleQuery(10).ValueOrDie();
+  EnumerateOptions opts;
+  opts.match_limit = 0;
+  opts.time_limit_seconds = 1e-9;
+  auto matcher = MakeMatcherByName("Hybrid", opts).ValueOrDie();
+  auto stats = matcher->Match(q, data).ValueOrDie();
+  EXPECT_FALSE(stats.solved);
+  EXPECT_EQ(stats.num_matches, 0u);
+}
+
+TEST(RobustnessTest, PolicySurvivesSingleVertexAndEdgeQueries) {
+  Graph data = RandomData(606);
+  RLQVOModel model;
+  GraphBuilder qb1;
+  qb1.AddVertex(0);
+  Graph q1 = qb1.Build();
+  EXPECT_EQ(model.MakeOrder(q1, data).ValueOrDie(),
+            (std::vector<VertexId>{0}));
+  GraphBuilder qb2;
+  qb2.AddVertex(0);
+  qb2.AddVertex(1);
+  qb2.AddEdge(0, 1);
+  Graph q2 = qb2.Build();
+  auto order = model.MakeOrder(q2, data).ValueOrDie();
+  EXPECT_EQ(order.size(), 2u);
+}
+
+TEST(RobustnessTest, SaveToUnwritablePathFails) {
+  RLQVOModel model;
+  EXPECT_FALSE(model.Save("/nonexistent_dir/deep/model.ckpt").ok());
+  Graph g = RandomData(607);
+  EXPECT_FALSE(SaveGraphToFile(g, "/nonexistent_dir/deep/g.graph").ok());
+}
+
+}  // namespace
+}  // namespace rlqvo

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "graph/query_sampler.h"
+
+namespace rlqvo {
+namespace testing_util {
+
+/// Small labeled random data graph for property tests.
+inline Graph RandomData(uint64_t seed, uint32_t n = 60, double avg_degree = 4.0,
+                        uint32_t labels = 3) {
+  LabelConfig cfg;
+  cfg.num_labels = labels;
+  cfg.zipf_exponent = 0.5;
+  return GenerateErdosRenyi(n, avg_degree, cfg, seed).ValueOrDie();
+}
+
+/// Connected query sampled from `data` (guaranteed at least one match).
+inline Graph RandomQuery(const Graph& data, uint64_t seed, uint32_t size = 4) {
+  QuerySampler sampler(&data, seed);
+  return sampler.SampleQuery(size).ValueOrDie();
+}
+
+/// True iff `mapping` (query vertex -> data vertex) is a genuine subgraph
+/// isomorphism (Definition II.1): injective, label preserving, edge
+/// preserving.
+inline bool IsIsomorphism(const Graph& query, const Graph& data,
+                          const std::vector<VertexId>& mapping) {
+  if (mapping.size() != query.num_vertices()) return false;
+  std::vector<bool> used(data.num_vertices(), false);
+  for (VertexId u = 0; u < query.num_vertices(); ++u) {
+    const VertexId v = mapping[u];
+    if (v >= data.num_vertices() || used[v]) return false;
+    used[v] = true;
+    if (query.label(u) != data.label(v)) return false;
+  }
+  for (VertexId u = 0; u < query.num_vertices(); ++u) {
+    for (VertexId w : query.neighbors(u)) {
+      if (u < w && !data.HasEdge(mapping[u], mapping[w])) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace testing_util
+}  // namespace rlqvo
