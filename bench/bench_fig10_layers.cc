@@ -18,7 +18,7 @@ int main(int argc, char** argv) {
   }
   std::printf("\n");
 
-  for (const std::string& dataset : {"dblp", "eu2005", "wordnet"}) {
+  for (const std::string dataset : {"dblp", "eu2005", "wordnet"}) {
     const DatasetSpec spec = MustOk(FindDataset(dataset), dataset.c_str());
     const uint32_t size = spec.default_query_size;
     Workload workload =

@@ -28,7 +28,7 @@ int main(int argc, char** argv) {
   }
   std::printf("\n");
 
-  for (const std::string& name : {"RL-QVO", "Hybrid"}) {
+  for (const std::string name : {"RL-QVO", "Hybrid"}) {
     std::printf("%-10s", name.c_str());
     for (uint64_t limit : limits) {
       EnumerateOptions eopts;

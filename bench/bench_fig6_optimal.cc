@@ -19,7 +19,7 @@ int main(int argc, char** argv) {
               query_size, num_queries);
 
   Enumerator enumerator;
-  for (const std::string& dataset : {"citeseer", "yeast", "dblp"}) {
+  for (const std::string dataset : {"citeseer", "yeast", "dblp"}) {
     BenchOptions local = opts;
     local.queries_per_set = num_queries * 2;  // half goes to training
     Workload workload = MustOk(

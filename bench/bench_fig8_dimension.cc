@@ -17,7 +17,7 @@ int main(int argc, char** argv) {
   for (int d : dims) std::printf(" %10s", ("d=" + std::to_string(d)).c_str());
   std::printf("\n");
 
-  for (const std::string& dataset : {"dblp", "eu2005", "wordnet"}) {
+  for (const std::string dataset : {"dblp", "eu2005", "wordnet"}) {
     const DatasetSpec spec = MustOk(FindDataset(dataset), dataset.c_str());
     const uint32_t size = spec.default_query_size;
     Workload workload =

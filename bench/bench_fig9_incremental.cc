@@ -26,7 +26,7 @@ int main(int argc, char** argv) {
   std::printf("%-10s | %22s | %22s | %22s\n", "dataset", "RL-QVO (full)",
               "Incr", "Pretrained");
 
-  for (const std::string& dataset : {"dblp", "eu2005", "youtube"}) {
+  for (const std::string dataset : {"dblp", "eu2005", "youtube"}) {
     const DatasetSpec spec = MustOk(FindDataset(dataset), dataset.c_str());
     const uint32_t target_size = spec.default_query_size;
     const uint32_t pretrain_size = target_size / 2;  // Q16 for Q32 targets

@@ -26,6 +26,7 @@ struct BenchOptions {
   double train_budget = 120.0;   ///< wall-clock cap per training run
   uint64_t seed = 7;
   bool full = false;
+  bool json = true;              ///< write a BENCH_<name>.json results file
 
   static BenchOptions FromArgs(int argc, char** argv) {
     BenchOptions opts;
@@ -56,6 +57,8 @@ struct BenchOptions {
         opts.time_limit = std::atof(v);
       } else if (const char* v = value("--seed=")) {
         opts.seed = std::strtoull(v, nullptr, 10);
+      } else if (arg == "--no-json") {
+        opts.json = false;
       }
     }
     return opts;
@@ -139,6 +142,45 @@ T MustOk(Result<T> result, const char* what) {
     std::exit(1);
   }
   return std::move(result).ValueOrDie();
+}
+
+/// \brief Writes the machine-readable results file `BENCH_<name>.json` in
+/// the current directory (schema documented in docs/BENCHMARKS.md):
+///
+///   {"bench": <name>, "schema_version": 1,
+///    "options": {"scale": ..., "queries_per_set": ..., "seed": ...,
+///                "match_limit": ..., "time_limit": ..., "full": ...},
+///    "metrics": {<key>: <double>, ...}}
+///
+/// A no-op when opts.json is false (--no-json).
+inline void WriteBenchJson(
+    const std::string& name, const BenchOptions& opts,
+    const std::vector<std::pair<std::string, double>>& metrics) {
+  if (!opts.json) return;
+  const std::string path = "BENCH_" + name + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "WARN: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"schema_version\": 1,\n",
+               name.c_str());
+  std::fprintf(f,
+               "  \"options\": {\"scale\": %g, \"queries_per_set\": %u, "
+               "\"seed\": %llu, \"match_limit\": %llu, \"time_limit\": %g, "
+               "\"full\": %s},\n",
+               opts.scale, opts.queries_per_set,
+               static_cast<unsigned long long>(opts.seed),
+               static_cast<unsigned long long>(opts.match_limit),
+               opts.time_limit, opts.full ? "true" : "false");
+  std::fprintf(f, "  \"metrics\": {");
+  for (size_t i = 0; i < metrics.size(); ++i) {
+    std::fprintf(f, "%s\"%s\": %.6g", i == 0 ? "" : ", ",
+                 metrics[i].first.c_str(), metrics[i].second);
+  }
+  std::fprintf(f, "}\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
 }
 
 }  // namespace bench

@@ -105,6 +105,29 @@ Result<std::shared_ptr<SubgraphMatcher>> RLQVOModel::MakeMatcher(
   return std::make_shared<SubgraphMatcher>(std::move(config));
 }
 
+Result<std::shared_ptr<QueryEngine>> RLQVOModel::MakeEngine(
+    std::shared_ptr<const Graph> data, const EngineOptions& engine_options,
+    const EnumerateOptions& enum_options,
+    const std::string& filter_name) const {
+  if (data == nullptr) {
+    return Status::InvalidArgument("MakeEngine: data graph is null");
+  }
+  EngineConfig config;
+  config.data = std::move(data);
+  RLQVO_ASSIGN_OR_RETURN(config.filter, MakeFilter(filter_name));
+  // Capture the policy/features by value so the engine does not dangle if
+  // the model is destroyed first.
+  config.ordering_factory =
+      [policy = std::shared_ptr<const PolicyNetwork>(policy_),
+       features = feature_config_]() -> Result<std::shared_ptr<Ordering>> {
+    return std::shared_ptr<Ordering>(
+        std::make_shared<RLQVOOrdering>(policy, features));
+  };
+  config.enum_options = enum_options;
+  config.name = "RL-QVO";
+  return std::make_shared<QueryEngine>(std::move(config), engine_options);
+}
+
 Status RLQVOModel::Save(const std::string& path) const {
   std::map<std::string, std::string> metadata = policy_->ConfigMetadata();
   metadata["feature_alpha_degree"] = std::to_string(feature_config_.alpha_degree);

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "engine/query_engine.h"
 #include "matching/matcher.h"
 #include "rl/policy_network.h"
 #include "rl/ppo.h"
@@ -74,6 +75,17 @@ class RLQVOModel {
   /// A complete matcher: `filter_name` candidates + RL-QVO ordering + the
   /// shared enumeration engine. Default filter is GQL, as in the paper.
   Result<std::shared_ptr<SubgraphMatcher>> MakeMatcher(
+      const EnumerateOptions& enum_options = {},
+      const std::string& filter_name = "GQL") const;
+
+  /// A parallel batch QueryEngine serving this model against `data`:
+  /// `filter_name` candidates (shared, with the engine's LRU candidate
+  /// cache) + one RL-QVO ordering per worker thread, all sharing this
+  /// model's policy (inference is read-only, so sharing is safe). The
+  /// engine keeps the policy alive; it may outlive this RLQVOModel.
+  Result<std::shared_ptr<QueryEngine>> MakeEngine(
+      std::shared_ptr<const Graph> data,
+      const EngineOptions& engine_options = {},
       const EnumerateOptions& enum_options = {},
       const std::string& filter_name = "GQL") const;
 

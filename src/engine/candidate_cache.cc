@@ -1,0 +1,86 @@
+#include "engine/candidate_cache.h"
+
+namespace rlqvo {
+
+namespace {
+
+/// splitmix64 finalizer — strong 64-bit mixing per ingested word.
+inline uint64_t Mix(uint64_t h, uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  uint64_t z = h;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+uint64_t QueryFingerprint(const Graph& query) {
+  uint64_t h = 0x5192fe1e00d5b2a1ULL;
+  h = Mix(h, query.num_vertices());
+  h = Mix(h, query.num_edges());
+  for (VertexId u = 0; u < query.num_vertices(); ++u) {
+    h = Mix(h, query.label(u));
+  }
+  // Neighbor lists are sorted in CSR form, so this traversal is canonical.
+  for (VertexId u = 0; u < query.num_vertices(); ++u) {
+    for (VertexId v : query.neighbors(u)) {
+      if (u < v) h = Mix(h, (static_cast<uint64_t>(u) << 32) | v);
+    }
+  }
+  return h;
+}
+
+std::shared_ptr<const CandidateSet> CandidateCache::Get(uint64_t key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++counters_.misses;
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);  // move to front
+  ++counters_.hits;
+  return it->second->second;
+}
+
+std::shared_ptr<const CandidateSet> CandidateCache::Peek(uint64_t key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) return nullptr;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->second;
+}
+
+void CandidateCache::Put(uint64_t key,
+                         std::shared_ptr<const CandidateSet> value) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->second = std::move(value);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (lru_.size() >= capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++counters_.evictions;
+  }
+  lru_.emplace_front(key, std::move(value));
+  index_[key] = lru_.begin();
+}
+
+void CandidateCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+}
+
+CandidateCache::Counters CandidateCache::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Counters c = counters_;
+  c.entries = lru_.size();
+  return c;
+}
+
+}  // namespace rlqvo

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "matching/candidate_set.h"
+
+namespace rlqvo {
+
+/// \brief 64-bit structural fingerprint of a query graph: a hash over the
+/// vertex labels and the (sorted, canonical) edge list.
+///
+/// Two structurally identical queries (same vertex numbering, labels and
+/// edges) always collide; distinct queries collide with probability ~2^-64.
+/// QueryEngine uses it as the candidate-cache key, which is sound because an
+/// engine instance fixes the other two inputs of filtering — the data graph
+/// and the filter.
+uint64_t QueryFingerprint(const Graph& query);
+
+/// \brief Thread-safe LRU cache of filtered candidate sets, keyed by query
+/// fingerprint.
+///
+/// Values are shared_ptr<const CandidateSet>, so a cached entry can be
+/// evicted while worker threads still hold (and read) it. All operations
+/// take a single internal mutex; the critical sections are O(1) hash/list
+/// updates, so contention stays negligible next to filtering costs.
+class CandidateCache {
+ public:
+  /// \name Hit/miss/eviction counters and current size.
+  /// @{
+  struct Counters {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    size_t entries = 0;
+  };
+  /// @}
+
+  /// A cache holding at most `capacity` candidate sets; 0 disables caching
+  /// entirely (Get always misses, Put is a no-op).
+  explicit CandidateCache(size_t capacity) : capacity_(capacity) {}
+
+  /// Returns the cached set for `key` (marking it most-recently-used) or
+  /// nullptr on miss. Counts a hit or a miss.
+  std::shared_ptr<const CandidateSet> Get(uint64_t key);
+
+  /// Get without touching the hit/miss counters. For internal re-checks
+  /// (e.g. single-flight leaders re-probing after a counted miss) so each
+  /// logical lookup is counted exactly once.
+  std::shared_ptr<const CandidateSet> Peek(uint64_t key);
+
+  /// Inserts (or refreshes) `key`, evicting the least-recently-used entry
+  /// when at capacity.
+  void Put(uint64_t key, std::shared_ptr<const CandidateSet> value);
+
+  /// Drops all entries. Counters are preserved.
+  void Clear();
+
+  Counters counters() const;
+  size_t capacity() const { return capacity_; }
+
+ private:
+  using LruList = std::list<std::pair<uint64_t, std::shared_ptr<const CandidateSet>>>;
+
+  mutable std::mutex mu_;
+  size_t capacity_;
+  LruList lru_;  // front = most recently used
+  std::unordered_map<uint64_t, LruList::iterator> index_;
+  Counters counters_;
+};
+
+}  // namespace rlqvo

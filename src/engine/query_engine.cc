@@ -1,0 +1,207 @@
+#include "engine/query_engine.h"
+
+#include <utility>
+
+#include "common/timer.h"
+
+namespace rlqvo {
+
+QueryEngine::QueryEngine(EngineConfig config, const EngineOptions& options)
+    : config_(std::move(config)),
+      cache_(options.candidate_cache_capacity),
+      pool_(options.num_threads) {
+  RLQVO_CHECK(config_.data != nullptr);
+  RLQVO_CHECK(config_.filter != nullptr);
+  RLQVO_CHECK(config_.ordering_factory != nullptr);
+  if (config_.name.empty()) config_.name = config_.filter->name();
+  // One ordering per worker: orderings may be stateful (RNG, timing), so
+  // sharing one instance across threads would be a data race. A factory
+  // failure is recoverable: it poisons the engine and surfaces from
+  // MatchBatch rather than aborting here.
+  worker_orderings_.reserve(pool_.size());
+  for (uint32_t i = 0; i < pool_.size(); ++i) {
+    Result<std::shared_ptr<Ordering>> ordering = config_.ordering_factory();
+    if (!ordering.ok()) {
+      init_status_ = ordering.status();
+      return;
+    }
+    worker_orderings_.push_back(std::move(ordering).ValueOrDie());
+  }
+}
+
+Result<std::shared_ptr<const CandidateSet>> QueryEngine::GetCandidates(
+    const Graph& query, bool skip_cache) {
+  if (skip_cache || cache_.capacity() == 0) {
+    RLQVO_ASSIGN_OR_RETURN(CandidateSet fresh,
+                           config_.filter->Filter(query, *config_.data));
+    return std::make_shared<const CandidateSet>(std::move(fresh));
+  }
+
+  // The fingerprint pins down the query; the data graph and filter are
+  // fixed per engine, so equal fingerprints imply equal candidate sets.
+  const uint64_t key = QueryFingerprint(query);
+  std::shared_ptr<const CandidateSet> candidates = cache_.Get(key);
+  if (candidates != nullptr) return candidates;
+
+  // Single-flight: concurrent cold misses on the same key filter once.
+  std::shared_ptr<InflightFilter> entry;
+  bool leader = false;
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    auto [it, inserted] = inflight_.try_emplace(key);
+    if (inserted) {
+      it->second = std::make_shared<InflightFilter>();
+      leader = true;
+    }
+    entry = it->second;
+  }
+  if (!leader) {
+    std::unique_lock<std::mutex> lock(inflight_mu_);
+    inflight_cv_.wait(lock, [&] { return entry->ready; });
+    if (!entry->status.ok()) return entry->status;
+    return entry->value;
+  }
+
+  // A previous leader may have completed between our counted miss and
+  // winning leadership; re-probe (uncounted) before paying for the filter.
+  entry->value = cache_.Peek(key);
+  if (entry->value == nullptr) {
+    Result<CandidateSet> fresh = config_.filter->Filter(query, *config_.data);
+    if (fresh.ok()) {
+      entry->value = std::make_shared<const CandidateSet>(
+          std::move(fresh).ValueOrDie());
+      cache_.Put(key, entry->value);
+    } else {
+      entry->status = fresh.status();
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    entry->ready = true;
+    inflight_.erase(key);
+  }
+  inflight_cv_.notify_all();
+  if (!entry->status.ok()) return entry->status;
+  return entry->value;
+}
+
+Result<MatchRunStats> QueryEngine::RunQuery(
+    const Graph& query, const EnumerateOptions& enum_options, bool skip_cache,
+    Ordering* ordering) {
+  MatchRunStats stats;
+  Stopwatch total;
+
+  // Phase 1: candidate filtering, short-circuited by the LRU cache. A
+  // follower of a single-flight miss also counts its filter time as the
+  // wait for the leader's computation.
+  Stopwatch phase;
+  RLQVO_ASSIGN_OR_RETURN(std::shared_ptr<const CandidateSet> candidates,
+                         GetCandidates(query, skip_cache));
+  stats.filter_time_seconds = phase.ElapsedSeconds();
+  stats.candidate_total = candidates->TotalSize();
+
+  // Phases 2–3 share SubgraphMatcher's implementation (per-worker ordering
+  // instance, deadline budget = whatever the per-query limit has left).
+  return RunOrderedEnumeration(query, *config_.data, *candidates, ordering,
+                               enum_options, std::move(stats), total);
+}
+
+Result<BatchResult> QueryEngine::MatchBatch(const std::vector<Graph>& queries,
+                                            const BatchOptions& options) {
+  if (!init_status_.ok()) return init_status_;
+  if (!options.per_query.empty() &&
+      options.per_query.size() != queries.size()) {
+    return Status::InvalidArgument(
+        "BatchOptions.per_query has " +
+        std::to_string(options.per_query.size()) + " entries for " +
+        std::to_string(queries.size()) + " queries");
+  }
+
+  // Batches are serialized against each other so the pool and the per-batch
+  // cache counters are never shared between two in-flight batches; all
+  // parallelism is across the queries *within* a batch.
+  std::lock_guard<std::mutex> batch_lock(batch_mu_);
+  const CandidateCache::Counters cache_before = cache_.counters();
+  Stopwatch wall;
+
+  BatchResult batch;
+  batch.per_query.resize(queries.size());
+  std::vector<Status> statuses(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    pool_.Submit([this, &queries, &options, &batch, &statuses, i] {
+      const int worker = ThreadPool::CurrentWorkerIndex();
+      const EnumerateOptions& enum_options = options.per_query.empty()
+                                                 ? config_.enum_options
+                                                 : options.per_query[i];
+      Result<MatchRunStats> result =
+          RunQuery(queries[i], enum_options, options.skip_cache,
+                   worker_orderings_[worker].get());
+      if (result.ok()) {
+        batch.per_query[i] = std::move(result).ValueOrDie();
+      } else {
+        statuses[i] = result.status();
+      }
+    });
+  }
+  pool_.Wait();
+
+  for (const Status& status : statuses) {
+    if (!status.ok()) return status;
+  }
+  for (const MatchRunStats& stats : batch.per_query) {
+    batch.total_matches += stats.num_matches;
+    batch.total_enumerations += stats.num_enumerations;
+    if (!stats.solved) ++batch.unsolved;
+  }
+  const CandidateCache::Counters cache_after = cache_.counters();
+  batch.cache_hits = cache_after.hits - cache_before.hits;
+  batch.cache_misses = cache_after.misses - cache_before.misses;
+  batch.wall_seconds = wall.ElapsedSeconds();
+
+  {
+    std::lock_guard<std::mutex> lock(counters_mu_);
+    queries_served_ += queries.size();
+    ++batches_served_;
+  }
+  return batch;
+}
+
+Result<MatchRunStats> QueryEngine::Match(const Graph& query) {
+  RLQVO_ASSIGN_OR_RETURN(BatchResult batch, MatchBatch({query}));
+  return std::move(batch.per_query[0]);
+}
+
+EngineCounters QueryEngine::counters() const {
+  EngineCounters counters;
+  {
+    std::lock_guard<std::mutex> lock(counters_mu_);
+    counters.queries_served = queries_served_;
+    counters.batches_served = batches_served_;
+  }
+  counters.cache = cache_.counters();
+  return counters;
+}
+
+Result<std::shared_ptr<QueryEngine>> MakeEngineByName(
+    const std::string& name, std::shared_ptr<const Graph> data,
+    const EngineOptions& engine_options, const EnumerateOptions& enum_options) {
+  if (data == nullptr) {
+    return Status::InvalidArgument("MakeEngineByName: data graph is null");
+  }
+  // Reuse the baseline factory to resolve the filter/ordering pair, then
+  // re-create the ordering per worker through MakeOrdering.
+  RLQVO_ASSIGN_OR_RETURN(std::shared_ptr<SubgraphMatcher> matcher,
+                         MakeMatcherByName(name, enum_options));
+  const std::string ordering_name = matcher->config().ordering->name();
+  EngineConfig config;
+  config.data = std::move(data);
+  config.filter = matcher->config().filter;
+  config.ordering_factory = [ordering_name] {
+    return MakeOrdering(ordering_name);
+  };
+  config.enum_options = enum_options;
+  config.name = name;
+  return std::make_shared<QueryEngine>(std::move(config), engine_options);
+}
+
+}  // namespace rlqvo

@@ -1,0 +1,183 @@
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/candidate_cache.h"
+#include "engine/thread_pool.h"
+#include "matching/matcher.h"
+
+namespace rlqvo {
+
+/// \brief Sizing knobs for a QueryEngine.
+struct EngineOptions {
+  /// Worker threads; 0 = std::thread::hardware_concurrency (at least 1).
+  uint32_t num_threads = 0;
+  /// Max cached candidate sets (LRU, keyed by query fingerprint); 0 disables
+  /// the cache.
+  size_t candidate_cache_capacity = 256;
+};
+
+/// \brief What a QueryEngine serves: a shared data graph plus the
+/// filter/ordering/matcher configuration applied to every query.
+///
+/// The filter is shared across workers (filters are stateless and Filter()
+/// is const). Orderings may be stateful (RL-QVO keeps an RNG and timing
+/// state), so the engine builds one instance *per worker thread* through
+/// `ordering_factory`.
+struct EngineConfig {
+  /// The data graph G every query is matched against. Must be non-null and
+  /// outlive the engine.
+  std::shared_ptr<const Graph> data;
+  /// Phase-1 candidate filter, shared by all workers.
+  std::shared_ptr<CandidateFilter> filter;
+  /// Builds a fresh phase-2 ordering; invoked once per worker thread.
+  std::function<Result<std::shared_ptr<Ordering>>()> ordering_factory;
+  /// Default enumeration controls (match limit / per-query deadline /
+  /// store_embeddings); overridable per batch and per query.
+  EnumerateOptions enum_options;
+  /// Display name, e.g. "GQL+RI". Defaults to the filter's name.
+  std::string name;
+};
+
+/// \brief Per-batch controls for QueryEngine::MatchBatch.
+struct BatchOptions {
+  /// When non-empty, per-query enumeration controls (deadlines, limits);
+  /// must then have exactly one entry per query. When empty, every query
+  /// uses the engine's default enum_options.
+  std::vector<EnumerateOptions> per_query;
+  /// Bypass the candidate cache for this batch (always re-filter).
+  bool skip_cache = false;
+};
+
+/// \brief Outcome of one MatchBatch call: per-query stats aligned with the
+/// input order, plus batch-level aggregates.
+struct BatchResult {
+  /// stats[i] corresponds to queries[i], regardless of which worker ran it
+  /// or in what order workers finished.
+  std::vector<MatchRunStats> per_query;
+  /// Sum of per-query num_matches.
+  uint64_t total_matches = 0;
+  /// Sum of per-query num_enumerations.
+  uint64_t total_enumerations = 0;
+  /// Number of queries whose deadline fired before completion.
+  uint32_t unsolved = 0;
+  /// Candidate-cache hits/misses incurred by this batch.
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  /// Wall-clock seconds for the whole batch (submit to last completion).
+  double wall_seconds = 0.0;
+};
+
+/// \brief Cumulative engine counters across all batches.
+struct EngineCounters {
+  uint64_t queries_served = 0;
+  uint64_t batches_served = 0;
+  CandidateCache::Counters cache;
+};
+
+/// \brief Parallel batch query-serving front-end over the three-phase
+/// matching pipeline.
+///
+/// A QueryEngine owns one shared data graph, one matcher configuration, a
+/// fixed-size ThreadPool, and an LRU CandidateCache. MatchBatch fans the
+/// queries of a batch out across the pool: each worker runs the full
+/// filter → order → enumerate pipeline with a per-worker Ordering instance
+/// (the enumerator is stateless), consulting the cache before filtering so
+/// repeated queries (same fingerprint) skip phase 1 entirely.
+///
+/// With a deterministic ordering_factory — every built-in one:
+/// MakeEngineByName's baselines and RLQVOModel::MakeEngine's greedy-argmax
+/// RL-QVO — results are identical to running the same SubgraphMatcher
+/// configuration sequentially, because queries never share mutable state:
+/// the data graph and candidate sets are immutable, and each worker has its
+/// own ordering. Only timing fields vary run to run. Two caveats forfeit
+/// this guarantee: (1) a *stochastic* factory (e.g.
+/// RLQVOModel::MakeOrdering(stochastic=true)) — which worker (and thus
+/// which RNG stream) serves a query depends on scheduling; (2) a finite
+/// time_limit_seconds that actually fires — deadline cuts land at
+/// timing-dependent points, and cache hits shift budget into enumeration,
+/// so partial counts differ between runs and from a sequential run. On a cache hit the reported filter_time_seconds is the (near-zero)
+/// lookup time, which also means cached queries spend more of their
+/// deadline budget in enumeration.
+class QueryEngine {
+ public:
+  /// \param config must have data, filter and ordering_factory set (checked
+  ///        fatally — those are programming errors). If ordering_factory
+  ///        *returns* an error, construction completes but the engine is
+  ///        poisoned: every MatchBatch reports that status.
+  explicit QueryEngine(EngineConfig config, const EngineOptions& options = {});
+
+  /// Matches every query against the shared data graph, in parallel.
+  /// Blocks until the whole batch is done. Returns an error if any query
+  /// fails (first failing query's status); per-query deadline expiry is NOT
+  /// an error — it is reported via MatchRunStats::solved = false.
+  Result<BatchResult> MatchBatch(const std::vector<Graph>& queries,
+                                 const BatchOptions& options = {});
+
+  /// Single-query convenience wrapper over MatchBatch.
+  Result<MatchRunStats> Match(const Graph& query);
+
+  const std::string& name() const { return config_.name; }
+  uint32_t num_threads() const { return pool_.size(); }
+  const Graph& data() const { return *config_.data; }
+  /// Cumulative counters (batches, queries, cache hits/misses/evictions).
+  EngineCounters counters() const;
+  /// Drops all cached candidate sets (counters are preserved).
+  void ClearCache() { cache_.Clear(); }
+
+ private:
+  /// Tracks one in-progress filter computation so concurrent cold misses on
+  /// the same fingerprint run the filter once (single-flight): the first
+  /// worker computes, the rest wait for its result.
+  struct InflightFilter {
+    bool ready = false;  // guarded by inflight_mu_
+    Status status;
+    std::shared_ptr<const CandidateSet> value;
+  };
+
+  /// Runs one query through filter (or cache) → order → enumerate on the
+  /// calling worker thread.
+  Result<MatchRunStats> RunQuery(const Graph& query,
+                                 const EnumerateOptions& enum_options,
+                                 bool skip_cache, Ordering* ordering);
+
+  /// Phase 1 with cache lookup and single-flight deduplication.
+  Result<std::shared_ptr<const CandidateSet>> GetCandidates(const Graph& query,
+                                                            bool skip_cache);
+
+  EngineConfig config_;
+  CandidateCache cache_;
+  Status init_status_;  // non-OK iff ordering_factory failed at construction
+  std::vector<std::shared_ptr<Ordering>> worker_orderings_;
+
+  std::mutex batch_mu_;  // serializes MatchBatch calls against each other
+  mutable std::mutex counters_mu_;
+  uint64_t queries_served_ = 0;
+  uint64_t batches_served_ = 0;
+
+  std::mutex inflight_mu_;
+  std::condition_variable inflight_cv_;
+  std::unordered_map<uint64_t, std::shared_ptr<InflightFilter>> inflight_;
+
+  // Declared last so ~QueryEngine joins the workers before any state they
+  // touch (orderings, cache, mutexes) is destroyed.
+  ThreadPool pool_;
+};
+
+/// \brief Builds an engine serving one of the named baseline algorithms of
+/// MakeMatcherByName ("QSI", "RI", "VF2PP", "GQL", "VEQ", "Hybrid",
+/// "Random") against `data`. RL-QVO engines are built via
+/// RLQVOModel::MakeEngine (src/core).
+Result<std::shared_ptr<QueryEngine>> MakeEngineByName(
+    const std::string& name, std::shared_ptr<const Graph> data,
+    const EngineOptions& engine_options = {},
+    const EnumerateOptions& enum_options = {});
+
+}  // namespace rlqvo

@@ -1,0 +1,67 @@
+#include "engine/thread_pool.h"
+
+#include <utility>
+
+namespace rlqvo {
+
+namespace {
+thread_local int t_worker_index = -1;
+}  // namespace
+
+ThreadPool::ThreadPool(uint32_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::thread::hardware_concurrency();
+    if (num_threads == 0) num_threads = 1;
+  }
+  workers_.reserve(num_threads);
+  for (uint32_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+    ++pending_;
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  all_done_.wait(lock, [this] { return pending_ == 0; });
+}
+
+int ThreadPool::CurrentWorkerIndex() { return t_worker_index; }
+
+void ThreadPool::WorkerLoop(uint32_t index) {
+  t_worker_index = static_cast<int>(index);
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_available_.wait(lock,
+                           [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--pending_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace rlqvo

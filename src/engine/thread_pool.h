@@ -1,0 +1,61 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rlqvo {
+
+/// \brief Fixed-size worker pool used by QueryEngine to fan independent
+/// queries out across threads.
+///
+/// Tasks are plain closures drained FIFO from a shared queue. Workers are
+/// spawned once at construction and joined at destruction; there is no
+/// dynamic resizing. Each worker carries a stable index in
+/// [0, num_threads), exposed to running tasks via CurrentWorkerIndex() so
+/// callers can keep per-worker state (e.g. a per-thread Ordering instance)
+/// without locking.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers; 0 means std::thread::hardware_concurrency
+  /// (at least 1).
+  explicit ThreadPool(uint32_t num_threads);
+
+  /// Drains remaining tasks, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Never blocks (the queue is unbounded).
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished executing (not merely
+  /// been dequeued). Safe to call repeatedly; new Submits after Wait returns
+  /// start a fresh round.
+  void Wait();
+
+  /// Number of worker threads.
+  uint32_t size() const { return static_cast<uint32_t>(workers_.size()); }
+
+  /// Index of the calling worker thread in [0, size()), or -1 when called
+  /// from a thread that does not belong to any ThreadPool.
+  static int CurrentWorkerIndex();
+
+ private:
+  void WorkerLoop(uint32_t index);
+
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  uint64_t pending_ = 0;  // queued + currently executing
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace rlqvo

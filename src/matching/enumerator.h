@@ -14,9 +14,15 @@ struct EnumerateOptions {
   /// Stop after this many embeddings. The paper caps evaluation at 1e5
   /// matches (Sec IV-A). 0 means unlimited ("ALL" in Fig 11).
   uint64_t match_limit = 100000;
-  /// Per-query time limit in seconds (the paper uses 500 s); 0 = unlimited.
+  /// Time limit in seconds; 0 = unlimited. Enumerator::Run bounds only the
+  /// enumeration itself with this; SubgraphMatcher and QueryEngine treat it
+  /// as the whole-pipeline per-query budget (the paper's 500 s, Sec IV-A)
+  /// and pass enumeration whatever remains after filtering and ordering.
+  /// Expiry is polled every ~4096 recursive calls, so runs can overshoot
+  /// the limit slightly.
   double time_limit_seconds = 0.0;
-  /// Keep the embeddings (otherwise only counts are tracked).
+  /// Keep the embeddings in EnumerateResult::embeddings (otherwise only
+  /// counts are tracked).
   bool store_embeddings = false;
 };
 
@@ -26,9 +32,10 @@ struct EnumerateResult {
   uint64_t num_matches = 0;
   /// #enum (Definition II.6): recursive calls of the enumeration procedure.
   uint64_t num_enumerations = 0;
-  /// True iff the time limit fired before completion.
+  /// True iff the time limit fired before completion. num_matches and
+  /// num_enumerations then hold the partial counts at the cutoff.
   bool timed_out = false;
-  /// True iff the match limit fired.
+  /// True iff the match limit fired (num_matches == match_limit).
   bool hit_match_limit = false;
   /// Wall-clock seconds spent enumerating.
   double enum_time_seconds = 0.0;

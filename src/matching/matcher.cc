@@ -19,7 +19,6 @@ Result<MatchRunStats> SubgraphMatcher::Match(const Graph& query,
                                              const Graph& data) const {
   MatchRunStats stats;
   Stopwatch total;
-  const double limit = config_.enum_options.time_limit_seconds;
 
   Stopwatch phase;
   RLQVO_ASSIGN_OR_RETURN(CandidateSet candidates,
@@ -27,18 +26,27 @@ Result<MatchRunStats> SubgraphMatcher::Match(const Graph& query,
   stats.filter_time_seconds = phase.ElapsedSeconds();
   stats.candidate_total = candidates.TotalSize();
 
-  phase.Restart();
+  return RunOrderedEnumeration(query, data, candidates,
+                               config_.ordering.get(), config_.enum_options,
+                               std::move(stats), total);
+}
+
+Result<MatchRunStats> RunOrderedEnumeration(
+    const Graph& query, const Graph& data, const CandidateSet& candidates,
+    Ordering* ordering, const EnumerateOptions& options, MatchRunStats stats,
+    const Stopwatch& total) {
+  Stopwatch phase;
   OrderingContext ctx;
   ctx.query = &query;
   ctx.data = &data;
   ctx.candidates = &candidates;
-  RLQVO_ASSIGN_OR_RETURN(std::vector<VertexId> order,
-                         config_.ordering->MakeOrder(ctx));
+  RLQVO_ASSIGN_OR_RETURN(std::vector<VertexId> order, ordering->MakeOrder(ctx));
   stats.order_time_seconds = phase.ElapsedSeconds();
   stats.order = order;
 
   // The enumeration budget is whatever remains of the query's time limit.
-  EnumerateOptions enum_options = config_.enum_options;
+  EnumerateOptions enum_options = options;
+  const double limit = options.time_limit_seconds;
   if (limit > 0.0) {
     const double remaining =
         limit - stats.filter_time_seconds - stats.order_time_seconds;
@@ -50,7 +58,7 @@ Result<MatchRunStats> SubgraphMatcher::Match(const Graph& query,
     enum_options.time_limit_seconds = remaining;
   }
 
-  Enumerator enumerator;
+  Enumerator enumerator;  // stateless
   RLQVO_ASSIGN_OR_RETURN(
       EnumerateResult enum_result,
       enumerator.Run(query, data, candidates, order, enum_options));

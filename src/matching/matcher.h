@@ -29,13 +29,19 @@ struct MatchRunStats {
   double order_time_seconds = 0.0;
   double enum_time_seconds = 0.0;
   double total_time_seconds = 0.0;
+  /// Embeddings found (capped by EnumerateOptions::match_limit).
   uint64_t num_matches = 0;
+  /// #enum (Definition II.6): recursive enumeration calls.
   uint64_t num_enumerations = 0;
   /// Query finished within the time limit ("solved", Sec IV-A).
   bool solved = true;
+  /// The match limit fired before the search space was exhausted.
   bool hit_match_limit = false;
+  /// Sum of candidate-set sizes after filtering.
   size_t candidate_total = 0;
+  /// The matching order phase 2 produced.
   std::vector<VertexId> order;
+  /// Present only when EnumerateOptions::store_embeddings was set.
   std::vector<std::vector<VertexId>> embeddings;
 };
 
@@ -58,6 +64,21 @@ class SubgraphMatcher {
  private:
   MatcherConfig config_;
 };
+
+/// \brief Shared phases 2–3 of Algorithm 1: ordering, then enumeration on
+/// whatever remains of the per-query deadline. Used by both
+/// SubgraphMatcher::Match and QueryEngine::RunQuery so their deadline and
+/// stats semantics cannot drift apart.
+///
+/// \param stats carries the phase-1 outcome (filter_time_seconds,
+///        candidate_total) and is completed and returned by this call.
+/// \param total the stopwatch started at the beginning of phase 1;
+///        options.time_limit_seconds (if any) budgets all three phases
+///        against it.
+Result<MatchRunStats> RunOrderedEnumeration(
+    const Graph& query, const Graph& data, const CandidateSet& candidates,
+    Ordering* ordering, const EnumerateOptions& options, MatchRunStats stats,
+    const Stopwatch& total);
 
 /// \brief Builds one of the paper's compared algorithms by name:
 ///

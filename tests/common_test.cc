@@ -202,7 +202,7 @@ TEST(StringUtilTest, FormatBytes) {
 TEST(TimerTest, StopwatchAdvances) {
   Stopwatch watch;
   volatile double sink = 0.0;
-  for (int i = 0; i < 100000; ++i) sink += i;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
   EXPECT_GT(watch.ElapsedNanos(), 0);
   EXPECT_GE(watch.ElapsedSeconds(), 0.0);
 }
@@ -216,7 +216,7 @@ TEST(TimerTest, DeadlineUnlimitedNeverExpires) {
 TEST(TimerTest, DeadlineExpires) {
   Deadline d(1e-9);
   volatile double sink = 0.0;
-  for (int i = 0; i < 100000; ++i) sink += i;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
   EXPECT_TRUE(d.Expired());
 }
 

@@ -1,0 +1,311 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "core/rlqvo.h"
+#include "engine/candidate_cache.h"
+#include "engine/query_engine.h"
+#include "engine/thread_pool.h"
+#include "test_util.h"
+
+namespace rlqvo {
+namespace {
+
+using testing_util::RandomData;
+using testing_util::RandomQuery;
+
+std::vector<Graph> MakeQueries(const Graph& data, uint64_t seed, size_t count,
+                               uint32_t size = 4) {
+  std::vector<Graph> queries;
+  for (size_t i = 0; i < count; ++i) {
+    queries.push_back(RandomQuery(data, seed + i, size));
+  }
+  return queries;
+}
+
+// --- ThreadPool ---
+
+TEST(ThreadPoolTest, RunsEveryTaskAndReportsWorkerIndex) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  EXPECT_EQ(ThreadPool::CurrentWorkerIndex(), -1);  // not a worker thread
+
+  std::atomic<int> ran{0};
+  std::atomic<bool> bad_index{false};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&] {
+      const int w = ThreadPool::CurrentWorkerIndex();
+      if (w < 0 || w >= 4) bad_index = true;
+      ran.fetch_add(1);
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(ran.load(), 100);
+  EXPECT_FALSE(bad_index.load());
+
+  // Wait is repeatable and a second round of submissions works.
+  pool.Wait();
+  pool.Submit([&] { ran.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(ran.load(), 101);
+}
+
+// --- Query fingerprint ---
+
+TEST(QueryFingerprintTest, IdenticalGraphsCollideDistinctOnesDoNot) {
+  Graph data = RandomData(11);
+  Graph q1 = RandomQuery(data, 21, 5);
+  Graph q1_again = RandomQuery(data, 21, 5);
+  Graph q2 = RandomQuery(data, 22, 5);
+  EXPECT_EQ(QueryFingerprint(q1), QueryFingerprint(q1_again));
+  EXPECT_NE(QueryFingerprint(q1), QueryFingerprint(q2));
+
+  // A single label change flips the fingerprint.
+  GraphBuilder a, b;
+  a.AddVertex(0); a.AddVertex(1); a.AddEdge(0, 1);
+  b.AddVertex(0); b.AddVertex(2); b.AddEdge(0, 1);
+  EXPECT_NE(QueryFingerprint(a.Build()), QueryFingerprint(b.Build()));
+}
+
+// --- CandidateCache ---
+
+TEST(CandidateCacheTest, LruEvictionAndCounters) {
+  CandidateCache cache(2);
+  auto value = [] {
+    return std::make_shared<const CandidateSet>(CandidateSet(1));
+  };
+  EXPECT_EQ(cache.Get(1), nullptr);  // miss
+  cache.Put(1, value());
+  cache.Put(2, value());
+  EXPECT_NE(cache.Get(1), nullptr);  // hit; 1 becomes MRU
+  cache.Put(3, value());             // evicts 2 (LRU)
+  EXPECT_EQ(cache.Get(2), nullptr);
+  EXPECT_NE(cache.Get(1), nullptr);
+  EXPECT_NE(cache.Get(3), nullptr);
+
+  const CandidateCache::Counters c = cache.counters();
+  EXPECT_EQ(c.hits, 3u);
+  EXPECT_EQ(c.misses, 2u);
+  EXPECT_EQ(c.evictions, 1u);
+  EXPECT_EQ(c.entries, 2u);
+}
+
+TEST(CandidateCacheTest, ZeroCapacityDisablesCaching) {
+  CandidateCache cache(0);
+  cache.Put(1, std::make_shared<const CandidateSet>(CandidateSet(1)));
+  EXPECT_EQ(cache.Get(1), nullptr);
+  EXPECT_EQ(cache.counters().entries, 0u);
+}
+
+// --- QueryEngine ---
+
+TEST(QueryEngineTest, MatchBatchEqualsSequentialMatcher) {
+  Graph data = RandomData(31, 80, 4.0, 3);
+  std::vector<Graph> queries = MakeQueries(data, 100, 12);
+
+  EnumerateOptions enum_options;
+  enum_options.store_embeddings = true;
+  EngineOptions engine_options;
+  engine_options.num_threads = 4;
+  auto data_ptr = std::make_shared<const Graph>(data);
+  auto engine =
+      MakeEngineByName("Hybrid", data_ptr, engine_options, enum_options)
+          .ValueOrDie();
+  EXPECT_EQ(engine->num_threads(), 4u);
+
+  auto batch = engine->MatchBatch(queries).ValueOrDie();
+  ASSERT_EQ(batch.per_query.size(), queries.size());
+
+  auto matcher = MakeMatcherByName("Hybrid", enum_options).ValueOrDie();
+  uint64_t total_matches = 0;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const MatchRunStats sequential =
+        matcher->Match(queries[i], data).ValueOrDie();
+    const MatchRunStats& parallel = batch.per_query[i];
+    EXPECT_EQ(parallel.num_matches, sequential.num_matches) << "query " << i;
+    EXPECT_EQ(parallel.num_enumerations, sequential.num_enumerations);
+    EXPECT_EQ(parallel.order, sequential.order);
+    EXPECT_EQ(parallel.embeddings, sequential.embeddings);
+    for (const auto& embedding : parallel.embeddings) {
+      EXPECT_TRUE(testing_util::IsIsomorphism(queries[i], data, embedding));
+    }
+    total_matches += sequential.num_matches;
+  }
+  EXPECT_EQ(batch.total_matches, total_matches);
+  EXPECT_EQ(batch.unsolved, 0u);
+}
+
+TEST(QueryEngineTest, DeterministicAcrossRepeatedBatches) {
+  Graph data = RandomData(41);
+  std::vector<Graph> queries = MakeQueries(data, 200, 8);
+  EnumerateOptions enum_options;
+  enum_options.store_embeddings = true;
+  EngineOptions engine_options;
+  engine_options.num_threads = 4;
+  auto engine = MakeEngineByName("GQL", std::make_shared<const Graph>(data),
+                                 engine_options, enum_options)
+                    .ValueOrDie();
+
+  auto first = engine->MatchBatch(queries).ValueOrDie();
+  auto second = engine->MatchBatch(queries).ValueOrDie();  // cache-hit path
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(first.per_query[i].num_matches, second.per_query[i].num_matches);
+    EXPECT_EQ(first.per_query[i].order, second.per_query[i].order);
+    EXPECT_EQ(first.per_query[i].embeddings, second.per_query[i].embeddings);
+  }
+}
+
+TEST(QueryEngineTest, CacheHitAndMissCounters) {
+  Graph data = RandomData(51);
+  std::vector<Graph> queries = MakeQueries(data, 300, 6);
+  EngineOptions engine_options;
+  engine_options.num_threads = 2;
+  auto engine = MakeEngineByName("Hybrid", std::make_shared<const Graph>(data),
+                                 engine_options)
+                    .ValueOrDie();
+
+  auto first = engine->MatchBatch(queries).ValueOrDie();
+  EXPECT_EQ(first.cache_hits, 0u);
+  EXPECT_EQ(first.cache_misses, queries.size());
+
+  auto second = engine->MatchBatch(queries).ValueOrDie();
+  EXPECT_EQ(second.cache_hits, queries.size());
+  EXPECT_EQ(second.cache_misses, 0u);
+
+  const EngineCounters counters = engine->counters();
+  EXPECT_EQ(counters.batches_served, 2u);
+  EXPECT_EQ(counters.queries_served, 2 * queries.size());
+  EXPECT_EQ(counters.cache.hits, queries.size());
+  EXPECT_EQ(counters.cache.misses, queries.size());
+  EXPECT_EQ(counters.cache.entries, queries.size());
+
+  // skip_cache bypasses both lookup and insert.
+  BatchOptions skip;
+  skip.skip_cache = true;
+  auto third = engine->MatchBatch(queries, skip).ValueOrDie();
+  EXPECT_EQ(third.cache_hits, 0u);
+  EXPECT_EQ(third.cache_misses, 0u);
+
+  engine->ClearCache();
+  EXPECT_EQ(engine->counters().cache.entries, 0u);
+}
+
+TEST(QueryEngineTest, ColdBatchOfDuplicateQueriesIsSingleFlighted) {
+  Graph data = RandomData(55, 80, 4.0, 3);
+  // 24 copies of one query, hitting a cold 4-worker engine at once.
+  std::vector<Graph> queries(24, RandomQuery(data, 350, 5));
+  EngineOptions engine_options;
+  engine_options.num_threads = 4;
+  auto engine = MakeEngineByName("Hybrid", std::make_shared<const Graph>(data),
+                                 engine_options)
+                    .ValueOrDie();
+
+  auto batch = engine->MatchBatch(queries).ValueOrDie();
+  // Every copy sees the same candidates, so results are identical; each
+  // query is one lookup (hit or miss depending on timing), never more.
+  EXPECT_EQ(batch.cache_hits + batch.cache_misses, queries.size());
+  EXPECT_GE(batch.cache_misses, 1u);
+  EXPECT_EQ(engine->counters().cache.entries, 1u);
+  for (const MatchRunStats& stats : batch.per_query) {
+    EXPECT_EQ(stats.num_matches, batch.per_query[0].num_matches);
+    EXPECT_EQ(stats.order, batch.per_query[0].order);
+    EXPECT_EQ(stats.candidate_total, batch.per_query[0].candidate_total);
+  }
+}
+
+TEST(QueryEngineTest, PerQueryDeadlinesAreHonoured) {
+  Graph data = RandomData(61, 100, 5.0, 2);
+  std::vector<Graph> queries = MakeQueries(data, 400, 4, 5);
+
+  EngineOptions engine_options;
+  engine_options.num_threads = 2;
+  auto engine = MakeEngineByName("Hybrid", std::make_shared<const Graph>(data),
+                                 engine_options)
+                    .ValueOrDie();
+
+  BatchOptions options;
+  options.per_query.resize(queries.size());
+  // Query 0 gets an unmeetable deadline; the rest are unlimited.
+  options.per_query[0].time_limit_seconds = 1e-9;
+  auto batch = engine->MatchBatch(queries, options).ValueOrDie();
+  EXPECT_FALSE(batch.per_query[0].solved);
+  EXPECT_EQ(batch.unsolved, 1u);
+  for (size_t i = 1; i < queries.size(); ++i) {
+    EXPECT_TRUE(batch.per_query[i].solved) << "query " << i;
+  }
+}
+
+TEST(QueryEngineTest, PerQueryOptionsSizeMismatchIsRejected) {
+  Graph data = RandomData(71);
+  auto engine =
+      MakeEngineByName("RI", std::make_shared<const Graph>(data)).ValueOrDie();
+  BatchOptions options;
+  options.per_query.resize(2);
+  auto result = engine->MatchBatch(MakeQueries(data, 500, 3), options);
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+}
+
+TEST(QueryEngineTest, EmptyBatchAndSingleQueryWrapper) {
+  Graph data = RandomData(81);
+  auto engine = MakeEngineByName("Hybrid", std::make_shared<const Graph>(data))
+                    .ValueOrDie();
+  auto empty = engine->MatchBatch({}).ValueOrDie();
+  EXPECT_TRUE(empty.per_query.empty());
+  EXPECT_EQ(empty.total_matches, 0u);
+
+  Graph q = RandomQuery(data, 600, 4);
+  const MatchRunStats via_engine = engine->Match(q).ValueOrDie();
+  auto matcher = MakeMatcherByName("Hybrid").ValueOrDie();
+  const MatchRunStats sequential = matcher->Match(q, data).ValueOrDie();
+  EXPECT_EQ(via_engine.num_matches, sequential.num_matches);
+  EXPECT_EQ(via_engine.order, sequential.order);
+}
+
+TEST(QueryEngineTest, UnknownBaselineNameIsRejected) {
+  Graph data = RandomData(91);
+  auto result =
+      MakeEngineByName("nonsense", std::make_shared<const Graph>(data));
+  EXPECT_FALSE(result.ok());
+  EXPECT_FALSE(MakeEngineByName("RI", nullptr).ok());
+}
+
+TEST(QueryEngineTest, OrderingFactoryFailurePoisonsEngineInsteadOfAborting) {
+  Graph data = RandomData(111);
+  EngineConfig config;
+  config.data = std::make_shared<const Graph>(data);
+  config.filter = MakeFilter("LDF").ValueOrDie();
+  config.ordering_factory = []() -> Result<std::shared_ptr<Ordering>> {
+    return Status::NotFound("no model checkpoint");
+  };
+  QueryEngine engine(std::move(config));
+  auto result = engine.MatchBatch(MakeQueries(data, 800, 2));
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsNotFound());
+}
+
+TEST(QueryEngineTest, RlqvoEngineMatchesRlqvoMatcher) {
+  Graph data = RandomData(101, 50, 4.0, 3);
+  std::vector<Graph> queries = MakeQueries(data, 700, 4);
+
+  RLQVOModel model;  // untrained: inference is still deterministic
+  EngineOptions engine_options;
+  engine_options.num_threads = 4;
+  auto engine =
+      model.MakeEngine(std::make_shared<const Graph>(data), engine_options)
+          .ValueOrDie();
+  EXPECT_EQ(engine->name(), "RL-QVO");
+
+  auto batch = engine->MatchBatch(queries).ValueOrDie();
+  auto matcher = model.MakeMatcher().ValueOrDie();
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const MatchRunStats sequential =
+        matcher->Match(queries[i], data).ValueOrDie();
+    EXPECT_EQ(batch.per_query[i].num_matches, sequential.num_matches);
+    EXPECT_EQ(batch.per_query[i].order, sequential.order);
+  }
+}
+
+}  // namespace
+}  // namespace rlqvo
