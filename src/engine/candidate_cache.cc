@@ -43,12 +43,24 @@ std::shared_ptr<const CandidateSet> CandidateCache::Get(uint64_t key) {
   return it->second->second;
 }
 
-std::shared_ptr<const CandidateSet> CandidateCache::Peek(uint64_t key) {
+std::shared_ptr<const CandidateSet> CandidateCache::Reprobe(uint64_t key) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(key);
   if (it == index_.end()) return nullptr;
   lru_.splice(lru_.begin(), lru_, it->second);
+  // The caller's earlier Get on this key counted a miss; the lookup was
+  // actually served from the cache, so move that count to the hit column.
+  RLQVO_DCHECK(counters_.misses > 0);
+  --counters_.misses;
+  ++counters_.hits;
   return it->second->second;
+}
+
+void CandidateCache::ReclassifyMissesAsHits(uint64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RLQVO_DCHECK(counters_.misses >= n);
+  counters_.misses -= n;
+  counters_.hits += n;
 }
 
 void CandidateCache::Put(uint64_t key,

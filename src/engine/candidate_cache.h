@@ -45,13 +45,23 @@ class CandidateCache {
   explicit CandidateCache(size_t capacity) : capacity_(capacity) {}
 
   /// Returns the cached set for `key` (marking it most-recently-used) or
-  /// nullptr on miss. Counts a hit or a miss.
+  /// nullptr on miss. Counts a hit or a miss; across Get/Reprobe/
+  /// ReclassifyMissesAsHits, hits + misses always equals the number of
+  /// logical lookups, and hits counts exactly the lookups that were served
+  /// from the cache.
   std::shared_ptr<const CandidateSet> Get(uint64_t key);
 
-  /// Get without touching the hit/miss counters. For internal re-checks
-  /// (e.g. single-flight leaders re-probing after a counted miss) so each
-  /// logical lookup is counted exactly once.
-  std::shared_ptr<const CandidateSet> Peek(uint64_t key);
+  /// Second-chance lookup for a single-flight leader that already counted a
+  /// miss for this logical lookup: on success the entry is promoted to MRU
+  /// and that earlier miss is reclassified as a hit (the lookup *was*
+  /// served from the cache — another leader completed in between). On a
+  /// true miss the counters are untouched: the original miss stands.
+  std::shared_ptr<const CandidateSet> Reprobe(uint64_t key);
+
+  /// Reclassifies `n` previously-counted misses as hits. Used by
+  /// single-flight followers whose leader's Reprobe succeeded: their counted
+  /// misses were in fact served from the cache.
+  void ReclassifyMissesAsHits(uint64_t n);
 
   /// Inserts (or refreshes) `key`, evicting the least-recently-used entry
   /// when at capacity.

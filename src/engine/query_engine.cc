@@ -27,6 +27,10 @@ QueryEngine::QueryEngine(EngineConfig config, const EngineOptions& options)
     }
     worker_orderings_.push_back(std::move(ordering).ValueOrDie());
   }
+  // One enumeration workspace per worker, living next to the per-worker
+  // ordering: buffers grow to the workload's high-water mark and are then
+  // reused, so steady-state batch serving never reallocates.
+  worker_workspaces_ = std::vector<EnumeratorWorkspace>(pool_.size());
 }
 
 Result<std::shared_ptr<const CandidateSet>> QueryEngine::GetCandidates(
@@ -56,15 +60,27 @@ Result<std::shared_ptr<const CandidateSet>> QueryEngine::GetCandidates(
     entry = it->second;
   }
   if (!leader) {
-    std::unique_lock<std::mutex> lock(inflight_mu_);
-    inflight_cv_.wait(lock, [&] { return entry->ready; });
+    bool from_cache = false;
+    {
+      std::unique_lock<std::mutex> lock(inflight_mu_);
+      inflight_cv_.wait(lock, [&] { return entry->ready; });
+      from_cache = entry->served_from_cache;
+    }
     if (!entry->status.ok()) return entry->status;
+    // If the leader's re-probe found the value cached, our counted miss was
+    // really a hit (the value sat in the cache the whole time we waited).
+    if (from_cache) cache_.ReclassifyMissesAsHits(1);
     return entry->value;
   }
 
   // A previous leader may have completed between our counted miss and
-  // winning leadership; re-probe (uncounted) before paying for the filter.
-  entry->value = cache_.Peek(key);
+  // winning leadership; re-probe before paying for the filter. Reprobe
+  // reclassifies this leader's own miss as a hit on success.
+  entry->value = cache_.Reprobe(key);
+  if (entry->value != nullptr) {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    entry->served_from_cache = true;
+  }
   if (entry->value == nullptr) {
     Result<CandidateSet> fresh = config_.filter->Filter(query, *config_.data);
     if (fresh.ok()) {
@@ -87,7 +103,7 @@ Result<std::shared_ptr<const CandidateSet>> QueryEngine::GetCandidates(
 
 Result<MatchRunStats> QueryEngine::RunQuery(
     const Graph& query, const EnumerateOptions& enum_options, bool skip_cache,
-    Ordering* ordering) {
+    Ordering* ordering, EnumeratorWorkspace* workspace) {
   MatchRunStats stats;
   Stopwatch total;
 
@@ -101,9 +117,10 @@ Result<MatchRunStats> QueryEngine::RunQuery(
   stats.candidate_total = candidates->TotalSize();
 
   // Phases 2–3 share SubgraphMatcher's implementation (per-worker ordering
-  // instance, deadline budget = whatever the per-query limit has left).
+  // and workspace, deadline budget = whatever the per-query limit has left).
   return RunOrderedEnumeration(query, *config_.data, *candidates, ordering,
-                               enum_options, std::move(stats), total);
+                               enum_options, std::move(stats), total,
+                               workspace);
 }
 
 Result<BatchResult> QueryEngine::MatchBatch(const std::vector<Graph>& queries,
@@ -126,29 +143,34 @@ Result<BatchResult> QueryEngine::MatchBatch(const std::vector<Graph>& queries,
 
   BatchResult batch;
   batch.per_query.resize(queries.size());
-  std::vector<Status> statuses(queries.size());
+  batch.statuses.assign(queries.size(), Status::OK());
   for (size_t i = 0; i < queries.size(); ++i) {
-    pool_.Submit([this, &queries, &options, &batch, &statuses, i] {
+    pool_.Submit([this, &queries, &options, &batch, i] {
       const int worker = ThreadPool::CurrentWorkerIndex();
       const EnumerateOptions& enum_options = options.per_query.empty()
                                                  ? config_.enum_options
                                                  : options.per_query[i];
       Result<MatchRunStats> result =
           RunQuery(queries[i], enum_options, options.skip_cache,
-                   worker_orderings_[worker].get());
+                   worker_orderings_[worker].get(),
+                   &worker_workspaces_[worker]);
       if (result.ok()) {
         batch.per_query[i] = std::move(result).ValueOrDie();
       } else {
-        statuses[i] = result.status();
+        batch.statuses[i] = result.status();
       }
     });
   }
   pool_.Wait();
 
-  for (const Status& status : statuses) {
-    if (!status.ok()) return status;
-  }
-  for (const MatchRunStats& stats : batch.per_query) {
+  // A failing query is a per-query outcome, not a batch failure: its status
+  // is surfaced in batch.statuses[i] and all other results are kept.
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (!batch.statuses[i].ok()) {
+      ++batch.failed;
+      continue;
+    }
+    const MatchRunStats& stats = batch.per_query[i];
     batch.total_matches += stats.num_matches;
     batch.total_enumerations += stats.num_enumerations;
     if (!stats.solved) ++batch.unsolved;
@@ -168,6 +190,7 @@ Result<BatchResult> QueryEngine::MatchBatch(const std::vector<Graph>& queries,
 
 Result<MatchRunStats> QueryEngine::Match(const Graph& query) {
   RLQVO_ASSIGN_OR_RETURN(BatchResult batch, MatchBatch({query}));
+  RLQVO_RETURN_NOT_OK(batch.statuses[0]);
   return std::move(batch.per_query[0]);
 }
 

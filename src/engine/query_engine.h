@@ -60,11 +60,18 @@ struct BatchOptions {
 /// input order, plus batch-level aggregates.
 struct BatchResult {
   /// stats[i] corresponds to queries[i], regardless of which worker ran it
-  /// or in what order workers finished.
+  /// or in what order workers finished. Only meaningful where statuses[i]
+  /// is OK (failed queries leave a default-constructed entry).
   std::vector<MatchRunStats> per_query;
-  /// Sum of per-query num_matches.
+  /// statuses[i] is the pipeline outcome for queries[i]. A failing query
+  /// (e.g. malformed input rejected by a phase) does NOT fail the batch:
+  /// every other query still completes and reports its stats here.
+  std::vector<Status> statuses;
+  /// Number of non-OK entries in statuses.
+  uint32_t failed = 0;
+  /// Sum of per-query num_matches (successful queries only).
   uint64_t total_matches = 0;
-  /// Sum of per-query num_enumerations.
+  /// Sum of per-query num_enumerations (successful queries only).
   uint64_t total_enumerations = 0;
   /// Number of queries whose deadline fired before completion.
   uint32_t unsolved = 0;
@@ -115,13 +122,17 @@ class QueryEngine {
   explicit QueryEngine(EngineConfig config, const EngineOptions& options = {});
 
   /// Matches every query against the shared data graph, in parallel.
-  /// Blocks until the whole batch is done. Returns an error if any query
-  /// fails (first failing query's status); per-query deadline expiry is NOT
-  /// an error — it is reported via MatchRunStats::solved = false.
+  /// Blocks until the whole batch is done. A batch-level error (poisoned
+  /// engine, per_query options size mismatch) fails the call; an individual
+  /// failing query does NOT — its status lands in BatchResult::statuses[i]
+  /// and every other query still returns results. Per-query deadline expiry
+  /// is not even a per-query error — it is reported via
+  /// MatchRunStats::solved = false.
   Result<BatchResult> MatchBatch(const std::vector<Graph>& queries,
                                  const BatchOptions& options = {});
 
-  /// Single-query convenience wrapper over MatchBatch.
+  /// Single-query convenience wrapper over MatchBatch; surfaces the query's
+  /// per-query status as the call's status.
   Result<MatchRunStats> Match(const Graph& query);
 
   const std::string& name() const { return config_.name; }
@@ -138,15 +149,19 @@ class QueryEngine {
   /// worker computes, the rest wait for its result.
   struct InflightFilter {
     bool ready = false;  // guarded by inflight_mu_
+    /// The leader's re-probe found the value already cached, so every
+    /// participant's counted miss is reclassified as a hit.
+    bool served_from_cache = false;  // guarded by inflight_mu_
     Status status;
     std::shared_ptr<const CandidateSet> value;
   };
 
   /// Runs one query through filter (or cache) → order → enumerate on the
-  /// calling worker thread.
+  /// calling worker thread, reusing that worker's enumeration workspace.
   Result<MatchRunStats> RunQuery(const Graph& query,
                                  const EnumerateOptions& enum_options,
-                                 bool skip_cache, Ordering* ordering);
+                                 bool skip_cache, Ordering* ordering,
+                                 EnumeratorWorkspace* workspace);
 
   /// Phase 1 with cache lookup and single-flight deduplication.
   Result<std::shared_ptr<const CandidateSet>> GetCandidates(const Graph& query,
@@ -156,6 +171,10 @@ class QueryEngine {
   CandidateCache cache_;
   Status init_status_;  // non-OK iff ordering_factory failed at construction
   std::vector<std::shared_ptr<Ordering>> worker_orderings_;
+  // One reusable enumeration workspace per ThreadPool worker (indexed like
+  // worker_orderings_ by CurrentWorkerIndex), so steady-state batch serving
+  // never pays the O(|V(q)|·|V(G)|) per-query setup the seed enumerator had.
+  std::vector<EnumeratorWorkspace> worker_workspaces_;
 
   std::mutex batch_mu_;  // serializes MatchBatch calls against each other
   mutable std::mutex counters_mu_;

@@ -1,0 +1,85 @@
+#include "matching/enum_workspace.h"
+
+#include <algorithm>
+
+namespace rlqvo {
+
+Status EnumeratorWorkspace::Prepare(const Graph& query, const Graph& data,
+                                    const CandidateSet& candidates,
+                                    const std::vector<VertexId>& order) {
+  const uint32_t nq = query.num_vertices();
+  const size_t nv = data.num_vertices();
+
+  // Candidate lists are sorted ascending, so range validation is one
+  // tail check per query vertex; total size feeds the density decision.
+  size_t total_candidates = 0;
+  for (VertexId u = 0; u < nq; ++u) {
+    const std::vector<VertexId>& c = candidates.candidates(u);
+    if (!c.empty() && c.back() >= nv) {
+      return Status::InvalidArgument("candidate vertex out of range");
+    }
+    total_candidates += c.size();
+  }
+
+  // Backward-neighbor lists for this order; inner vectors keep their
+  // capacity across queries.
+  if (backward_.size() < nq) backward_.resize(nq);
+  placed_.assign(nq, 0);
+  for (size_t i = 0; i < order.size(); ++i) {
+    backward_[i].clear();
+    for (VertexId w : query.neighbors(order[i])) {
+      if (placed_[w]) backward_[i].push_back(w);
+    }
+    placed_[order[i]] = 1;
+  }
+
+  mapping_.assign(nq, kInvalidVertex);
+
+  // Bump the epoch: every stamp from previous queries is now stale. On
+  // uint8 wrap-around, old stamps could collide with reused epoch values,
+  // so both arrays get their once-per-255-queries zero-fill here.
+  ++epoch_;
+  if (epoch_ == 0) {
+    std::fill(cand_stamp_.begin(), cand_stamp_.end(), uint8_t{0});
+    std::fill(visited_stamp_.begin(), visited_stamp_.end(), uint8_t{0});
+    epoch_ = 1;
+    ++stats_.epoch_resets;
+  }
+  if (visited_stamp_.size() < nv) visited_stamp_.resize(nv, 0);
+
+  const size_t stamp_bytes = static_cast<size_t>(nq) * nv;
+  switch (mode_) {
+    case MembershipMode::kForceStamped:
+      dense_ = true;
+      break;
+    case MembershipMode::kForceBinarySearch:
+      dense_ = false;
+      break;
+    case MembershipMode::kAuto:
+      dense_ = nv <= kDenseVertexCutoff ||
+               (stamp_bytes <= kMaxStampBytes &&
+                static_cast<double>(total_candidates) >=
+                    kDenseMinFill * static_cast<double>(stamp_bytes));
+      break;
+  }
+
+  nv_ = nv;
+  if (dense_) {
+    if (cand_stamp_.size() < stamp_bytes) {
+      cand_stamp_.resize(stamp_bytes, 0);
+      ++stats_.stamp_grows;
+      stats_.stamp_bytes = cand_stamp_.size();
+    }
+    for (VertexId u = 0; u < nq; ++u) {
+      uint8_t* row = cand_stamp_.data() + static_cast<size_t>(u) * nv;
+      for (VertexId v : candidates.candidates(u)) row[v] = epoch_;
+    }
+    ++stats_.dense_prepares;
+  }
+
+  ++stats_.prepares;
+  stats_.last_dense = dense_;
+  return Status::OK();
+}
+
+}  // namespace rlqvo

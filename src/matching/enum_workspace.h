@@ -1,0 +1,135 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "matching/candidate_set.h"
+
+namespace rlqvo {
+
+/// \brief Reusable per-worker scratch state for Enumerator::Run.
+///
+/// The seed enumerator allocated and zeroed an `nq x |V(G)|` candidate
+/// bitmap on every run — an O(nq·|V(G)|) allocation + memset per query that
+/// dwarfs the actual search for small queries on large data graphs. A
+/// workspace replaces that with state whose *steady-state* per-query cost is
+/// O(|V(q)| + Σ|C(u)|):
+///
+/// - **Epoch-stamped membership.** Candidate-membership and visited arrays
+///   store a one-byte epoch instead of a boolean. Prepare() bumps the epoch,
+///   instantly invalidating every stamp from previous queries without
+///   touching the arrays; only the Σ|C(u)| live candidate cells are written.
+///   The uint8 epoch wraps every 255 queries, at which point both arrays are
+///   zero-filled once — an amortized 1/255 of the seed's per-query memset.
+/// - **Sparse fallback.** When the data graph is large and the candidate
+///   lists are sparse, even Σ|C(u)| stamping (and the nq·|V(G)| stamp-array
+///   footprint) is wasted work: membership falls back to
+///   CandidateSet::Contains binary search and the stamp array is never
+///   allocated. See the kDense* thresholds below.
+/// - **Preallocated buffers.** The mapping and backward-neighbor buffers are
+///   kept across runs and only grow, so batch serving never reallocates in
+///   steady state.
+///
+/// A workspace may be reused across different (query, data) pairs of any
+/// size. It is NOT safe for concurrent use: one workspace per thread
+/// (QueryEngine keeps one per ThreadPool worker).
+class EnumeratorWorkspace {
+ public:
+  /// How candidate membership is answered during enumeration.
+  enum class MembershipMode {
+    /// Pick stamped vs binary search from the thresholds below (default).
+    kAuto,
+    /// Always stamp (the seed bitmap semantics). Tests use this to pin the
+    /// dense code path; unbounded memory on huge graphs.
+    kForceStamped,
+    /// Always binary-search CandidateSet::Contains. Zero setup beyond the
+    /// backward/mapping buffers.
+    kForceBinarySearch,
+  };
+
+  /// Counters for benchmarks and reuse tests.
+  struct Stats {
+    uint64_t prepares = 0;        ///< total Prepare() calls (one per query)
+    uint64_t dense_prepares = 0;  ///< prepares that used the stamped path
+    uint64_t epoch_resets = 0;    ///< full zero-fills from uint8 epoch wrap
+    uint64_t stamp_grows = 0;     ///< stamp-array reallocations
+    size_t stamp_bytes = 0;       ///< current stamp-array allocation
+    bool last_dense = false;      ///< membership mode of the last prepare
+  };
+
+  /// Below this many data vertices the stamp rows fit comfortably in cache
+  /// and stamping always wins (kAuto picks dense). Covers the paper's
+  /// benchmark graphs (yeast ≈ 3k vertices); larger graphs decide by fill.
+  static constexpr uint32_t kDenseVertexCutoff = 8192;
+  /// Minimum fill ratio Σ|C(u)| / (nq·|V(G)|) for kAuto to pick dense on
+  /// graphs above the cutoff: below ~1.6% the stamped cells are too sparse
+  /// to amortize the scattered writes, and binary search's log factor on
+  /// the hot membership check is cheaper than the setup. Chosen from
+  /// bench_enum_setup sweeps in this container (see docs/BENCHMARKS.md).
+  static constexpr double kDenseMinFill = 1.0 / 64.0;
+  /// Hard cap on the stamp-array footprint; kAuto never allocates more.
+  static constexpr size_t kMaxStampBytes = size_t{1} << 28;  // 256 MiB
+
+  EnumeratorWorkspace() = default;
+  EnumeratorWorkspace(const EnumeratorWorkspace&) = delete;
+  EnumeratorWorkspace& operator=(const EnumeratorWorkspace&) = delete;
+  EnumeratorWorkspace(EnumeratorWorkspace&&) = default;
+  EnumeratorWorkspace& operator=(EnumeratorWorkspace&&) = default;
+
+  /// Readies the workspace for one enumeration of (query, data, candidates,
+  /// order): bumps the epoch, rebuilds the backward-neighbor lists for
+  /// `order`, resets the mapping, picks the membership mode and (dense path)
+  /// stamps the candidate cells. Validates that every candidate vertex is in
+  /// range for `data`. `order` must be a permutation of V(q) (checked by
+  /// Enumerator::Run).
+  Status Prepare(const Graph& query, const Graph& data,
+                 const CandidateSet& candidates,
+                 const std::vector<VertexId>& order);
+
+  /// \name Hot-path accessors used by the enumeration recursion.
+  /// Valid between a Prepare() and the next Prepare().
+  /// @{
+  bool dense() const { return dense_; }
+
+  bool InCandidates(const CandidateSet& candidates, VertexId u,
+                    VertexId v) const {
+    return dense_ ? cand_stamp_[static_cast<size_t>(u) * nv_ + v] == epoch_
+                  : candidates.Contains(u, v);
+  }
+
+  bool Visited(VertexId v) const { return visited_stamp_[v] == epoch_; }
+  void MarkVisited(VertexId v) { visited_stamp_[v] = epoch_; }
+  void UnmarkVisited(VertexId v) { visited_stamp_[v] = 0; }
+
+  /// mapping[u] = mapped data vertex (kInvalidVertex if unmapped).
+  std::vector<VertexId>& mapping() { return mapping_; }
+
+  /// backward[i] = already-placed query neighbors of order[i].
+  const std::vector<std::vector<VertexId>>& backward() const {
+    return backward_;
+  }
+  /// @}
+
+  void set_mode(MembershipMode mode) { mode_ = mode; }
+  MembershipMode mode() const { return mode_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  MembershipMode mode_ = MembershipMode::kAuto;
+
+  // Stamps equal to epoch_ mean "member"/"visited"; anything else (older
+  // epochs, or 0 from the wrap-around clear and from unmarking) means "no".
+  std::vector<uint8_t> cand_stamp_;     // row-major nq x |V(G)| when dense
+  std::vector<uint8_t> visited_stamp_;  // |V(G)|
+  std::vector<VertexId> mapping_;
+  std::vector<std::vector<VertexId>> backward_;
+  std::vector<uint8_t> placed_;  // scratch for the backward build
+
+  size_t nv_ = 0;      // stamp-row stride for the current query
+  uint8_t epoch_ = 0;  // 1..255 once prepared; 0 marks "never stamped"
+  bool dense_ = false;
+  Stats stats_;
+};
+
+}  // namespace rlqvo

@@ -8,38 +8,30 @@ namespace rlqvo {
 
 namespace {
 
-/// Recursion state shared across Extend() calls.
+/// Recursion state shared across Extend() calls. All per-query buffers live
+/// in the EnumeratorWorkspace; this only carries the loop bookkeeping.
 struct EnumContext {
   EnumContext(const Graph& q, const Graph& g, const CandidateSet& c,
-              const std::vector<VertexId>& o, const EnumerateOptions& opts)
+              const std::vector<VertexId>& o, const EnumerateOptions& opts,
+              EnumeratorWorkspace* workspace, const Deadline* dl)
       : query(&q),
         data(&g),
         candidates(&c),
         order(&o),
         options(&opts),
-        deadline(opts.time_limit_seconds) {}
+        ws(workspace),
+        deadline(dl) {}
 
   const Graph* query;
   const Graph* data;
   const CandidateSet* candidates;
   const std::vector<VertexId>* order;
   const EnumerateOptions* options;
-  Deadline deadline;
-
-  // position in order -> backward neighbors (query vertex ids).
-  std::vector<std::vector<VertexId>> backward;
-  // mapping[u] = mapped data vertex (kInvalidVertex if unmapped).
-  std::vector<VertexId> mapping;
-  std::vector<bool> visited;           // data vertex used in mapping
-  std::vector<char> candidate_bitmap;  // nq x |V(G)|
+  EnumeratorWorkspace* ws;
+  const Deadline* deadline;
 
   EnumerateResult result;
   uint64_t calls_since_time_check = 0;
-
-  bool InCandidates(VertexId u, VertexId v) const {
-    return candidate_bitmap[static_cast<size_t>(u) * data->num_vertices() +
-                            v] != 0;
-  }
 
   bool ShouldStop() {
     if (options->match_limit > 0 &&
@@ -49,7 +41,7 @@ struct EnumContext {
     }
     if (++calls_since_time_check >= 4096) {
       calls_since_time_check = 0;
-      if (deadline.Expired()) {
+      if (deadline->Expired()) {
         result.timed_out = true;
         return true;
       }
@@ -60,7 +52,7 @@ struct EnumContext {
   void EmitMatch() {
     ++result.num_matches;
     if (options->store_embeddings) {
-      result.embeddings.push_back(mapping);
+      result.embeddings.push_back(ws->mapping());
     }
     if (options->match_limit > 0 &&
         result.num_matches >= options->match_limit) {
@@ -73,11 +65,13 @@ struct EnumContext {
     ++result.num_enumerations;
     if (ShouldStop()) return;
     const VertexId u = (*order)[depth];
+    const std::vector<VertexId>& backward = ws->backward()[depth];
 
-    if (backward[depth].empty()) {
-      // Only the first vertex has no backward neighbors: iterate C(u).
+    if (backward.empty()) {
+      // No mapped backward neighbor (first vertex, or a component break in
+      // a disconnected query/order): iterate C(u).
       for (VertexId v : candidates->candidates(u)) {
-        if (visited[v]) continue;
+        if (ws->Visited(v)) continue;
         Descend(depth, u, v);
         if (result.timed_out || result.hit_match_limit) return;
       }
@@ -86,8 +80,9 @@ struct EnumContext {
 
     // Pivot: the mapped backward neighbor with the smallest data degree;
     // its neighborhood bounds the local candidates.
+    const std::vector<VertexId>& mapping = ws->mapping();
     VertexId pivot_data = kInvalidVertex;
-    for (VertexId ub : backward[depth]) {
+    for (VertexId ub : backward) {
       const VertexId vb = mapping[ub];
       if (pivot_data == kInvalidVertex ||
           data->degree(vb) < data->degree(pivot_data)) {
@@ -95,9 +90,9 @@ struct EnumContext {
       }
     }
     for (VertexId v : data->neighbors(pivot_data)) {
-      if (visited[v] || !InCandidates(u, v)) continue;
+      if (ws->Visited(v) || !ws->InCandidates(*candidates, u, v)) continue;
       bool adjacent_to_all = true;
-      for (VertexId ub : backward[depth]) {
+      for (VertexId ub : backward) {
         const VertexId vb = mapping[ub];
         if (vb == pivot_data) continue;
         if (!data->HasEdge(vb, v)) {
@@ -112,18 +107,30 @@ struct EnumContext {
   }
 
   void Descend(size_t depth, VertexId u, VertexId v) {
-    mapping[u] = v;
-    visited[v] = true;
+    ws->mapping()[u] = v;
+    ws->MarkVisited(v);
     if (depth + 1 == order->size()) {
       ++result.num_enumerations;  // the terminating recursive call (line 3-4)
       EmitMatch();
     } else {
       Extend(depth + 1);
     }
-    visited[v] = false;
-    mapping[u] = kInvalidVertex;
+    ws->UnmarkVisited(v);
+    ws->mapping()[u] = kInvalidVertex;
   }
 };
+
+/// True iff `order` is a permutation of [0, n). Connectivity is not
+/// required — Extend handles backward-free positions.
+bool IsPermutationOrder(uint32_t n, const std::vector<VertexId>& order) {
+  if (order.size() != n) return false;
+  std::vector<bool> seen(n, false);
+  for (VertexId u : order) {
+    if (u >= n || seen[u]) return false;
+    seen[u] = true;
+  }
+  return true;
+}
 
 }  // namespace
 
@@ -131,44 +138,42 @@ Result<EnumerateResult> Enumerator::Run(const Graph& query, const Graph& data,
                                         const CandidateSet& candidates,
                                         const std::vector<VertexId>& order,
                                         const EnumerateOptions& options) const {
+  EnumeratorWorkspace local;
+  return Run(query, data, candidates, order, options, &local);
+}
+
+Result<EnumerateResult> Enumerator::Run(const Graph& query, const Graph& data,
+                                        const CandidateSet& candidates,
+                                        const std::vector<VertexId>& order,
+                                        const EnumerateOptions& options,
+                                        EnumeratorWorkspace* workspace,
+                                        const Deadline* deadline) const {
+  RLQVO_CHECK(workspace != nullptr);
   if (query.num_vertices() == 0) {
     return Status::InvalidArgument("query graph is empty");
   }
   if (candidates.num_query_vertices() != query.num_vertices()) {
     return Status::InvalidArgument("candidate set size mismatch");
   }
-  if (!IsValidMatchingOrder(query, order)) {
-    return Status::InvalidArgument("order is not a valid matching order");
+  if (!IsPermutationOrder(query.num_vertices(), order)) {
+    return Status::InvalidArgument(
+        "order is not a permutation of the query vertices");
   }
 
-  EnumContext ctx(query, data, candidates, order, options);
-  const uint32_t nq = query.num_vertices();
-
-  ctx.backward.resize(nq);
-  std::vector<bool> placed(nq, false);
-  for (size_t i = 0; i < order.size(); ++i) {
-    for (VertexId w : query.neighbors(order[i])) {
-      if (placed[w]) ctx.backward[i].push_back(w);
-    }
-    placed[order[i]] = true;
-  }
-
-  ctx.mapping.assign(nq, kInvalidVertex);
-  ctx.visited.assign(data.num_vertices(), false);
-  ctx.candidate_bitmap.assign(
-      static_cast<size_t>(nq) * data.num_vertices(), 0);
-  for (VertexId u = 0; u < nq; ++u) {
-    for (VertexId v : candidates.candidates(u)) {
-      if (v >= data.num_vertices()) {
-        return Status::InvalidArgument("candidate vertex out of range");
-      }
-      ctx.candidate_bitmap[static_cast<size_t>(u) * data.num_vertices() + v] =
-          1;
-    }
-  }
-
+  // The deadline starts before workspace setup so setup time counts against
+  // the per-query budget (callers with a whole-pipeline budget pass their
+  // already-running deadline instead).
   Stopwatch watch;
-  if (!candidates.AnyEmpty()) {
+  const Deadline local_deadline(options.time_limit_seconds);
+  if (deadline == nullptr) deadline = &local_deadline;
+
+  RLQVO_RETURN_NOT_OK(workspace->Prepare(query, data, candidates, order));
+
+  EnumContext ctx(query, data, candidates, order, options, workspace,
+                  deadline);
+  if (deadline->Expired()) {
+    ctx.result.timed_out = true;
+  } else if (!candidates.AnyEmpty()) {
     ctx.Extend(0);
   }
   ctx.result.enum_time_seconds = watch.ElapsedSeconds();

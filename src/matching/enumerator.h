@@ -6,6 +6,7 @@
 #include "common/result.h"
 #include "common/timer.h"
 #include "matching/candidate_set.h"
+#include "matching/enum_workspace.h"
 
 namespace rlqvo {
 
@@ -14,10 +15,11 @@ struct EnumerateOptions {
   /// Stop after this many embeddings. The paper caps evaluation at 1e5
   /// matches (Sec IV-A). 0 means unlimited ("ALL" in Fig 11).
   uint64_t match_limit = 100000;
-  /// Time limit in seconds; 0 = unlimited. Enumerator::Run bounds only the
-  /// enumeration itself with this; SubgraphMatcher and QueryEngine treat it
-  /// as the whole-pipeline per-query budget (the paper's 500 s, Sec IV-A)
-  /// and pass enumeration whatever remains after filtering and ordering.
+  /// Time limit in seconds; 0 = unlimited. Enumerator::Run bounds the
+  /// enumeration (including its per-query workspace setup) with this;
+  /// SubgraphMatcher and QueryEngine treat it as the whole-pipeline
+  /// per-query budget (the paper's 500 s, Sec IV-A) and pass enumeration a
+  /// deadline carrying whatever remains after filtering and ordering.
   /// Expiry is polled every ~4096 recursive calls, so runs can overshoot
   /// the limit slightly.
   double time_limit_seconds = 0.0;
@@ -37,7 +39,8 @@ struct EnumerateResult {
   bool timed_out = false;
   /// True iff the match limit fired (num_matches == match_limit).
   bool hit_match_limit = false;
-  /// Wall-clock seconds spent enumerating.
+  /// Wall-clock seconds spent enumerating (including per-query workspace
+  /// setup).
   double enum_time_seconds = 0.0;
   /// Embeddings as query-vertex-indexed data-vertex vectors, if requested.
   std::vector<std::vector<VertexId>> embeddings;
@@ -49,16 +52,34 @@ struct EnumerateResult {
 /// For each query vertex, in the given matching order, the local candidate
 /// set is computed by intersecting the vertex's filtered candidates with the
 /// data-graph neighborhoods of all already-mapped backward neighbors,
-/// iterating the smallest mapped neighborhood for efficiency.
+/// iterating the smallest mapped neighborhood for efficiency. A query vertex
+/// with no mapped backward neighbor (the first vertex, or a component break
+/// in a disconnected query/order) iterates its full candidate list instead,
+/// so any permutation of V(q) is a legal order — connected orders are merely
+/// faster.
 class Enumerator {
  public:
-  /// Runs the enumeration. `order` must be a valid matching order (a
-  /// connected permutation of V(q)); `candidates` must come from a complete
-  /// filter on the same (q, G).
+  /// Runs the enumeration with a throwaway workspace. `order` must be a
+  /// permutation of V(q); `candidates` must come from a complete filter on
+  /// the same (q, G). Convenience for one-shot callers; hot paths should
+  /// reuse a workspace via the overload below.
   Result<EnumerateResult> Run(const Graph& query, const Graph& data,
                               const CandidateSet& candidates,
                               const std::vector<VertexId>& order,
                               const EnumerateOptions& options) const;
+
+  /// Runs the enumeration on a caller-owned, reusable workspace (see
+  /// EnumeratorWorkspace for the steady-state cost model). When `deadline`
+  /// is non-null it supersedes options.time_limit_seconds, and — because the
+  /// caller starts it before Run — per-query setup time counts against the
+  /// budget; otherwise a fresh deadline of options.time_limit_seconds starts
+  /// at the top of Run (which still covers setup).
+  Result<EnumerateResult> Run(const Graph& query, const Graph& data,
+                              const CandidateSet& candidates,
+                              const std::vector<VertexId>& order,
+                              const EnumerateOptions& options,
+                              EnumeratorWorkspace* workspace,
+                              const Deadline* deadline = nullptr) const;
 };
 
 /// \brief Reference matcher: enumerates all embeddings by unconstrained

@@ -28,13 +28,13 @@ Result<MatchRunStats> SubgraphMatcher::Match(const Graph& query,
 
   return RunOrderedEnumeration(query, data, candidates,
                                config_.ordering.get(), config_.enum_options,
-                               std::move(stats), total);
+                               std::move(stats), total, &workspace_);
 }
 
 Result<MatchRunStats> RunOrderedEnumeration(
     const Graph& query, const Graph& data, const CandidateSet& candidates,
     Ordering* ordering, const EnumerateOptions& options, MatchRunStats stats,
-    const Stopwatch& total) {
+    const Stopwatch& total, EnumeratorWorkspace* workspace) {
   Stopwatch phase;
   OrderingContext ctx;
   ctx.query = &query;
@@ -45,23 +45,29 @@ Result<MatchRunStats> RunOrderedEnumeration(
   stats.order = order;
 
   // The enumeration budget is whatever remains of the query's time limit.
+  // The deadline starts ticking here — before Enumerator::Run's per-query
+  // workspace setup — so setup cost counts against the budget.
   EnumerateOptions enum_options = options;
+  Deadline deadline = Deadline::Unlimited();
   const double limit = options.time_limit_seconds;
   if (limit > 0.0) {
-    const double remaining =
-        limit - stats.filter_time_seconds - stats.order_time_seconds;
+    const double remaining = limit - total.ElapsedSeconds();
     if (remaining <= 0.0) {
       stats.solved = false;
       stats.total_time_seconds = total.ElapsedSeconds();
       return stats;
     }
     enum_options.time_limit_seconds = remaining;
+    deadline = Deadline(remaining);
   }
 
-  Enumerator enumerator;  // stateless
+  EnumeratorWorkspace local_workspace;
+  if (workspace == nullptr) workspace = &local_workspace;
+  Enumerator enumerator;  // stateless: all scratch lives in the workspace
   RLQVO_ASSIGN_OR_RETURN(
       EnumerateResult enum_result,
-      enumerator.Run(query, data, candidates, order, enum_options));
+      enumerator.Run(query, data, candidates, order, enum_options, workspace,
+                     &deadline));
   stats.enum_time_seconds = enum_result.enum_time_seconds;
   stats.num_matches = enum_result.num_matches;
   stats.num_enumerations = enum_result.num_enumerations;

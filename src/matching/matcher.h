@@ -46,6 +46,13 @@ struct MatchRunStats {
 };
 
 /// \brief End-to-end subgraph matching: filter, order, enumerate.
+///
+/// A matcher owns a lazily-grown EnumeratorWorkspace that is reused across
+/// Match calls, so repeated queries pay no per-query O(|V(q)|·|V(G)|)
+/// enumeration setup. Like the (possibly stateful) Ordering it holds, a
+/// SubgraphMatcher is therefore NOT safe for concurrent Match calls on one
+/// instance — use one matcher per thread (QueryEngine does the equivalent
+/// with per-worker orderings and workspaces).
 class SubgraphMatcher {
  public:
   /// \param config must have both a filter and an ordering.
@@ -63,6 +70,9 @@ class SubgraphMatcher {
 
  private:
   MatcherConfig config_;
+  // Reused scratch state; mutable because Match is logically const (the
+  // workspace never affects results, only setup cost).
+  mutable EnumeratorWorkspace workspace_;
 };
 
 /// \brief Shared phases 2–3 of Algorithm 1: ordering, then enumeration on
@@ -74,11 +84,15 @@ class SubgraphMatcher {
 ///        candidate_total) and is completed and returned by this call.
 /// \param total the stopwatch started at the beginning of phase 1;
 ///        options.time_limit_seconds (if any) budgets all three phases
-///        against it.
+///        against it. The enumeration deadline is started *before* the
+///        enumerator's per-query setup, so setup time counts against the
+///        budget too.
+/// \param workspace reusable enumeration scratch state; nullptr falls back
+///        to a throwaway workspace for this call.
 Result<MatchRunStats> RunOrderedEnumeration(
     const Graph& query, const Graph& data, const CandidateSet& candidates,
     Ordering* ordering, const EnumerateOptions& options, MatchRunStats stats,
-    const Stopwatch& total);
+    const Stopwatch& total, EnumeratorWorkspace* workspace = nullptr);
 
 /// \brief Builds one of the paper's compared algorithms by name:
 ///

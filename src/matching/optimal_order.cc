@@ -16,6 +16,7 @@ struct SearchState {
   const CandidateSet* candidates;
   const EnumerateOptions* options;
   Enumerator enumerator;
+  EnumeratorWorkspace workspace;  // reused across the factorial Run calls
 
   std::vector<VertexId> prefix;
   std::vector<bool> used;
@@ -28,8 +29,8 @@ struct SearchState {
     if (!failure.ok()) return;
     const uint32_t n = query->num_vertices();
     if (prefix.size() == n) {
-      auto result =
-          enumerator.Run(*query, *data, *candidates, prefix, *options);
+      auto result = enumerator.Run(*query, *data, *candidates, prefix,
+                                   *options, &workspace);
       if (!result.ok()) {
         failure = result.status();
         return;

@@ -35,6 +35,7 @@ struct SpectrumSearch {
   const CandidateSet* candidates;
   const EnumerateOptions* options;
   Enumerator enumerator;
+  EnumeratorWorkspace workspace;  // reused across the factorial Run calls
   std::vector<VertexId> prefix;
   std::vector<bool> used;
   std::vector<uint64_t> counts;
@@ -44,7 +45,8 @@ struct SpectrumSearch {
     if (!failure.ok()) return;
     const uint32_t n = query->num_vertices();
     if (prefix.size() == n) {
-      auto run = enumerator.Run(*query, *data, *candidates, prefix, *options);
+      auto run = enumerator.Run(*query, *data, *candidates, prefix, *options,
+                                &workspace);
       if (!run.ok()) {
         failure = run.status();
         return;

@@ -28,6 +28,7 @@ Result<OrderQualityReport> EvaluateOrderingQuality(
   opts.time_limit_seconds = time_limit_seconds;
 
   Enumerator enumerator;
+  EnumeratorWorkspace enum_workspace;  // reused across the evaluation loop
   RIOrdering baseline;
   OrderQualityReport report;
   double log_ratio_sum = 0.0;
@@ -43,9 +44,10 @@ Result<OrderQualityReport> EvaluateOrderingQuality(
                            baseline.MakeOrder(ctx));
     RLQVO_ASSIGN_OR_RETURN(
         EnumerateResult method_run,
-        enumerator.Run(q, data, cs, method_order, opts));
-    RLQVO_ASSIGN_OR_RETURN(EnumerateResult base_run,
-                           enumerator.Run(q, data, cs, base_order, opts));
+        enumerator.Run(q, data, cs, method_order, opts, &enum_workspace));
+    RLQVO_ASSIGN_OR_RETURN(
+        EnumerateResult base_run,
+        enumerator.Run(q, data, cs, base_order, opts, &enum_workspace));
     const double ratio =
         (static_cast<double>(method_run.num_enumerations) + 1.0) /
         (static_cast<double>(base_run.num_enumerations) + 1.0);

@@ -69,6 +69,7 @@ Result<TrainStats> PPOTrainer::Train(const std::vector<Graph>& queries,
   enum_options.time_limit_seconds = config_.train_time_limit_seconds;
 
   Enumerator enumerator;
+  EnumeratorWorkspace enum_workspace;  // reused across all training rollouts
   RIOrdering baseline_ordering;
 
   // Build per-query contexts: candidates + RI baseline #enum.
@@ -85,7 +86,8 @@ Result<TrainStats> PPOTrainer::Train(const std::vector<Graph>& queries,
                            baseline_ordering.MakeOrder(octx));
     RLQVO_ASSIGN_OR_RETURN(
         EnumerateResult base_result,
-        enumerator.Run(q, data, ctx->candidates, base_order, enum_options));
+        enumerator.Run(q, data, ctx->candidates, base_order, enum_options,
+                       &enum_workspace));
     ctx->baseline_enum = base_result.num_enumerations;
     contexts.push_back(std::move(ctx));
   }
@@ -176,7 +178,7 @@ Result<TrainStats> PPOTrainer::Train(const std::vector<Graph>& queries,
         RLQVO_ASSIGN_OR_RETURN(
             EnumerateResult run,
             enumerator.Run(queries[qi], data, qc.candidates, episode.order,
-                           enum_options));
+                           enum_options, &enum_workspace));
         learned_enum = run.num_enumerations;
         qc.enum_memo[episode.order] = learned_enum;
       }

@@ -91,6 +91,31 @@ TEST(CandidateCacheTest, LruEvictionAndCounters) {
   EXPECT_EQ(c.entries, 2u);
 }
 
+TEST(CandidateCacheTest, ReprobeReclassifiesMissAsHit) {
+  CandidateCache cache(2);
+  auto value = [] {
+    return std::make_shared<const CandidateSet>(CandidateSet(1));
+  };
+  // A true miss followed by a failed re-probe leaves the miss standing.
+  EXPECT_EQ(cache.Get(1), nullptr);
+  EXPECT_EQ(cache.Reprobe(1), nullptr);
+  EXPECT_EQ(cache.counters().hits, 0u);
+  EXPECT_EQ(cache.counters().misses, 1u);
+
+  // Another leader completes between our miss and the re-probe: the lookup
+  // was served from the cache after all, so the miss becomes a hit.
+  cache.Put(1, value());
+  EXPECT_NE(cache.Reprobe(1), nullptr);
+  EXPECT_EQ(cache.counters().hits, 1u);
+  EXPECT_EQ(cache.counters().misses, 0u);
+
+  // Followers of that leader reclassify their own counted misses.
+  EXPECT_EQ(cache.Get(2), nullptr);  // a follower's miss
+  cache.ReclassifyMissesAsHits(1);
+  EXPECT_EQ(cache.counters().hits, 2u);
+  EXPECT_EQ(cache.counters().misses, 0u);
+}
+
 TEST(CandidateCacheTest, ZeroCapacityDisablesCaching) {
   CandidateCache cache(0);
   cache.Put(1, std::make_shared<const CandidateSet>(CandidateSet(1)));
@@ -203,10 +228,14 @@ TEST(QueryEngineTest, ColdBatchOfDuplicateQueriesIsSingleFlighted) {
 
   auto batch = engine->MatchBatch(queries).ValueOrDie();
   // Every copy sees the same candidates, so results are identical; each
-  // query is one lookup (hit or miss depending on timing), never more.
+  // query is one lookup (hit or miss depending on timing), never more —
+  // single-flight reclassification keeps hits + misses == lookups, and
+  // only lookups the filter actually ran for may count as misses.
   EXPECT_EQ(batch.cache_hits + batch.cache_misses, queries.size());
   EXPECT_GE(batch.cache_misses, 1u);
   EXPECT_EQ(engine->counters().cache.entries, 1u);
+  const EngineCounters after = engine->counters();
+  EXPECT_EQ(after.cache.hits + after.cache.misses, after.queries_served);
   for (const MatchRunStats& stats : batch.per_query) {
     EXPECT_EQ(stats.num_matches, batch.per_query[0].num_matches);
     EXPECT_EQ(stats.order, batch.per_query[0].order);
@@ -234,6 +263,41 @@ TEST(QueryEngineTest, PerQueryDeadlinesAreHonoured) {
   for (size_t i = 1; i < queries.size(); ++i) {
     EXPECT_TRUE(batch.per_query[i].solved) << "query " << i;
   }
+}
+
+TEST(QueryEngineTest, BatchWithInvalidQueryReturnsPartialResults) {
+  Graph data = RandomData(45, 80, 4.0, 3);
+  std::vector<Graph> queries = MakeQueries(data, 900, 4);
+  queries.insert(queries.begin() + 2, Graph());  // empty query: rejected
+
+  EngineOptions engine_options;
+  engine_options.num_threads = 2;
+  auto engine = MakeEngineByName("Hybrid", std::make_shared<const Graph>(data),
+                                 engine_options)
+                    .ValueOrDie();
+
+  // The batch call itself succeeds; the bad query fails per-query and every
+  // other query still reports its results.
+  auto batch = engine->MatchBatch(queries).ValueOrDie();
+  ASSERT_EQ(batch.statuses.size(), queries.size());
+  EXPECT_FALSE(batch.statuses[2].ok());
+  EXPECT_EQ(batch.failed, 1u);
+
+  auto matcher = MakeMatcherByName("Hybrid").ValueOrDie();
+  uint64_t expected_total = 0;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (i == 2) continue;
+    EXPECT_TRUE(batch.statuses[i].ok()) << "query " << i;
+    const MatchRunStats sequential =
+        matcher->Match(queries[i], data).ValueOrDie();
+    EXPECT_EQ(batch.per_query[i].num_matches, sequential.num_matches)
+        << "query " << i;
+    expected_total += sequential.num_matches;
+  }
+  EXPECT_EQ(batch.total_matches, expected_total);
+
+  // The single-query wrapper surfaces the per-query failure as its status.
+  EXPECT_FALSE(engine->Match(Graph()).ok());
 }
 
 TEST(QueryEngineTest, PerQueryOptionsSizeMismatchIsRejected) {

@@ -1,0 +1,309 @@
+#include "matching/enum_workspace.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "matching/enumerator.h"
+#include "matching/filters.h"
+#include "matching/matcher.h"
+#include "matching/ordering.h"
+#include "test_util.h"
+
+namespace rlqvo {
+namespace {
+
+using testing_util::IsIsomorphism;
+using testing_util::RandomData;
+using testing_util::RandomQuery;
+
+using MembershipMode = EnumeratorWorkspace::MembershipMode;
+
+EnumerateOptions Unlimited() {
+  EnumerateOptions opts;
+  opts.match_limit = 0;
+  return opts;
+}
+
+std::vector<VertexId> IdentityOrder(const Graph& q) {
+  std::vector<VertexId> order(q.num_vertices());
+  for (VertexId u = 0; u < q.num_vertices(); ++u) order[u] = u;
+  return order;
+}
+
+/// Randomized equivalence: one reused workspace, every membership mode, the
+/// result always equals BruteForceMatch — the reference the seed bitmap path
+/// was validated against.
+class WorkspaceEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(WorkspaceEquivalenceTest, AllModesAgreeWithBruteForce) {
+  const uint64_t seed = GetParam();
+  Graph data = RandomData(seed, 50, 4.0, 3);
+  Graph query = RandomQuery(data, seed * 17 + 3, 3 + seed % 3);
+  const uint64_t expected = BruteForceMatch(query, data).size();
+  ASSERT_GT(expected, 0u);
+
+  CandidateSet cs = GQLFilter().Filter(query, data).ValueOrDie();
+  OrderingContext octx;
+  octx.query = &query;
+  octx.data = &data;
+  octx.candidates = &cs;
+  auto order = RIOrdering().MakeOrder(octx).ValueOrDie();
+
+  Enumerator enumerator;
+  EnumeratorWorkspace ws;  // shared across all modes: epochs must isolate
+  for (MembershipMode mode : {MembershipMode::kForceStamped,
+                              MembershipMode::kForceBinarySearch,
+                              MembershipMode::kAuto}) {
+    ws.set_mode(mode);
+    auto result =
+        enumerator.Run(query, data, cs, order, Unlimited(), &ws).ValueOrDie();
+    EXPECT_EQ(result.num_matches, expected)
+        << "mode=" << static_cast<int>(mode);
+    EXPECT_FALSE(result.timed_out);
+  }
+  EXPECT_EQ(ws.stats().prepares, 3u);
+  EXPECT_EQ(ws.stats().dense_prepares, 2u);  // forced-stamped + auto (small)
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WorkspaceEquivalenceTest,
+                         ::testing::Range<uint64_t>(1, 16));
+
+TEST(EnumWorkspaceTest, DisconnectedQueryMatchesBruteForce) {
+  // Two components: a labeled triangle and a disjoint edge. Any permutation
+  // is a legal order now; the component break falls back to iterating C(u).
+  GraphBuilder qb;
+  qb.AddVertex(0);
+  qb.AddVertex(1);
+  qb.AddVertex(0);
+  qb.AddEdge(0, 1);
+  qb.AddEdge(1, 2);
+  qb.AddEdge(2, 0);
+  qb.AddVertex(1);
+  qb.AddVertex(0);
+  qb.AddEdge(3, 4);
+  Graph query = qb.Build();
+
+  Graph data = RandomData(91, 60, 5.0, 2);
+  const uint64_t expected = BruteForceMatch(query, data).size();
+
+  CandidateSet cs = LDFFilter().Filter(query, data).ValueOrDie();
+  Enumerator enumerator;
+  EnumeratorWorkspace ws;
+  for (MembershipMode mode : {MembershipMode::kForceStamped,
+                              MembershipMode::kForceBinarySearch}) {
+    ws.set_mode(mode);
+    auto result =
+        enumerator.Run(query, data, cs, IdentityOrder(query), Unlimited(), &ws)
+            .ValueOrDie();
+    EXPECT_EQ(result.num_matches, expected);
+  }
+}
+
+TEST(EnumWorkspaceTest, DisconnectedOrderOnConnectedQueryStillExact) {
+  // A path 0-1-2 enumerated in the non-connected order {0, 2, 1}: position 1
+  // has no mapped backward neighbor, exercising the fallback mid-order.
+  GraphBuilder qb;
+  for (int i = 0; i < 3; ++i) qb.AddVertex(0);
+  qb.AddEdge(0, 1);
+  qb.AddEdge(1, 2);
+  Graph query = qb.Build();
+  Graph data = RandomData(92, 40, 4.0, 1);
+  const uint64_t expected = BruteForceMatch(query, data).size();
+
+  CandidateSet cs = LDFFilter().Filter(query, data).ValueOrDie();
+  Enumerator enumerator;
+  EnumeratorWorkspace ws;
+  auto result =
+      enumerator.Run(query, data, cs, {0, 2, 1}, Unlimited(), &ws)
+          .ValueOrDie();
+  EXPECT_EQ(result.num_matches, expected);
+}
+
+TEST(EnumWorkspaceTest, ReuseAcrossQueriesAndGraphsLeavesNoStaleState) {
+  // One workspace serves alternating (query, data) pairs of different sizes
+  // for many rounds; every run must match a fresh-workspace run. This is
+  // the cross-query leak test: stale candidate stamps, visited marks or
+  // backward lists would skew counts.
+  Enumerator enumerator;
+  EnumeratorWorkspace reused;
+
+  struct Case {
+    Graph data;
+    Graph query;
+    CandidateSet cs;
+    std::vector<VertexId> order;
+    uint64_t expected = 0;
+  };
+  std::vector<Case> cases;
+  for (uint64_t seed : {101u, 202u, 303u}) {
+    Case c;
+    c.data = RandomData(seed, 30 + 15 * (seed % 3), 4.0, 2 + seed % 2);
+    c.query = RandomQuery(c.data, seed + 7, 3 + seed % 2);
+    c.cs = LDFFilter().Filter(c.query, c.data).ValueOrDie();
+    OrderingContext octx;
+    octx.query = &c.query;
+    octx.data = &c.data;
+    octx.candidates = &c.cs;
+    c.order = RIOrdering().MakeOrder(octx).ValueOrDie();
+    EnumeratorWorkspace fresh;
+    c.expected = enumerator
+                     .Run(c.query, c.data, c.cs, c.order, Unlimited(), &fresh)
+                     .ValueOrDie()
+                     .num_matches;
+    cases.push_back(std::move(c));
+  }
+
+  // 300 rounds crosses the uint8 epoch wrap (every 255 prepares), proving
+  // the wrap-around clear keeps reuse exact.
+  for (int round = 0; round < 300; ++round) {
+    const Case& c = cases[round % cases.size()];
+    auto result =
+        enumerator.Run(c.query, c.data, c.cs, c.order, Unlimited(), &reused)
+            .ValueOrDie();
+    ASSERT_EQ(result.num_matches, c.expected) << "round " << round;
+  }
+  EXPECT_EQ(reused.stats().prepares, 300u);
+  EXPECT_GE(reused.stats().epoch_resets, 1u);
+  // Steady state: the stamp array grew to the high-water mark and stopped.
+  EXPECT_LE(reused.stats().stamp_grows, cases.size());
+}
+
+TEST(EnumWorkspaceTest, MatchLimitPathWithReusedWorkspace) {
+  Graph data = RandomData(111, 100, 6.0, 1);  // single label: many matches
+  GraphBuilder qb;
+  qb.AddVertex(0);
+  qb.AddVertex(0);
+  qb.AddEdge(0, 1);
+  Graph query = qb.Build();
+  CandidateSet cs = LDFFilter().Filter(query, data).ValueOrDie();
+
+  EnumerateOptions opts;
+  opts.match_limit = 10;
+  Enumerator enumerator;
+  EnumeratorWorkspace ws;
+  for (int i = 0; i < 3; ++i) {
+    auto result =
+        enumerator.Run(query, data, cs, {0, 1}, opts, &ws).ValueOrDie();
+    EXPECT_EQ(result.num_matches, 10u);
+    EXPECT_TRUE(result.hit_match_limit);
+  }
+}
+
+TEST(EnumWorkspaceTest, ExpiredExternalDeadlineCountsSetupAgainstBudget) {
+  Graph data = RandomData(121, 80, 5.0, 2);
+  Graph query = RandomQuery(data, 122, 5);
+  CandidateSet cs = LDFFilter().Filter(query, data).ValueOrDie();
+  OrderingContext octx;
+  octx.query = &query;
+  octx.data = &data;
+  octx.candidates = &cs;
+  auto order = RIOrdering().MakeOrder(octx).ValueOrDie();
+
+  // A deadline that is already (effectively) expired when Run starts: the
+  // post-setup check must report the timeout before any recursion happens.
+  const Deadline expired(1e-12);
+  Enumerator enumerator;
+  EnumeratorWorkspace ws;
+  auto result =
+      enumerator.Run(query, data, cs, order, Unlimited(), &ws, &expired)
+          .ValueOrDie();
+  EXPECT_TRUE(result.timed_out);
+  EXPECT_EQ(result.num_matches, 0u);
+  EXPECT_EQ(result.num_enumerations, 0u);
+}
+
+TEST(EnumWorkspaceTest, AutoModePicksBinarySearchOnLargeSparseGraph) {
+  // 70k vertices (> kDenseVertexCutoff) with 200 uniform labels: every
+  // candidate row fills ~0.5% < kDenseMinFill, so kAuto must skip the stamp
+  // array entirely.
+  LabelConfig labels;
+  labels.num_labels = 200;
+  labels.zipf_exponent = 0.0;  // uniform
+  Graph data = GenerateErdosRenyi(70000, 4.0, labels, 131).ValueOrDie();
+  ASSERT_GT(data.num_vertices(), EnumeratorWorkspace::kDenseVertexCutoff);
+  Graph query = RandomQuery(data, 132, 4);
+  CandidateSet cs = LDFFilter().Filter(query, data).ValueOrDie();
+  OrderingContext octx;
+  octx.query = &query;
+  octx.data = &data;
+  octx.candidates = &cs;
+  auto order = RIOrdering().MakeOrder(octx).ValueOrDie();
+
+  Enumerator enumerator;
+  EnumeratorWorkspace sparse_ws;
+  auto sparse =
+      enumerator.Run(query, data, cs, order, {}, &sparse_ws).ValueOrDie();
+  EXPECT_FALSE(sparse_ws.stats().last_dense);
+  EXPECT_EQ(sparse_ws.stats().stamp_bytes, 0u);  // never allocated
+
+  EnumeratorWorkspace dense_ws;
+  dense_ws.set_mode(MembershipMode::kForceStamped);
+  auto dense =
+      enumerator.Run(query, data, cs, order, {}, &dense_ws).ValueOrDie();
+  EXPECT_TRUE(dense_ws.stats().last_dense);
+  EXPECT_EQ(sparse.num_matches, dense.num_matches);
+  EXPECT_EQ(sparse.num_enumerations, dense.num_enumerations);
+}
+
+TEST(EnumWorkspaceTest, StoredEmbeddingsAreIsomorphismsAcrossReuse) {
+  Graph data = RandomData(141, 50, 4.0, 2);
+  Enumerator enumerator;
+  EnumeratorWorkspace ws;
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    Graph query = RandomQuery(data, 400 + seed, 4);
+    CandidateSet cs = GQLFilter().Filter(query, data).ValueOrDie();
+    OrderingContext octx;
+    octx.query = &query;
+    octx.data = &data;
+    octx.candidates = &cs;
+    auto order = GQLOrdering().MakeOrder(octx).ValueOrDie();
+    EnumerateOptions opts;
+    opts.match_limit = 0;
+    opts.store_embeddings = true;
+    auto result =
+        enumerator.Run(query, data, cs, order, opts, &ws).ValueOrDie();
+    ASSERT_EQ(result.embeddings.size(), result.num_matches);
+    for (const auto& embedding : result.embeddings) {
+      EXPECT_TRUE(IsIsomorphism(query, data, embedding));
+    }
+  }
+}
+
+TEST(EnumWorkspaceTest, OutOfRangeCandidatesRejectedOnBothPaths) {
+  Graph data = RandomData(151);
+  Graph query = RandomQuery(data, 152, 4);
+  CandidateSet cs(query.num_vertices());
+  for (VertexId u = 0; u < query.num_vertices(); ++u) {
+    cs.Set(u, {data.num_vertices() + 1});
+  }
+  Enumerator enumerator;
+  EnumeratorWorkspace ws;
+  for (MembershipMode mode : {MembershipMode::kForceStamped,
+                              MembershipMode::kForceBinarySearch}) {
+    ws.set_mode(mode);
+    auto result =
+        enumerator.Run(query, data, cs, IdentityOrder(query), {}, &ws);
+    EXPECT_FALSE(result.ok());
+    EXPECT_TRUE(result.status().IsInvalidArgument());
+  }
+}
+
+/// The matcher-level workspace: repeated Match calls on one SubgraphMatcher
+/// reuse its workspace and stay identical to a fresh matcher's results.
+TEST(EnumWorkspaceTest, SubgraphMatcherReusesWorkspaceAcrossMatches) {
+  Graph data = RandomData(161, 60, 4.0, 3);
+  auto matcher = MakeMatcherByName("Hybrid").ValueOrDie();
+  for (uint64_t seed : {11u, 12u, 13u, 11u}) {  // repeat 11 to re-hit state
+    Graph query = RandomQuery(data, seed, 4);
+    const MatchRunStats reused = matcher->Match(query, data).ValueOrDie();
+    auto fresh_matcher = MakeMatcherByName("Hybrid").ValueOrDie();
+    const MatchRunStats fresh = fresh_matcher->Match(query, data).ValueOrDie();
+    EXPECT_EQ(reused.num_matches, fresh.num_matches);
+    EXPECT_EQ(reused.num_enumerations, fresh.num_enumerations);
+    EXPECT_EQ(reused.order, fresh.order);
+  }
+}
+
+}  // namespace
+}  // namespace rlqvo
