@@ -112,6 +112,12 @@ int main(int argc, char** argv) {
       std::snprintf(key, sizeof(key), "engine_%u%s_qps", threads,
                     cached ? "_cached" : "");
       metrics.emplace_back(key, qps);
+      if (threads == 4 && cached) {
+        AppendEnumWorkMetrics(&metrics, "batch", batch.total_intersections,
+                              batch.total_probe_comparisons,
+                              batch.total_local_candidates,
+                              batch.total_local_candidate_sets);
+      }
       best_speedup = std::max(best_speedup, speedup);
     }
   }

@@ -1,0 +1,350 @@
+// Local-candidate generation: the seed's probe loop (pivot neighborhood
+// scan + one HasEdge binary search per additional backward neighbor) vs the
+// intersection-driven core (adaptive merge/gallop over label-restricted
+// adjacency slices), across label skews and density scales.
+//
+// Two parts:
+//   1. A merge-vs-gallop crossover microbench over sorted random sets at
+//      growing size ratios — the measurement behind intersect.h's
+//      kGallopRatio.
+//   2. Full enumeration runs on generated workloads, timing the current
+//      Enumerator against a faithful re-implementation of the pre-change
+//      probe loop on identical inputs (same workspace machinery, same
+//      candidate sets, same orders). Both traverse the identical recursion
+//      tree, so match counts must agree exactly — checked fatally.
+//
+// Acceptance bar (ISSUE 3): >= 2x speedup on the skewed-label configuration
+// at scale >= 1.0. Metrics (including the new enumeration work counters)
+// land in BENCH_intersection.json.
+//
+// --smoke shrinks everything for CI: a seconds-long run that still verifies
+// probe/intersection agreement and JSON emission.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "graph/generators.h"
+#include "graph/query_sampler.h"
+#include "matching/enumerator.h"
+#include "matching/filters.h"
+#include "matching/intersect.h"
+#include "matching/ordering.h"
+
+using namespace rlqvo;
+using namespace rlqvo::bench;
+
+namespace {
+
+inline void KeepAlive(const void* p) {
+  asm volatile("" : : "g"(p) : "memory");
+}
+
+// ---------------------------------------------------------------------------
+// Part 1: merge vs gallop crossover.
+// ---------------------------------------------------------------------------
+
+std::vector<VertexId> RandomSortedSet(Rng* rng, size_t size,
+                                      uint32_t universe) {
+  std::set<VertexId> s;
+  while (s.size() < size) {
+    s.insert(static_cast<VertexId>(rng->NextBounded(universe)));
+  }
+  return {s.begin(), s.end()};
+}
+
+void CrossoverMicrobench(std::vector<std::pair<std::string, double>>* metrics,
+                         bool smoke) {
+  const size_t small_size = smoke ? 256 : 1024;
+  std::printf("\n-- merge vs gallop crossover (|small| = %zu) --\n",
+              small_size);
+  std::printf("%8s %14s %14s %9s\n", "ratio", "linear ns/op", "gallop ns/op",
+              "gallop/lin");
+  Rng rng(99);
+  const int reps = smoke ? 20 : 200;
+  for (size_t ratio : {1, 2, 4, 8, 16, 32, 64, 128}) {
+    const size_t large_size = small_size * ratio;
+    const uint32_t universe = static_cast<uint32_t>(large_size * 4);
+    const auto small = RandomSortedSet(&rng, small_size, universe);
+    const auto large = RandomSortedSet(&rng, large_size, universe);
+    std::vector<VertexId> out;
+    uint64_t cmp = 0;
+    Stopwatch lw;
+    for (int r = 0; r < reps; ++r) {
+      IntersectLinear(small, large, &out, &cmp);
+      KeepAlive(out.data());
+    }
+    const double linear_ns = lw.ElapsedSeconds() / reps * 1e9;
+    Stopwatch gw;
+    for (int r = 0; r < reps; ++r) {
+      IntersectGalloping(small, large, &out, &cmp);
+      KeepAlive(out.data());
+    }
+    const double gallop_ns = gw.ElapsedSeconds() / reps * 1e9;
+    std::printf("%8zu %14.0f %14.0f %9.2f\n", ratio, linear_ns, gallop_ns,
+                gallop_ns / linear_ns);
+    metrics->emplace_back("gallop_over_linear_r" + std::to_string(ratio),
+                          gallop_ns / linear_ns);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Part 2: probe loop vs intersection core on full enumerations.
+// ---------------------------------------------------------------------------
+
+/// The pre-change Extend loop, verbatim in strategy: iterate the minimum-
+/// degree mapped backward neighbor's whole neighborhood, test candidate
+/// membership per vertex, then one HasEdge per remaining backward neighbor.
+/// Runs on the same EnumeratorWorkspace machinery (epoch-stamped visited/
+/// membership, backward lists) so the measured delta is purely the
+/// local-candidate strategy.
+struct ProbeEnumerator {
+  const Graph* query = nullptr;
+  const Graph* data = nullptr;
+  const CandidateSet* candidates = nullptr;
+  const std::vector<VertexId>* order = nullptr;
+  EnumeratorWorkspace* ws = nullptr;
+  uint64_t match_limit = 0;
+  uint64_t num_matches = 0;
+
+  bool Done() const { return match_limit > 0 && num_matches >= match_limit; }
+
+  void Extend(size_t depth) {
+    if (Done()) return;
+    const VertexId u = (*order)[depth];
+    const std::vector<VertexId>& backward = ws->backward()[depth];
+    if (backward.empty()) {
+      for (VertexId v : candidates->candidates(u)) {
+        if (ws->Visited(v)) continue;
+        Descend(depth, u, v);
+        if (Done()) return;
+      }
+      return;
+    }
+    const std::vector<VertexId>& mapping = ws->mapping();
+    VertexId pivot = kInvalidVertex;
+    for (VertexId ub : backward) {
+      const VertexId vb = mapping[ub];
+      if (pivot == kInvalidVertex || data->degree(vb) < data->degree(pivot)) {
+        pivot = vb;
+      }
+    }
+    for (VertexId v : data->neighbors(pivot)) {
+      if (ws->Visited(v) || !ws->InCandidates(*candidates, u, v)) continue;
+      bool adjacent_to_all = true;
+      for (VertexId ub : backward) {
+        const VertexId vb = mapping[ub];
+        if (vb == pivot) continue;
+        if (!data->HasEdge(vb, v)) {
+          adjacent_to_all = false;
+          break;
+        }
+      }
+      if (!adjacent_to_all) continue;
+      Descend(depth, u, v);
+      if (Done()) return;
+    }
+  }
+
+  void Descend(size_t depth, VertexId u, VertexId v) {
+    ws->mapping()[u] = v;
+    ws->MarkVisited(v);
+    if (depth + 1 == order->size()) {
+      ++num_matches;
+    } else {
+      Extend(depth + 1);
+    }
+    ws->UnmarkVisited(v);
+    ws->mapping()[u] = kInvalidVertex;
+  }
+};
+
+struct WorkloadCase {
+  std::string name;
+  uint32_t num_labels;
+  double zipf;
+  double scale;            // multiplies the base vertex count
+  double avg_degree = 16.0;
+  bool power_law = false;  // Chung-Lu hubs: cyclic queries, big hub slices
+};
+
+struct CaseResult {
+  double probe_us_per_query = 0.0;
+  double intersect_us_per_query = 0.0;
+  double speedup = 0.0;
+  EnumerateResult accumulated;  // counters summed over the query set
+};
+
+CaseResult RunCase(const WorkloadCase& c, const BenchOptions& opts,
+                   bool smoke) {
+  const uint32_t base = smoke ? 2000 : 32768;
+  const uint32_t n =
+      std::max(512u, static_cast<uint32_t>(base * c.scale));
+  LabelConfig labels;
+  labels.num_labels = c.num_labels;
+  labels.zipf_exponent = c.zipf;
+  Graph data =
+      c.power_law
+          ? MustOk(GeneratePowerLaw(n, c.avg_degree, 2.2, labels, opts.seed),
+                   "generate")
+          : MustOk(GenerateErdosRenyi(n, c.avg_degree, labels, opts.seed),
+                   "generate");
+
+  // Queries, candidates and orders are computed once and shared by both
+  // sides; only the enumeration strategy differs.
+  const uint32_t query_size = smoke ? 6 : 10;
+  const uint32_t num_queries = smoke ? 3 : 8;
+  QuerySampler sampler(&data, opts.seed + 3);
+  std::vector<Graph> queries;
+  std::vector<CandidateSet> css;
+  std::vector<std::vector<VertexId>> orders;
+  for (uint32_t i = 0; i < num_queries; ++i) {
+    Graph q = MustOk(sampler.SampleQuery(query_size), "sample");
+    CandidateSet cs = MustOk(LDFFilter().Filter(q, data), "filter");
+    OrderingContext octx;
+    octx.query = &q;
+    octx.data = &data;
+    octx.candidates = &cs;
+    orders.push_back(MustOk(RIOrdering().MakeOrder(octx), "order"));
+    queries.push_back(std::move(q));
+    css.push_back(std::move(cs));
+  }
+  const uint64_t match_limit = opts.match_limit;
+
+  CaseResult out;
+  EnumeratorWorkspace ws;
+  Enumerator enumerator;
+  EnumerateOptions eopts;
+  eopts.match_limit = match_limit;
+
+  // Warm-up (grows workspace buffers) + correctness gate: both strategies
+  // walk the identical recursion tree, so counts must agree exactly.
+  std::vector<uint64_t> expected(num_queries);
+  for (uint32_t i = 0; i < num_queries; ++i) {
+    auto r = MustOk(
+        enumerator.Run(queries[i], data, css[i], orders[i], eopts, &ws),
+        "enumerate");
+    expected[i] = r.num_matches;
+    out.accumulated.num_intersections += r.num_intersections;
+    out.accumulated.num_probe_comparisons += r.num_probe_comparisons;
+    out.accumulated.local_candidates_total += r.local_candidates_total;
+    out.accumulated.local_candidate_sets += r.local_candidate_sets;
+  }
+  for (uint32_t i = 0; i < num_queries; ++i) {
+    RLQVO_CHECK(ws.Prepare(queries[i], data, css[i], orders[i]).ok());
+    ProbeEnumerator probe{&queries[i], &data, &css[i], &orders[i], &ws,
+                          match_limit};
+    probe.Extend(0);
+    if (probe.num_matches != expected[i]) {
+      std::fprintf(stderr,
+                   "FATAL: probe/intersection mismatch on query %u "
+                   "(%llu vs %llu)\n",
+                   i, static_cast<unsigned long long>(probe.num_matches),
+                   static_cast<unsigned long long>(expected[i]));
+      std::exit(1);
+    }
+  }
+
+  // Calibrate repetitions to ~0.3 s per side, then measure.
+  auto run_intersection = [&] {
+    for (uint32_t i = 0; i < num_queries; ++i) {
+      auto r = MustOk(
+          enumerator.Run(queries[i], data, css[i], orders[i], eopts, &ws),
+          "enumerate");
+      KeepAlive(&r);
+    }
+  };
+  auto run_probe = [&] {
+    for (uint32_t i = 0; i < num_queries; ++i) {
+      RLQVO_CHECK(ws.Prepare(queries[i], data, css[i], orders[i]).ok());
+      ProbeEnumerator probe{&queries[i], &data, &css[i], &orders[i], &ws,
+                            match_limit};
+      probe.Extend(0);
+      KeepAlive(&probe.num_matches);
+    }
+  };
+  Stopwatch calib;
+  run_probe();
+  const double once = std::max(1e-6, calib.ElapsedSeconds());
+  const int reps = std::clamp(static_cast<int>(0.3 / once), 1, 500);
+
+  Stopwatch pw;
+  for (int r = 0; r < reps; ++r) run_probe();
+  out.probe_us_per_query =
+      pw.ElapsedSeconds() / (reps * num_queries) * 1e6;
+  Stopwatch iw;
+  for (int r = 0; r < reps; ++r) run_intersection();
+  out.intersect_us_per_query =
+      iw.ElapsedSeconds() / (reps * num_queries) * 1e6;
+  out.speedup = out.probe_us_per_query / out.intersect_us_per_query;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchOptions opts = BenchOptions::FromArgs(argc, argv);
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  PrintBanner("Enumeration core: probe loop vs slice intersection", opts);
+  if (smoke) std::printf("# --smoke: reduced sizes for CI\n");
+
+  std::vector<std::pair<std::string, double>> metrics;
+  CrossoverMicrobench(&metrics, smoke);
+
+  // Label regimes x density scales. "skewed" (zipf 1.2 over 32 labels) is
+  // the acceptance configuration: hub labels produce big slices that the
+  // probe loop re-scans per pivot while intersections gallop through them.
+  // The power-law case samples queries around Chung-Lu hubs, which makes
+  // them cyclic (multi-backward depths) — the multi-way intersection path
+  // at scale, not just the slice-scan path.
+  // Skewed cases run denser (d=32): label skew concentrates both the
+  // queries and the slices on hub labels, which is where the probe loop's
+  // full-neighborhood rescans hurt most.
+  const std::vector<WorkloadCase> cases = {
+      {"uniform_s0.5", 32, 0.0, 0.5},
+      {"uniform_s1.0", 32, 0.0, 1.0},
+      {"skewed_s0.5", 32, 1.2, 0.5, 32.0},
+      {"skewed_s1.0", 32, 1.2, 1.0, 32.0},
+      {"fewlabels_s1.0", 4, 0.0, 1.0},
+      {"powerlaw_s1.0", 32, 1.2, 1.0, 16.0, true},
+  };
+  std::printf("\n-- enumeration: probe vs intersection (us/query) --\n");
+  std::printf("%16s %12s %14s %9s %14s %14s\n", "case", "probe", "intersect",
+              "speedup", "intersections", "avg |local|");
+  double skewed_full_speedup = 0.0;
+  for (const WorkloadCase& c : cases) {
+    const CaseResult r = RunCase(c, opts, smoke);
+    const double avg_local =
+        r.accumulated.local_candidate_sets == 0
+            ? 0.0
+            : static_cast<double>(r.accumulated.local_candidates_total) /
+                  static_cast<double>(r.accumulated.local_candidate_sets);
+    std::printf("%16s %10.1f %12.1f %9.2fx %14llu %14.2f\n", c.name.c_str(),
+                r.probe_us_per_query, r.intersect_us_per_query, r.speedup,
+                static_cast<unsigned long long>(
+                    r.accumulated.num_intersections),
+                avg_local);
+    metrics.emplace_back("probe_us_" + c.name, r.probe_us_per_query);
+    metrics.emplace_back("intersect_us_" + c.name, r.intersect_us_per_query);
+    metrics.emplace_back("speedup_" + c.name, r.speedup);
+    AppendEnumWorkMetrics(&metrics, c.name,
+                          r.accumulated.num_intersections,
+                          r.accumulated.num_probe_comparisons,
+                          r.accumulated.local_candidates_total,
+                          r.accumulated.local_candidate_sets);
+    if (c.name == "skewed_s1.0") skewed_full_speedup = r.speedup;
+  }
+
+  metrics.emplace_back("skewed_s1_speedup", skewed_full_speedup);
+  std::printf("skewed scale-1.0 speedup: %.2fx %s\n", skewed_full_speedup,
+              skewed_full_speedup >= 2.0 ? "(PASS >= 2x)"
+                                         : "(below 2x bar)");
+  WriteBenchJson("intersection", opts, metrics);
+  return 0;
+}

@@ -144,6 +144,27 @@ T MustOk(Result<T> result, const char* what) {
   return std::move(result).ValueOrDie();
 }
 
+/// \brief Appends the intersection-core enumeration counters of a batch (or
+/// any accumulated totals) to a bench's metrics under `<prefix>_...` keys:
+/// intersections, probe comparisons, and the average local-candidate size.
+/// Keeping these in every BENCH_*.json lets the perf trajectory track work
+/// done, not just wall time.
+inline void AppendEnumWorkMetrics(
+    std::vector<std::pair<std::string, double>>* metrics,
+    const std::string& prefix, uint64_t intersections,
+    uint64_t probe_comparisons, uint64_t local_candidates,
+    uint64_t local_candidate_sets) {
+  metrics->emplace_back(prefix + "_intersections",
+                        static_cast<double>(intersections));
+  metrics->emplace_back(prefix + "_probe_comparisons",
+                        static_cast<double>(probe_comparisons));
+  metrics->emplace_back(prefix + "_avg_local_candidates",
+                        local_candidate_sets == 0
+                            ? 0.0
+                            : static_cast<double>(local_candidates) /
+                                  static_cast<double>(local_candidate_sets));
+}
+
 /// \brief Writes the machine-readable results file `BENCH_<name>.json` in
 /// the current directory (schema documented in docs/BENCHMARKS.md):
 ///

@@ -22,7 +22,8 @@ uint64_t QueryFingerprint(const Graph& query) {
   for (VertexId u = 0; u < query.num_vertices(); ++u) {
     h = Mix(h, query.label(u));
   }
-  // Neighbor lists are sorted in CSR form, so this traversal is canonical.
+  // Neighbor lists are (label, id)-ordered in CSR form — a pure function of
+  // the graph's content — so this traversal is canonical.
   for (VertexId u = 0; u < query.num_vertices(); ++u) {
     for (VertexId v : query.neighbors(u)) {
       if (u < v) h = Mix(h, (static_cast<uint64_t>(u) << 32) | v);

@@ -173,6 +173,10 @@ Result<BatchResult> QueryEngine::MatchBatch(const std::vector<Graph>& queries,
     const MatchRunStats& stats = batch.per_query[i];
     batch.total_matches += stats.num_matches;
     batch.total_enumerations += stats.num_enumerations;
+    batch.total_intersections += stats.num_intersections;
+    batch.total_probe_comparisons += stats.num_probe_comparisons;
+    batch.total_local_candidates += stats.local_candidates_total;
+    batch.total_local_candidate_sets += stats.local_candidate_sets;
     if (!stats.solved) ++batch.unsolved;
   }
   const CandidateCache::Counters cache_after = cache_.counters();

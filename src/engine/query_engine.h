@@ -73,6 +73,15 @@ struct BatchResult {
   uint64_t total_matches = 0;
   /// Sum of per-query num_enumerations (successful queries only).
   uint64_t total_enumerations = 0;
+  /// Intersection-core work aggregates over successful queries (see
+  /// EnumerateResult): slice intersections, merge/gallop comparisons, and
+  /// summed local-candidate sizes with their sample count
+  /// (total_local_candidates / total_local_candidate_sets = batch average
+  /// local-candidate size).
+  uint64_t total_intersections = 0;
+  uint64_t total_probe_comparisons = 0;
+  uint64_t total_local_candidates = 0;
+  uint64_t total_local_candidate_sets = 0;
   /// Number of queries whose deadline fired before completion.
   uint32_t unsolved = 0;
   /// Candidate-cache hits/misses incurred by this batch.

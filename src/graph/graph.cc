@@ -8,10 +8,21 @@ namespace rlqvo {
 
 bool Graph::HasEdge(VertexId u, VertexId v) const {
   if (u >= num_vertices() || v >= num_vertices()) return false;
-  // Search the smaller adjacency list.
+  // Search the smaller endpoint's slice for the other endpoint's label —
+  // two nested binary searches over strictly smaller ranges than the seed's
+  // whole-neighborhood search.
   if (degree(u) > degree(v)) std::swap(u, v);
-  auto nbrs = neighbors(u);
-  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+  auto slice = NeighborsWithLabel(u, label(v));
+  return std::binary_search(slice.begin(), slice.end(), v);
+}
+
+std::span<const VertexId> Graph::NeighborsWithLabel(VertexId v, Label l) const {
+  RLQVO_DCHECK_LT(v, num_vertices());
+  const Label* begin = slice_labels_.data() + slice_offsets_[v];
+  const Label* end = slice_labels_.data() + slice_offsets_[v + 1];
+  const Label* it = std::lower_bound(begin, end, l);
+  if (it == end || *it != l) return {};
+  return NeighborSlice(v, static_cast<size_t>(it - begin));
 }
 
 std::span<const VertexId> Graph::VerticesWithLabel(Label l) const {
@@ -26,15 +37,14 @@ uint32_t Graph::CountVerticesWithDegreeGreaterThan(uint32_t d) const {
 }
 
 uint64_t Graph::EdgeLabelFrequency(Label la, Label lb) const {
-  // Scan the adjacency of the less frequent label's vertices.
+  // Sum the lb-slice lengths over the less frequent label's vertices — one
+  // slice lookup per vertex instead of a full neighborhood scan.
   if (LabelFrequency(la) > LabelFrequency(lb)) std::swap(la, lb);
   uint64_t count = 0;
   for (VertexId v : VerticesWithLabel(la)) {
-    for (VertexId w : neighbors(v)) {
-      if (label(w) == lb) ++count;
-    }
+    count += NeighborsWithLabel(v, lb).size();
   }
-  // Each same-label edge was visited from both endpoints.
+  // Each same-label edge was counted from both endpoints.
   if (la == lb) count /= 2;
   return count;
 }
@@ -45,7 +55,10 @@ size_t Graph::MemoryFootprintBytes() const {
          label_freq_.size() * sizeof(uint32_t) +
          label_offsets_.size() * sizeof(uint64_t) +
          vertices_by_label_.size() * sizeof(VertexId) +
-         sorted_degrees_.size() * sizeof(uint32_t);
+         sorted_degrees_.size() * sizeof(uint32_t) +
+         slice_offsets_.size() * sizeof(uint64_t) +
+         slice_labels_.size() * sizeof(Label) +
+         slice_begins_.size() * sizeof(uint64_t);
 }
 
 std::string Graph::ToString() const {
@@ -84,11 +97,16 @@ Graph GraphBuilder::Build() {
   g.labels_ = std::move(labels_);
   g.offsets_.assign(n + 1, 0);
 
-  // Sort + dedup adjacency, then flatten to CSR.
+  // Sort each neighbor list by (label, id) — equal ids carry equal labels,
+  // so duplicates stay adjacent and unique() still dedups — then flatten to
+  // CSR. The label-major order makes every per-label slice contiguous and
+  // id-sorted, which the slice index below exposes.
   uint64_t total = 0;
   for (uint32_t v = 0; v < n; ++v) {
     auto& nbrs = adjacency_[v];
-    std::sort(nbrs.begin(), nbrs.end());
+    std::sort(nbrs.begin(), nbrs.end(), [&g](VertexId a, VertexId b) {
+      return std::make_pair(g.labels_[a], a) < std::make_pair(g.labels_[b], b);
+    });
     nbrs.erase(std::unique(nbrs.begin(), nbrs.end()), nbrs.end());
     total += nbrs.size();
   }
@@ -98,6 +116,20 @@ Graph GraphBuilder::Build() {
     g.adj_.insert(g.adj_.end(), adjacency_[v].begin(), adjacency_[v].end());
   }
   g.offsets_[n] = g.adj_.size();
+
+  // Label-slice index: record each (vertex, distinct neighbor label) run.
+  g.slice_offsets_.assign(n + 1, 0);
+  for (uint32_t v = 0; v < n; ++v) {
+    g.slice_offsets_[v] = g.slice_labels_.size();
+    for (uint64_t i = g.offsets_[v]; i < g.offsets_[v + 1]; ++i) {
+      const Label l = g.labels_[g.adj_[i]];
+      if (i == g.offsets_[v] || l != g.slice_labels_.back()) {
+        g.slice_labels_.push_back(l);
+        g.slice_begins_.push_back(i);
+      }
+    }
+  }
+  g.slice_offsets_[n] = g.slice_labels_.size();
 
   g.num_labels_ = 0;
   for (Label l : g.labels_) g.num_labels_ = std::max(g.num_labels_, l + 1);

@@ -17,12 +17,18 @@ using Label = uint32_t;
 /// Sentinel for "no vertex".
 inline constexpr VertexId kInvalidVertex = UINT32_MAX;
 
-/// \brief Immutable undirected labeled graph in CSR form.
+/// \brief Immutable undirected labeled graph in label-sliced CSR form.
 ///
 /// This is the shared representation for both data graphs G and query graphs
-/// q (Definition II.1 of the paper). Neighbor lists are sorted, enabling
-/// O(log d) adjacency tests and ordered merges. Construct via GraphBuilder or
-/// the loaders in graph_io.h.
+/// q (Definition II.1 of the paper). Each neighbor list is ordered by
+/// (label(w), w), so the neighbors carrying one label form a contiguous
+/// *slice* that is itself sorted by vertex id. A per-vertex slice index maps
+/// a label to its slice in O(log #labels-in-N(v)), which gives
+///   - NeighborsWithLabel(v, l): the label-restricted neighborhood as a
+///     sorted span — the input of the enumerator's candidate intersections;
+///   - HasEdge(u, v): binary search confined to the relevant slice;
+///   - per-label degree counts as plain slice lengths (NLF/GQL filters).
+/// Construct via GraphBuilder or the loaders in graph_io.h.
 class Graph {
  public:
   Graph() = default;
@@ -51,13 +57,41 @@ class Graph {
   /// Maximum degree over all vertices.
   uint32_t max_degree() const { return max_degree_; }
 
-  /// Sorted neighbor list N(v).
+  /// Neighbor list N(v), ordered by (label(w), w) — NOT by id globally.
+  /// Consumers needing id order must work per label slice (each slice is
+  /// id-sorted) or sort a copy.
   std::span<const VertexId> neighbors(VertexId v) const {
     RLQVO_DCHECK_LT(v, num_vertices());
     return {adj_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
   }
 
-  /// True iff edge (u, v) exists. O(log min(d(u), d(v))).
+  /// Distinct labels appearing in N(v), ascending.
+  std::span<const Label> NeighborLabels(VertexId v) const {
+    RLQVO_DCHECK_LT(v, num_vertices());
+    return {slice_labels_.data() + slice_offsets_[v],
+            slice_offsets_[v + 1] - slice_offsets_[v]};
+  }
+
+  /// Neighbors of v carrying label l, sorted ascending by id. Empty span
+  /// when no neighbor carries l. O(log #distinct-labels-in-N(v)) lookup.
+  std::span<const VertexId> NeighborsWithLabel(VertexId v, Label l) const;
+
+  /// The i-th label slice of N(v) (i indexes NeighborLabels(v)), sorted
+  /// ascending by id. Walking i over [0, NeighborLabels(v).size()) visits
+  /// the whole neighborhood grouped by label without any lookups.
+  std::span<const VertexId> NeighborSlice(VertexId v, size_t i) const {
+    RLQVO_DCHECK_LT(v, num_vertices());
+    const uint64_t entry = slice_offsets_[v] + i;
+    RLQVO_DCHECK_LT(entry, slice_offsets_[v + 1]);
+    const uint64_t begin = slice_begins_[entry];
+    const uint64_t end = entry + 1 < slice_offsets_[v + 1]
+                             ? slice_begins_[entry + 1]
+                             : offsets_[v + 1];
+    return {adj_.data() + begin, end - begin};
+  }
+
+  /// True iff edge (u, v) exists. O(log) within the smaller endpoint's
+  /// label slice for the other endpoint's label.
   bool HasEdge(VertexId u, VertexId v) const;
 
   /// Number of data vertices carrying label l (0 for unseen labels).
@@ -73,7 +107,8 @@ class Graph {
   uint32_t CountVerticesWithDegreeGreaterThan(uint32_t d) const;
 
   /// \brief Number of edges whose endpoint labels are {la, lb} (unordered).
-  /// Used by QuickSI's infrequent-edge-first ordering.
+  /// Used by QuickSI's infrequent-edge-first ordering. Computed as a sum of
+  /// label-slice lengths over the less frequent label's vertices.
   uint64_t EdgeLabelFrequency(Label la, Label lb) const;
 
   /// \brief Approximate in-memory footprint in bytes (Table IV).
@@ -86,7 +121,7 @@ class Graph {
   friend class GraphBuilder;
 
   std::vector<uint64_t> offsets_;   // size n+1
-  std::vector<VertexId> adj_;       // size 2m, sorted per vertex
+  std::vector<VertexId> adj_;       // size 2m, sorted by (label, id) per vertex
   std::vector<Label> labels_;       // size n
   uint32_t num_labels_ = 0;
   uint32_t max_degree_ = 0;
@@ -96,6 +131,13 @@ class Graph {
   std::vector<uint64_t> label_offsets_;         // size |L|+1
   std::vector<VertexId> vertices_by_label_;     // size n
   std::vector<uint32_t> sorted_degrees_;        // size n, ascending
+
+  // Per-vertex label-slice index over adj_: the distinct labels of N(v)
+  // (ascending) and where each label's slice starts. The end of a slice is
+  // the next slice's start, or offsets_[v+1] for the vertex's last slice.
+  std::vector<uint64_t> slice_offsets_;  // size n+1, into the two below
+  std::vector<Label> slice_labels_;      // one entry per (v, label) pair
+  std::vector<uint64_t> slice_begins_;   // parallel: absolute start in adj_
 };
 
 /// \brief Incremental builder for Graph.

@@ -20,10 +20,23 @@ Status EnumeratorWorkspace::Prepare(const Graph& query, const Graph& data,
     }
     total_candidates += c.size();
   }
+#ifndef NDEBUG
+  // The intersection core derives local candidates from label(u) adjacency
+  // slices, so it requires label-consistent candidate sets (which every
+  // shipped filter produces; a label-mismatched candidate could never be
+  // part of a genuine match anyway). Enforced in debug builds; documented
+  // on Enumerator::Run.
+  for (VertexId u = 0; u < nq; ++u) {
+    for (VertexId v : candidates.candidates(u)) {
+      RLQVO_DCHECK_EQ(data.label(v), query.label(u));
+    }
+  }
+#endif
 
-  // Backward-neighbor lists for this order; inner vectors keep their
-  // capacity across queries.
+  // Backward-neighbor lists and per-depth local-candidate buffers for this
+  // order; inner vectors keep their capacity across queries.
   if (backward_.size() < nq) backward_.resize(nq);
+  if (local_.size() < nq) local_.resize(nq);
   placed_.assign(nq, 0);
   for (size_t i = 0; i < order.size(); ++i) {
     backward_[i].clear();

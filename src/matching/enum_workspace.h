@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/status.h"
@@ -27,9 +28,10 @@ namespace rlqvo {
 ///   footprint) is wasted work: membership falls back to
 ///   CandidateSet::Contains binary search and the stamp array is never
 ///   allocated. See the kDense* thresholds below.
-/// - **Preallocated buffers.** The mapping and backward-neighbor buffers are
-///   kept across runs and only grow, so batch serving never reallocates in
-///   steady state.
+/// - **Preallocated buffers.** The mapping, backward-neighbor and per-depth
+///   local-candidate buffers (the materialization target of the
+///   intersection core, see intersect.h) are kept across runs and only
+///   grow, so batch serving never reallocates in steady state.
 ///
 /// A workspace may be reused across different (query, data) pairs of any
 /// size. It is NOT safe for concurrent use: one workspace per thread
@@ -109,6 +111,29 @@ class EnumeratorWorkspace {
   const std::vector<std::vector<VertexId>>& backward() const {
     return backward_;
   }
+
+  /// \brief Per-depth scratch for the intersection-driven local-candidate
+  /// computation: `result` receives the materialized intersection of the
+  /// backward neighbors' label slices, `scratch` is the ping-pong partner
+  /// for multi-way intersections. One pair per recursion depth (a depth's
+  /// result is iterated while deeper depths intersect into their own pair);
+  /// capacities grow to the workload's high-water mark and are reused.
+  struct LocalBuffers {
+    std::vector<VertexId> result;
+    std::vector<VertexId> scratch;
+  };
+  LocalBuffers& local(size_t depth) {
+    RLQVO_DCHECK_LT(depth, local_.size());
+    return local_[depth];
+  }
+
+  /// Scratch for gathering the backward neighbors' label slices before
+  /// intersecting. Shared across depths — safe because every Extend consumes
+  /// it (materializes the intersection into its depth's LocalBuffers) before
+  /// recursing deeper.
+  std::vector<std::span<const VertexId>>& slice_scratch() {
+    return slice_scratch_;
+  }
   /// @}
 
   void set_mode(MembershipMode mode) { mode_ = mode; }
@@ -124,6 +149,8 @@ class EnumeratorWorkspace {
   std::vector<uint8_t> visited_stamp_;  // |V(G)|
   std::vector<VertexId> mapping_;
   std::vector<std::vector<VertexId>> backward_;
+  std::vector<LocalBuffers> local_;  // one pair per recursion depth
+  std::vector<std::span<const VertexId>> slice_scratch_;
   std::vector<uint8_t> placed_;  // scratch for the backward build
 
   size_t nv_ = 0;      // stamp-row stride for the current query

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "graph/graph_algorithms.h"
+#include "matching/intersect.h"
 
 namespace rlqvo {
 
@@ -78,29 +79,55 @@ struct EnumContext {
       return;
     }
 
-    // Pivot: the mapped backward neighbor with the smallest data degree;
-    // its neighborhood bounds the local candidates.
+    // Local candidates = intersection of the backward neighbors' adjacency
+    // slices restricted to label(u). Every slice is sorted by id, so the
+    // intersection is an ordered merge/gallop (intersect.h) instead of the
+    // seed's per-candidate HasEdge probe per additional backward neighbor.
     const std::vector<VertexId>& mapping = ws->mapping();
-    VertexId pivot_data = kInvalidVertex;
-    for (VertexId ub : backward) {
-      const VertexId vb = mapping[ub];
-      if (pivot_data == kInvalidVertex ||
-          data->degree(vb) < data->degree(pivot_data)) {
-        pivot_data = vb;
+    const Label ul = query->label(u);
+    ++result.local_candidate_sets;
+
+    if (backward.size() == 1) {
+      // One backward neighbor: its slice IS the local candidate set;
+      // iterate it in place without materializing.
+      const std::span<const VertexId> slice =
+          data->NeighborsWithLabel(mapping[backward[0]], ul);
+      result.local_candidates_total += slice.size();
+      for (VertexId v : slice) {
+        if (ws->Visited(v) || !ws->InCandidates(*candidates, u, v)) continue;
+        Descend(depth, u, v);
+        if (result.timed_out || result.hit_match_limit) return;
       }
+      return;
     }
-    for (VertexId v : data->neighbors(pivot_data)) {
+
+    // k >= 2 slices: intersect smallest-first so the running result is as
+    // small as possible when it meets each remaining slice. The slice
+    // gather buffer is shared across depths (consumed before recursing);
+    // the result/scratch pair is per depth, because the result is iterated
+    // while deeper calls run.
+    std::vector<std::span<const VertexId>>& slices = ws->slice_scratch();
+    slices.clear();
+    for (VertexId ub : backward) {
+      slices.push_back(data->NeighborsWithLabel(mapping[ub], ul));
+    }
+    std::sort(slices.begin(), slices.end(),
+              [](const auto& a, const auto& b) { return a.size() < b.size(); });
+    if (slices[0].empty()) return;
+
+    EnumeratorWorkspace::LocalBuffers& bufs = ws->local(depth);
+    IntersectAdaptive(slices[0], slices[1], &bufs.result,
+                      &result.num_probe_comparisons);
+    ++result.num_intersections;
+    for (size_t i = 2; i < slices.size() && !bufs.result.empty(); ++i) {
+      IntersectAdaptive(bufs.result, slices[i], &bufs.scratch,
+                        &result.num_probe_comparisons);
+      ++result.num_intersections;
+      std::swap(bufs.result, bufs.scratch);
+    }
+    result.local_candidates_total += bufs.result.size();
+    for (VertexId v : bufs.result) {
       if (ws->Visited(v) || !ws->InCandidates(*candidates, u, v)) continue;
-      bool adjacent_to_all = true;
-      for (VertexId ub : backward) {
-        const VertexId vb = mapping[ub];
-        if (vb == pivot_data) continue;
-        if (!data->HasEdge(vb, v)) {
-          adjacent_to_all = false;
-          break;
-        }
-      }
-      if (!adjacent_to_all) continue;
       Descend(depth, u, v);
       if (result.timed_out || result.hit_match_limit) return;
     }

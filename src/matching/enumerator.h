@@ -42,6 +42,27 @@ struct EnumerateResult {
   /// Wall-clock seconds spent enumerating (including per-query workspace
   /// setup).
   double enum_time_seconds = 0.0;
+
+  /// \name Intersection-core work counters.
+  /// The local-candidate computation intersects label-restricted adjacency
+  /// slices; these track how much of that work a run performed, so perf
+  /// trajectories can follow work done rather than just wall time.
+  /// @{
+  /// Pairwise sorted-set intersections executed (an Extend with k >= 2
+  /// mapped backward neighbors performs k-1; k == 1 performs none — the
+  /// slice is used directly).
+  uint64_t num_intersections = 0;
+  /// Element comparisons spent inside the merge/gallop intersection loops.
+  uint64_t num_probe_comparisons = 0;
+  /// Sum of local-candidate set sizes (slice or intersection output, before
+  /// the visited/candidate-membership test). Divide by
+  /// local_candidate_sets for the average.
+  uint64_t local_candidates_total = 0;
+  /// Number of local-candidate sets computed (Extend calls with at least
+  /// one mapped backward neighbor).
+  uint64_t local_candidate_sets = 0;
+  /// @}
+
   /// Embeddings as query-vertex-indexed data-vertex vectors, if requested.
   std::vector<std::vector<VertexId>> embeddings;
 };
@@ -49,19 +70,27 @@ struct EnumerateResult {
 /// \brief Phase-3 engine: the recursive backtracking enumeration of
 /// Algorithm 2 (QuickSI-style, shared by Hybrid and RL-QVO).
 ///
-/// For each query vertex, in the given matching order, the local candidate
-/// set is computed by intersecting the vertex's filtered candidates with the
-/// data-graph neighborhoods of all already-mapped backward neighbors,
-/// iterating the smallest mapped neighborhood for efficiency. A query vertex
-/// with no mapped backward neighbor (the first vertex, or a component break
-/// in a disconnected query/order) iterates its full candidate list instead,
-/// so any permutation of V(q) is a legal order — connected orders are merely
-/// faster.
+/// For each query vertex u, in the given matching order, the local candidate
+/// set is the adaptive sorted-set intersection (see intersect.h) of the
+/// label-restricted adjacency slices NeighborsWithLabel(M(ub), label(u)) of
+/// all already-mapped backward neighbors ub, intersected smallest-first into
+/// per-depth workspace buffers and finished with the candidate-membership
+/// and visited tests. With one backward neighbor the slice is iterated
+/// directly — no per-candidate adjacency probes in either case. A query
+/// vertex with no mapped backward neighbor (the first vertex, or a component
+/// break in a disconnected query/order) iterates its full candidate list
+/// instead, so any permutation of V(q) is a legal order — connected orders
+/// are merely faster.
 class Enumerator {
  public:
   /// Runs the enumeration with a throwaway workspace. `order` must be a
   /// permutation of V(q); `candidates` must come from a complete filter on
-  /// the same (q, G). Convenience for one-shot callers; hot paths should
+  /// the same (q, G) — in particular every v in C(u) must carry label(u)
+  /// (all shipped filters guarantee this; the intersection core reads local
+  /// candidates from label(u) adjacency slices, so a label-mismatched
+  /// candidate — which could never be part of a genuine match — is not
+  /// enumerated at depths with mapped backward neighbors; DCHECK-enforced
+  /// in debug builds). Convenience for one-shot callers; hot paths should
   /// reuse a workspace via the overload below.
   Result<EnumerateResult> Run(const Graph& query, const Graph& data,
                               const CandidateSet& candidates,

@@ -12,40 +12,28 @@ namespace {
 using LabelCounts = std::vector<std::pair<Label, uint32_t>>;
 
 LabelCounts NeighborLabelCounts(const Graph& g, VertexId v) {
+  // The CSR label-slice index IS the histogram: one (label, slice length)
+  // pair per distinct neighbor label, already ascending.
+  const auto labels = g.NeighborLabels(v);
   LabelCounts counts;
-  for (VertexId w : g.neighbors(v)) {
-    const Label l = g.label(w);
-    auto it = std::lower_bound(
-        counts.begin(), counts.end(), l,
-        [](const auto& pair, Label key) { return pair.first < key; });
-    if (it != counts.end() && it->first == l) {
-      ++it->second;
-    } else {
-      counts.insert(it, {l, 1});
-    }
+  counts.reserve(labels.size());
+  for (size_t i = 0; i < labels.size(); ++i) {
+    counts.emplace_back(labels[i],
+                        static_cast<uint32_t>(g.NeighborSlice(v, i).size()));
   }
   return counts;
 }
 
 /// True iff u's histogram is dominated by v's (every label count of the
-/// query vertex is available among the data vertex's neighbors).
+/// query vertex is available among the data vertex's neighbors). Each
+/// required label is answered by one slice-length lookup — no neighborhood
+/// scan, no label-indexed scratch.
 bool DominatedBy(const LabelCounts& query_counts, const Graph& data,
-                 VertexId v, std::vector<uint32_t>* scratch) {
-  // scratch is indexed by label and zeroed between calls.
-  for (VertexId w : data.neighbors(v)) {
-    ++(*scratch)[data.label(w)];
-  }
-  bool ok = true;
+                 VertexId v) {
   for (const auto& [label, count] : query_counts) {
-    if (label >= scratch->size() || (*scratch)[label] < count) {
-      ok = false;
-      break;
-    }
+    if (data.NeighborsWithLabel(v, label).size() < count) return false;
   }
-  for (VertexId w : data.neighbors(v)) {
-    (*scratch)[data.label(w)] = 0;
-  }
-  return ok;
+  return true;
 }
 
 Status ValidateInputs(const Graph& query, const Graph& data) {
@@ -72,42 +60,82 @@ CandidateSet LdfCandidates(const Graph& query, const Graph& data) {
 
 CandidateSet NlfCandidates(const Graph& query, const Graph& data) {
   CandidateSet result(query.num_vertices());
-  std::vector<uint32_t> scratch(data.num_labels(), 0);
   for (VertexId u = 0; u < query.num_vertices(); ++u) {
     const LabelCounts u_counts = NeighborLabelCounts(query, u);
     std::vector<VertexId> c;
     for (VertexId v : data.VerticesWithLabel(query.label(u))) {
       if (data.degree(v) < query.degree(u)) continue;
-      if (DominatedBy(u_counts, data, v, &scratch)) c.push_back(v);
+      if (DominatedBy(u_counts, data, v)) c.push_back(v);
     }
     result.Set(u, std::move(c));
   }
   return result;
 }
 
-/// Dense candidate-membership bitmap for O(1) `v in C(u)` tests.
-class CandidateBitmap {
+/// \brief Reusable candidate-membership structure for the refinement
+/// filters' `v in C(u)` tests.
+///
+/// The seed allocated and zeroed an nq × |V(G)| vector<bool> on every
+/// GQLFilter call and every DagDpFilter sweep — the exact per-query
+/// pathology PR 2 removed from the enumerator. This is the filter-side
+/// equivalent of EnumeratorWorkspace's epoch trick: one thread_local
+/// instance (filters are stateless and shared across engine workers) is
+/// reused across calls; Reset() bumps a uint8 epoch — instantly
+/// invalidating all previous stamps, zero-filling only on the 255-call
+/// wrap — and stamps the Σ|C(u)| live cells. Clearing writes 0, which no
+/// epoch equals.
+///
+/// Above kMaxStampBytes the stamp array is not grown; Test() falls back to
+/// binary search in the live CandidateSet. The fallback is exact for both
+/// refinement loops because Test(w, x) is only ever issued for w != u while
+/// vertex u's candidates are being decided, and every earlier vertex's
+/// removals have already been applied to the CandidateSet via Set() —
+/// pending Clears exist only on row u, which is never read.
+class CandidateMembership {
  public:
-  CandidateBitmap(const CandidateSet& cs, uint32_t data_vertices)
-      : data_vertices_(data_vertices),
-        bits_(static_cast<size_t>(cs.num_query_vertices()) * data_vertices,
-              false) {
+  static constexpr size_t kMaxStampBytes = size_t{1} << 28;  // 256 MiB
+
+  /// Binds the membership to `cs` and stamps its current contents.
+  void Reset(const CandidateSet& cs, uint32_t data_vertices) {
+    cs_ = &cs;
+    nv_ = data_vertices;
+    const size_t bytes =
+        static_cast<size_t>(cs.num_query_vertices()) * data_vertices;
+    stamped_ = bytes <= kMaxStampBytes;
+    if (!stamped_) return;
+    ++epoch_;
+    if (epoch_ == 0) {
+      std::fill(stamp_.begin(), stamp_.end(), uint8_t{0});
+      epoch_ = 1;
+    }
+    if (stamp_.size() < bytes) stamp_.resize(bytes, 0);
     for (VertexId u = 0; u < cs.num_query_vertices(); ++u) {
-      for (VertexId v : cs.candidates(u)) {
-        bits_[Index(u, v)] = true;
-      }
+      uint8_t* row = stamp_.data() + static_cast<size_t>(u) * nv_;
+      for (VertexId v : cs.candidates(u)) row[v] = epoch_;
     }
   }
-  bool Test(VertexId u, VertexId v) const { return bits_[Index(u, v)]; }
-  void Clear(VertexId u, VertexId v) { bits_[Index(u, v)] = false; }
+
+  bool Test(VertexId u, VertexId v) const {
+    return stamped_ ? stamp_[static_cast<size_t>(u) * nv_ + v] == epoch_
+                    : cs_->Contains(u, v);
+  }
+  void Clear(VertexId u, VertexId v) {
+    if (stamped_) stamp_[static_cast<size_t>(u) * nv_ + v] = 0;
+  }
 
  private:
-  size_t Index(VertexId u, VertexId v) const {
-    return static_cast<size_t>(u) * data_vertices_ + v;
-  }
-  uint32_t data_vertices_;
-  std::vector<bool> bits_;
+  const CandidateSet* cs_ = nullptr;
+  std::vector<uint8_t> stamp_;
+  size_t nv_ = 0;
+  uint8_t epoch_ = 0;
+  bool stamped_ = false;
 };
+
+/// The per-thread instance the refinement filters reuse across queries.
+CandidateMembership& ThreadLocalMembership() {
+  static thread_local CandidateMembership membership;
+  return membership;
+}
 
 /// Kuhn's augmenting-path bipartite matching. Left side: query neighbors
 /// N(u); right side: data neighbors N(v). Returns true iff a matching covers
@@ -115,7 +143,7 @@ class CandidateBitmap {
 class SemiPerfectMatcher {
  public:
   bool Covers(const Graph& query, const Graph& data,
-              const CandidateBitmap& bitmap, VertexId u, VertexId v) {
+              const CandidateMembership& bitmap, VertexId u, VertexId v) {
     const auto left = query.neighbors(u);
     const auto right = data.neighbors(v);
     if (right.size() < left.size()) return false;
@@ -130,7 +158,7 @@ class SemiPerfectMatcher {
 
  private:
   bool TryAugment(const Graph& query, const Graph& data,
-                  const CandidateBitmap& bitmap,
+                  const CandidateMembership& bitmap,
                   std::span<const VertexId> left,
                   std::span<const VertexId> right, size_t i) {
     for (size_t j = 0; j < right.size(); ++j) {
@@ -172,7 +200,8 @@ Result<CandidateSet> GQLFilter::Filter(const Graph& query,
   // neighborhood label sequences is exactly neighbor-label-count dominance.
   CandidateSet cs = NlfCandidates(query, data);
 
-  CandidateBitmap bitmap(cs, data.num_vertices());
+  CandidateMembership& bitmap = ThreadLocalMembership();
+  bitmap.Reset(cs, data.num_vertices());
   SemiPerfectMatcher matcher;
   for (int round = 0; round < max_refinement_rounds_; ++round) {
     bool changed = false;
@@ -238,7 +267,8 @@ Result<CandidateSet> DagDpFilter::Filter(const Graph& query,
   };
 
   auto sweep = [&](bool top_down) {
-    CandidateBitmap bitmap(cs, data.num_vertices());
+    CandidateMembership& bitmap = ThreadLocalMembership();
+    bitmap.Reset(cs, data.num_vertices());
     const auto& order = bfs_order;
     for (size_t idx = 0; idx < order.size(); ++idx) {
       const VertexId u = top_down ? order[idx] : order[order.size() - 1 - idx];
@@ -250,8 +280,10 @@ Result<CandidateSet> DagDpFilter::Filter(const Graph& query,
           const bool relevant =
               top_down ? is_parent(w, u) : is_parent(u, w);
           if (!relevant) continue;
+          // Only v's neighbors carrying w's label can be candidates of w:
+          // restrict the witness scan to that slice.
           bool found = false;
-          for (VertexId x : data.neighbors(v)) {
+          for (VertexId x : data.NeighborsWithLabel(v, query.label(w))) {
             if (bitmap.Test(w, x)) {
               found = true;
               break;

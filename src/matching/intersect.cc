@@ -1,0 +1,90 @@
+#include "matching/intersect.h"
+
+#include <algorithm>
+
+namespace rlqvo {
+
+void IntersectLinear(std::span<const VertexId> a, std::span<const VertexId> b,
+                     std::vector<VertexId>* out, uint64_t* comparisons) {
+  out->clear();
+  size_t i = 0, j = 0;
+  uint64_t cmp = 0;
+  while (i < a.size() && j < b.size()) {
+    ++cmp;
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      out->push_back(a[i]);
+      ++i;
+      ++j;
+    }
+  }
+  *comparisons += cmp;
+}
+
+namespace {
+
+/// First index in large[lo..) whose value is >= key: double the step from lo
+/// until overshooting, then binary-search the bracketed window. O(log of the
+/// distance advanced), so a full pass over `small` costs O(s·log(L/s)).
+size_t Gallop(std::span<const VertexId> large, size_t lo, VertexId key,
+              uint64_t* comparisons) {
+  size_t step = 1;
+  size_t hi = lo;
+  uint64_t cmp = 0;
+  while (hi < large.size() && large[hi] < key) {
+    ++cmp;
+    lo = hi + 1;
+    hi += step;
+    step *= 2;
+  }
+  if (hi < large.size()) ++cmp;  // the terminating probe
+  hi = std::min(hi, large.size());
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    ++cmp;
+    if (large[mid] < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  *comparisons += cmp;
+  return lo;
+}
+
+}  // namespace
+
+void IntersectGalloping(std::span<const VertexId> small,
+                        std::span<const VertexId> large,
+                        std::vector<VertexId>* out, uint64_t* comparisons) {
+  out->clear();
+  size_t pos = 0;
+  for (VertexId key : small) {
+    pos = Gallop(large, pos, key, comparisons);
+    if (pos == large.size()) break;
+    ++*comparisons;
+    if (large[pos] == key) {
+      out->push_back(key);
+      ++pos;
+    }
+  }
+}
+
+void IntersectAdaptive(std::span<const VertexId> a, std::span<const VertexId> b,
+                       std::vector<VertexId>* out, uint64_t* comparisons) {
+  if (a.size() > b.size()) std::swap(a, b);
+  if (a.empty()) {
+    out->clear();
+    return;
+  }
+  if (b.size() / a.size() >= kGallopRatio) {
+    IntersectGalloping(a, b, out, comparisons);
+  } else {
+    IntersectLinear(a, b, out, comparisons);
+  }
+}
+
+}  // namespace rlqvo

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace rlqvo {
+
+/// \brief Sorted-set intersection primitives for the enumeration core.
+///
+/// The enumerator computes local candidates by intersecting the
+/// label-restricted adjacency slices Graph::NeighborsWithLabel of all mapped
+/// backward neighbors. Slice sizes vary wildly (label skew, hub vertices),
+/// so one algorithm does not fit all shapes:
+///
+/// - **Linear merge** walks both inputs once — optimal when the sizes are
+///   comparable (the classic two-pointer merge).
+/// - **Galloping** advances through the larger input by doubling probes
+///   followed by a bounded binary search — O(s·log(L/s)) for sizes s << L,
+///   which beats the merge's O(s + L) when the ratio is large.
+/// - **Adaptive** picks between them by the size ratio. The crossover
+///   kGallopRatio was measured with bench_intersection on this container
+///   (see docs/BENCHMARKS.md): gallop wins from roughly 8–16× onward;
+///   16 is the conservative middle of that band.
+///
+/// All functions require strictly ascending inputs (CSR slices and
+/// candidate lists are), write the ascending intersection to *out
+/// (overwritten, not appended), and add the number of element comparisons
+/// performed to *comparisons — the work metric surfaced through
+/// EnumerateResult and the BENCH_*.json files.
+inline constexpr size_t kGallopRatio = 16;
+
+void IntersectLinear(std::span<const VertexId> a, std::span<const VertexId> b,
+                     std::vector<VertexId>* out, uint64_t* comparisons);
+
+/// `small` should be the smaller input; each of its elements is located in
+/// `large` by galloping from the previous match position.
+void IntersectGalloping(std::span<const VertexId> small,
+                        std::span<const VertexId> large,
+                        std::vector<VertexId>* out, uint64_t* comparisons);
+
+/// Merge vs gallop by the kGallopRatio size test (argument order free).
+void IntersectAdaptive(std::span<const VertexId> a, std::span<const VertexId> b,
+                       std::vector<VertexId>* out, uint64_t* comparisons);
+
+}  // namespace rlqvo

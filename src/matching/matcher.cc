@@ -71,6 +71,10 @@ Result<MatchRunStats> RunOrderedEnumeration(
   stats.enum_time_seconds = enum_result.enum_time_seconds;
   stats.num_matches = enum_result.num_matches;
   stats.num_enumerations = enum_result.num_enumerations;
+  stats.num_intersections = enum_result.num_intersections;
+  stats.num_probe_comparisons = enum_result.num_probe_comparisons;
+  stats.local_candidates_total = enum_result.local_candidates_total;
+  stats.local_candidate_sets = enum_result.local_candidate_sets;
   stats.solved = !enum_result.timed_out;
   stats.hit_match_limit = enum_result.hit_match_limit;
   stats.embeddings = std::move(enum_result.embeddings);

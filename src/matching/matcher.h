@@ -33,6 +33,13 @@ struct MatchRunStats {
   uint64_t num_matches = 0;
   /// #enum (Definition II.6): recursive enumeration calls.
   uint64_t num_enumerations = 0;
+  /// Intersection-core work counters (see EnumerateResult for semantics):
+  /// pairwise slice intersections, comparisons spent in merge/gallop loops,
+  /// and the summed/sample-counted local-candidate sizes.
+  uint64_t num_intersections = 0;
+  uint64_t num_probe_comparisons = 0;
+  uint64_t local_candidates_total = 0;
+  uint64_t local_candidate_sets = 0;
   /// Query finished within the time limit ("solved", Sec IV-A).
   bool solved = true;
   /// The match limit fired before the search space was exhausted.

@@ -218,6 +218,74 @@ TEST_P(EnumeratorPropertyTest, AgreesWithBruteForceForAllOrdersAndFilters) {
 INSTANTIATE_TEST_SUITE_P(Seeds, EnumeratorPropertyTest,
                          ::testing::Range<uint64_t>(1, 16));
 
+/// The intersection core's work counters: no backward neighbors means no
+/// intersections; a cycle query must intersect at its closing vertex.
+TEST(EnumeratorTest, IntersectionCountersTrackBackwardStructure) {
+  // Path query 0-1-2 in order {0,1,2}: every vertex has <= 1 backward
+  // neighbor, so local candidates come straight from slices.
+  GraphBuilder pb;
+  for (int i = 0; i < 3; ++i) pb.AddVertex(0);
+  pb.AddEdge(0, 1);
+  pb.AddEdge(1, 2);
+  Graph path = pb.Build();
+  Graph data = RandomData(50, 60, 5.0, 1);
+  CandidateSet cs = LDFFilter().Filter(path, data).ValueOrDie();
+  Enumerator enumerator;
+  auto result = enumerator.Run(path, data, cs, {0, 1, 2}, Unlimited())
+                    .ValueOrDie();
+  EXPECT_EQ(result.num_intersections, 0u);
+  EXPECT_GT(result.local_candidate_sets, 0u);
+
+  // Triangle query: the third vertex has two mapped backward neighbors.
+  GraphBuilder tb;
+  for (int i = 0; i < 3; ++i) tb.AddVertex(0);
+  tb.AddEdge(0, 1);
+  tb.AddEdge(1, 2);
+  tb.AddEdge(2, 0);
+  Graph triangle = tb.Build();
+  CandidateSet tcs = LDFFilter().Filter(triangle, data).ValueOrDie();
+  auto tresult = enumerator.Run(triangle, data, tcs, {0, 1, 2}, Unlimited())
+                     .ValueOrDie();
+  if (tresult.num_matches > 0 || tresult.num_enumerations > 2) {
+    EXPECT_GT(tresult.num_intersections, 0u);
+    EXPECT_GT(tresult.num_probe_comparisons, 0u);
+  }
+  EXPECT_GE(tresult.local_candidates_total, tresult.num_matches);
+}
+
+/// Heavily skewed label distributions exercise the gallop path (tiny rare-
+/// label slices intersected against hub-label slices); results must still be
+/// exactly the brute-force embedding set.
+TEST(EnumeratorTest, SkewedLabelEquivalence) {
+  for (uint64_t seed = 60; seed < 66; ++seed) {
+    LabelConfig cfg;
+    cfg.num_labels = 8;
+    cfg.zipf_exponent = 1.8;
+    Graph data = GenerateErdosRenyi(70, 5.0, cfg, seed).ValueOrDie();
+    QuerySampler sampler(&data, seed + 1);
+    auto query_or = sampler.SampleQuery(4);
+    if (!query_or.ok()) continue;
+    Graph q = std::move(query_or).ValueOrDie();
+    auto expected_list = BruteForceMatch(q, data);
+    std::set<std::vector<VertexId>> expected(expected_list.begin(),
+                                             expected_list.end());
+    CandidateSet cs = LDFFilter().Filter(q, data).ValueOrDie();
+    OrderingContext octx;
+    octx.query = &q;
+    octx.data = &data;
+    octx.candidates = &cs;
+    auto order = RIOrdering().MakeOrder(octx).ValueOrDie();
+    EnumerateOptions opts;
+    opts.match_limit = 0;
+    opts.store_embeddings = true;
+    Enumerator enumerator;
+    auto result = enumerator.Run(q, data, cs, order, opts).ValueOrDie();
+    std::set<std::vector<VertexId>> actual(result.embeddings.begin(),
+                                           result.embeddings.end());
+    EXPECT_EQ(actual, expected) << "seed " << seed;
+  }
+}
+
 /// The embeddings found are exactly the brute-force set (not just the same
 /// count) when stored.
 TEST(EnumeratorTest, EmbeddingSetsMatchBruteForceExactly) {

@@ -57,16 +57,42 @@ TEST(GraphTest, DegreesAndNeighbors) {
             (std::vector<VertexId>{0, 1, 3}));
 }
 
-TEST(GraphTest, NeighborsAreSorted) {
+TEST(GraphTest, NeighborsAreLabelSliceSorted) {
+  // Labels: 0->1, 1->0, 3->0, 4->1; vertex 2 connects to all of them.
   GraphBuilder b;
-  for (int i = 0; i < 5; ++i) b.AddVertex(0);
+  b.AddVertex(1);
+  b.AddVertex(0);
+  b.AddVertex(0);
+  b.AddVertex(0);
+  b.AddVertex(1);
   b.AddEdge(2, 4);
   b.AddEdge(2, 0);
   b.AddEdge(2, 3);
   b.AddEdge(2, 1);
   Graph g = b.Build();
+  // (label, id) order: label-0 slice {1, 3} then label-1 slice {0, 4}.
   auto n = g.neighbors(2);
-  EXPECT_TRUE(std::is_sorted(n.begin(), n.end()));
+  EXPECT_EQ(std::vector<VertexId>(n.begin(), n.end()),
+            (std::vector<VertexId>{1, 3, 0, 4}));
+}
+
+TEST(GraphTest, NeighborsWithLabel) {
+  Graph g = MakeTriangleWithTail();  // labels 0,0,1,1; edges 01,12,20,23
+  auto l0 = g.NeighborsWithLabel(2, 0);
+  EXPECT_EQ(std::vector<VertexId>(l0.begin(), l0.end()),
+            (std::vector<VertexId>{0, 1}));
+  auto l1 = g.NeighborsWithLabel(2, 1);
+  EXPECT_EQ(std::vector<VertexId>(l1.begin(), l1.end()),
+            (std::vector<VertexId>{3}));
+  EXPECT_TRUE(g.NeighborsWithLabel(2, 7).empty());
+  EXPECT_TRUE(g.NeighborsWithLabel(3, 0).empty());  // N(3) = {2}, label 1
+
+  auto labels = g.NeighborLabels(2);
+  EXPECT_EQ(std::vector<Label>(labels.begin(), labels.end()),
+            (std::vector<Label>{0, 1}));
+  auto slice0 = g.NeighborSlice(2, 0);
+  EXPECT_EQ(std::vector<VertexId>(slice0.begin(), slice0.end()),
+            (std::vector<VertexId>{0, 1}));
 }
 
 TEST(GraphTest, HasEdgeSymmetric) {
