@@ -1,0 +1,241 @@
+// Intra-query parallel enumeration (Enumerator::RunParallel) vs the serial
+// path, on heavy single queries — the workload ISSUE 4 targets: one big
+// query that used to pin a single core while the pool idled.
+//
+// Two heavy-query configurations:
+//   dense:    Erdos-Renyi, few labels, d=16 — bushy search trees with many
+//             root candidates (chunking has lots to grab).
+//   powerlaw: Chung-Lu hubs with zipf labels — skewed root subtree sizes,
+//             the load-imbalance case the 4-chunks-per-thread split smooths.
+//
+// match_limit is 0 (full enumeration) so serial and parallel traverse the
+// identical search tree: match counts must agree exactly (checked fatally)
+// and the speedup is a clean same-work ratio. Thread counts {1, 2, 4} are
+// measured against the serial baseline; the acceptance bar (>= 2x at 4
+// threads) is only reachable on >= 4 hardware cores — the JSON records
+// hardware_concurrency so results are interpretable per machine, and the
+// 1-thread column doubles as the parallel-machinery overhead check
+// (serial must stay unregressed: compare serial_us against previous runs).
+//
+// --smoke shrinks everything for CI: a seconds-long run that still
+// verifies serial/parallel agreement and JSON emission.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/thread_pool.h"
+#include "graph/generators.h"
+#include "graph/query_sampler.h"
+#include "matching/enumerator.h"
+#include "matching/filters.h"
+#include "matching/ordering.h"
+
+using namespace rlqvo;
+using namespace rlqvo::bench;
+
+namespace {
+
+inline void KeepAlive(const void* p) {
+  asm volatile("" : : "g"(p) : "memory");
+}
+
+struct WorkloadCase {
+  std::string name;
+  bool power_law;
+  uint32_t num_labels;
+  double zipf;
+  double avg_degree;
+  uint32_t query_size;
+};
+
+struct PreparedQuery {
+  Graph query;
+  CandidateSet candidates;
+  std::vector<VertexId> order;
+};
+
+struct CaseResult {
+  double serial_us = 0.0;
+  std::vector<std::pair<uint32_t, double>> parallel_us;  // (threads, us)
+  EnumerateResult accumulated;  // serial work counters over the query set
+};
+
+CaseResult RunCase(const WorkloadCase& c, const BenchOptions& opts,
+                   bool smoke) {
+  // Full enumeration cost grows explosively with graph size; the base is
+  // sized so a scale-1.0 case stays near ~0.1-1 s of serial work per query
+  // on one core (heavy enough for chunking to matter, bounded enough to
+  // calibrate).
+  const uint32_t base = smoke ? 600 : 1400;
+  const uint32_t n =
+      std::max(256u, static_cast<uint32_t>(base * opts.scale));
+  LabelConfig labels;
+  labels.num_labels = c.num_labels;
+  labels.zipf_exponent = c.zipf;
+  Graph data =
+      c.power_law
+          ? MustOk(GeneratePowerLaw(n, c.avg_degree, 2.2, labels, opts.seed),
+                   "generate")
+          : MustOk(GenerateErdosRenyi(n, c.avg_degree, labels, opts.seed),
+                   "generate");
+
+  const uint32_t num_queries = smoke ? 2 : 3;
+  QuerySampler sampler(&data, opts.seed + 5);
+  std::vector<PreparedQuery> queries;
+  for (uint32_t i = 0; i < num_queries; ++i) {
+    PreparedQuery pq{MustOk(sampler.SampleQuery(c.query_size), "sample"),
+                     CandidateSet(), {}};
+    pq.candidates = MustOk(LDFFilter().Filter(pq.query, data), "filter");
+    OrderingContext octx;
+    octx.query = &pq.query;
+    octx.data = &data;
+    octx.candidates = &pq.candidates;
+    pq.order = MustOk(RIOrdering().MakeOrder(octx), "order");
+    queries.push_back(std::move(pq));
+  }
+
+  // Full enumeration: serial and parallel do the exact same work, so the
+  // timing ratio is a true speedup and match counts must agree exactly.
+  EnumerateOptions eopts;
+  eopts.match_limit = 0;
+
+  Enumerator enumerator;
+  EnumeratorWorkspace serial_ws;
+  CaseResult out;
+
+  // Serial baseline (warm-up run also records the expected counts and the
+  // work counters).
+  std::vector<uint64_t> expected(num_queries);
+  for (uint32_t i = 0; i < num_queries; ++i) {
+    const PreparedQuery& pq = queries[i];
+    auto r = MustOk(enumerator.Run(pq.query, data, pq.candidates, pq.order,
+                                   eopts, &serial_ws),
+                    "serial enumerate");
+    expected[i] = r.num_matches;
+    out.accumulated.num_intersections += r.num_intersections;
+    out.accumulated.num_probe_comparisons += r.num_probe_comparisons;
+    out.accumulated.local_candidates_total += r.local_candidates_total;
+    out.accumulated.local_candidate_sets += r.local_candidate_sets;
+  }
+
+  auto run_serial = [&] {
+    for (const PreparedQuery& pq : queries) {
+      auto r = MustOk(enumerator.Run(pq.query, data, pq.candidates, pq.order,
+                                     eopts, &serial_ws),
+                      "serial enumerate");
+      KeepAlive(&r);
+    }
+  };
+  Stopwatch calib;
+  run_serial();
+  const double once = std::max(1e-6, calib.ElapsedSeconds());
+  const int reps = std::clamp(static_cast<int>(0.5 / once), 1, 200);
+
+  Stopwatch sw;
+  for (int r = 0; r < reps; ++r) run_serial();
+  out.serial_us = sw.ElapsedSeconds() / (reps * num_queries) * 1e6;
+
+  for (uint32_t threads : {1u, 2u, 4u}) {
+    ThreadPool pool(threads);
+    std::vector<EnumeratorWorkspace> workspaces(pool.size());
+    EnumeratorWorkspace caller_ws;
+    EnumerateOptions popts = eopts;
+    popts.parallel_threads = threads;
+    ParallelEnumResources resources;
+    resources.pool = &pool;
+    resources.worker_workspaces = &workspaces;
+    resources.caller_workspace = &caller_ws;
+
+    auto run_parallel = [&] {
+      for (uint32_t i = 0; i < num_queries; ++i) {
+        const PreparedQuery& pq = queries[i];
+        auto r = MustOk(
+            enumerator.RunParallel(pq.query, data, pq.candidates, pq.order,
+                                   popts, resources),
+            "parallel enumerate");
+        if (r.num_matches != expected[i]) {
+          std::fprintf(
+              stderr,
+              "FATAL: serial/parallel mismatch (%s, %u threads, query %u: "
+              "%llu vs %llu)\n",
+              c.name.c_str(), threads, i,
+              static_cast<unsigned long long>(r.num_matches),
+              static_cast<unsigned long long>(expected[i]));
+          std::exit(1);
+        }
+      }
+    };
+    run_parallel();  // warm-up: grows per-worker workspaces + checks counts
+    Stopwatch pw;
+    for (int r = 0; r < reps; ++r) run_parallel();
+    out.parallel_us.emplace_back(
+        threads, pw.ElapsedSeconds() / (reps * num_queries) * 1e6);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchOptions opts = BenchOptions::FromArgs(argc, argv);
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  if (smoke) opts.scale = std::min(opts.scale, 1.0);
+  PrintBanner("Intra-query parallel enumeration vs serial", opts);
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::printf("# hardware_concurrency=%u (speedup is capped by cores)\n", hw);
+  if (smoke) std::printf("# --smoke: reduced sizes for CI\n");
+
+  const std::vector<WorkloadCase> cases = {
+      {"dense", false, 4, 0.0, 16.0, static_cast<uint32_t>(smoke ? 6 : 7)},
+      {"powerlaw", true, 16, 1.2, 16.0,
+       static_cast<uint32_t>(smoke ? 6 : 7)},
+  };
+
+  std::vector<std::pair<std::string, double>> metrics;
+  metrics.emplace_back("hardware_concurrency", static_cast<double>(hw));
+  double heavy_speedup_4t = 0.0;
+  std::printf("\n-- enumeration time per query (us) --\n");
+  std::printf("%10s %12s %10s %10s %10s %9s %9s %9s\n", "case", "serial",
+              "1t", "2t", "4t", "sp(1t)", "sp(2t)", "sp(4t)");
+  for (const WorkloadCase& c : cases) {
+    const CaseResult r = RunCase(c, opts, smoke);
+    metrics.emplace_back("serial_us_" + c.name, r.serial_us);
+    double us[3] = {0, 0, 0};
+    for (size_t i = 0; i < r.parallel_us.size(); ++i) {
+      const auto& [threads, t_us] = r.parallel_us[i];
+      us[i] = t_us;
+      metrics.emplace_back(
+          "par" + std::to_string(threads) + "t_us_" + c.name, t_us);
+      metrics.emplace_back(
+          "speedup_" + std::to_string(threads) + "t_" + c.name,
+          t_us > 0 ? r.serial_us / t_us : 0.0);
+    }
+    std::printf("%10s %12.1f %10.1f %10.1f %10.1f %8.2fx %8.2fx %8.2fx\n",
+                c.name.c_str(), r.serial_us, us[0], us[1], us[2],
+                r.serial_us / us[0], r.serial_us / us[1],
+                r.serial_us / us[2]);
+    AppendEnumWorkMetrics(&metrics, c.name, r.accumulated.num_intersections,
+                          r.accumulated.num_probe_comparisons,
+                          r.accumulated.local_candidates_total,
+                          r.accumulated.local_candidate_sets);
+    if (c.name == "powerlaw") heavy_speedup_4t = r.serial_us / us[2];
+  }
+
+  metrics.emplace_back("heavy_speedup_4t", heavy_speedup_4t);
+  std::printf(
+      "\nheavy-query (powerlaw) 4-thread speedup: %.2fx %s\n",
+      heavy_speedup_4t,
+      heavy_speedup_4t >= 2.0
+          ? "(PASS >= 2x)"
+          : (hw < 4 ? "(below 2x bar — machine has < 4 cores)"
+                    : "(below 2x bar)"));
+  WriteBenchJson("parallel_enum", opts, metrics);
+  return 0;
+}

@@ -1,4 +1,4 @@
-#include "engine/thread_pool.h"
+#include "common/thread_pool.h"
 
 #include <utility>
 
@@ -6,6 +6,7 @@ namespace rlqvo {
 
 namespace {
 thread_local int t_worker_index = -1;
+thread_local const ThreadPool* t_worker_pool = nullptr;
 }  // namespace
 
 ThreadPool::ThreadPool(uint32_t num_threads) {
@@ -28,10 +29,14 @@ ThreadPool::~ThreadPool() {
   for (std::thread& worker : workers_) worker.join();
 }
 
-void ThreadPool::Submit(std::function<void()> task) {
+void ThreadPool::Submit(std::function<void()> task, const void* group) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(task));
+    queue_.push_back(QueuedTask{std::move(task), group});
+    // pending_ covers the task from enqueue to completion. A parent task
+    // submitting subtasks therefore always overlaps them: pending_ cannot
+    // touch zero between the parent's submission and the subtask's finish,
+    // so a concurrent Wait stays blocked until the whole tree is done.
     ++pending_;
   }
   work_available_.notify_one();
@@ -42,10 +47,39 @@ void ThreadPool::Wait() {
   all_done_.wait(lock, [this] { return pending_ == 0; });
 }
 
+bool ThreadPool::TryRunOneTask(const void* group) {
+  std::function<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (group == nullptr) {
+      if (queue_.empty()) return false;
+      task = std::move(queue_.front().fn);
+      queue_.pop_front();
+    } else {
+      // Scan for the first task of the caller's group; a parent drains its
+      // own subtasks without pulling unrelated queued work onto its stack.
+      auto it = queue_.begin();
+      while (it != queue_.end() && it->group != group) ++it;
+      if (it == queue_.end()) return false;
+      task = std::move(it->fn);
+      queue_.erase(it);
+    }
+  }
+  task();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (--pending_ == 0) all_done_.notify_all();
+  }
+  return true;
+}
+
 int ThreadPool::CurrentWorkerIndex() { return t_worker_index; }
+
+const ThreadPool* ThreadPool::CurrentPool() { return t_worker_pool; }
 
 void ThreadPool::WorkerLoop(uint32_t index) {
   t_worker_index = static_cast<int>(index);
+  t_worker_pool = this;
   for (;;) {
     std::function<void()> task;
     {
@@ -53,7 +87,7 @@ void ThreadPool::WorkerLoop(uint32_t index) {
       work_available_.wait(lock,
                            [this] { return shutdown_ || !queue_.empty(); });
       if (queue_.empty()) return;  // shutdown with a drained queue
-      task = std::move(queue_.front());
+      task = std::move(queue_.front().fn);
       queue_.pop_front();
     }
     task();

@@ -1,0 +1,107 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rlqvo {
+
+/// \brief Fixed-size worker pool shared by the engine's cross-query fan-out
+/// (QueryEngine::MatchBatch) and the enumerator's intra-query chunk fan-out
+/// (Enumerator::RunParallel).
+///
+/// Tasks are plain closures drained FIFO from a shared queue. Workers are
+/// spawned once at construction and joined at destruction; there is no
+/// dynamic resizing. Each worker carries a stable index in
+/// [0, num_threads), exposed to running tasks via CurrentWorkerIndex() so
+/// callers can keep per-worker state (e.g. a per-thread Ordering instance or
+/// EnumeratorWorkspace) without locking.
+///
+/// **Nested submission.** Submit may be called from inside a running task
+/// (a worker fanning its own subtasks out); the bookkeeping counts a task
+/// from enqueue until its closure returns, so a concurrent Wait can neither
+/// drop the subtasks nor return before they finish — the parent is still
+/// "pending" while it submits. A task that must wait for its subtasks MUST
+/// NOT call Wait (a worker blocking on the pool's own completion deadlocks
+/// once every worker does it); it should instead drain the queue itself via
+/// TryRunOneTask until its own completion condition holds. That pattern is
+/// deadlock-free on any pool size, including 1: whenever a subtask is
+/// unfinished it is either queued (the parent can run it inline) or already
+/// executing on a thread that never blocks.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers; 0 means std::thread::hardware_concurrency
+  /// (at least 1).
+  explicit ThreadPool(uint32_t num_threads);
+
+  /// Drains remaining tasks, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Never blocks (the queue is unbounded). Safe to call
+  /// from worker threads (see "Nested submission" above). `group` is an
+  /// opaque tag identifying a family of related tasks (e.g. one parallel
+  /// run's chunk subtasks); TryRunOneTask can restrict itself to a group.
+  void Submit(std::function<void()> task, const void* group = nullptr);
+
+  /// Blocks until every submitted task has finished executing (not merely
+  /// been dequeued). Safe to call repeatedly; new Submits after Wait returns
+  /// start a fresh round. Must only be called from outside the pool — a
+  /// worker waiting for the pool to drain waits for itself.
+  void Wait();
+
+  /// Runs one queued task on the *calling* thread, if one is immediately
+  /// available; returns false when no eligible task is queued (some may
+  /// still be executing on workers). With `group == nullptr` it pops the
+  /// queue front; with a group it runs the first queued task *of that
+  /// group*, skipping unrelated work — a waiting parent then drains its
+  /// own subtasks without inlining arbitrary queued tasks (which would
+  /// nest unrelated work on its stack and delay its own completion).
+  /// This is the help-while-waiting primitive for tasks that fan out
+  /// subtasks and need their results: looping `TryRunOneTask(my_group)`
+  /// until the subtasks are done donates the calling thread to the pool
+  /// instead of blocking it, and stays deadlock-free because an
+  /// unfinished subtask is either queued (found by the scan) or already
+  /// executing on a thread that never blocks. Callable from worker
+  /// threads and external threads alike; the popped task runs with the
+  /// worker index of the calling thread (external callers run it with
+  /// index -1).
+  bool TryRunOneTask(const void* group = nullptr);
+
+  /// Number of worker threads.
+  uint32_t size() const { return static_cast<uint32_t>(workers_.size()); }
+
+  /// Index of the calling worker thread in [0, size()), or -1 when called
+  /// from a thread that does not belong to any ThreadPool.
+  static int CurrentWorkerIndex();
+
+  /// The pool the calling worker thread belongs to, or nullptr for
+  /// external threads. Callers keying per-worker state by
+  /// CurrentWorkerIndex() must check this against their own pool: worker
+  /// indexes are only meaningful within the pool that assigned them.
+  static const ThreadPool* CurrentPool();
+
+ private:
+  void WorkerLoop(uint32_t index);
+
+  struct QueuedTask {
+    std::function<void()> fn;
+    const void* group;
+  };
+
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<QueuedTask> queue_;
+  uint64_t pending_ = 0;  // queued + currently executing
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace rlqvo

@@ -118,9 +118,19 @@ Result<MatchRunStats> QueryEngine::RunQuery(
 
   // Phases 2–3 share SubgraphMatcher's implementation (per-worker ordering
   // and workspace, deadline budget = whatever the per-query limit has left).
+  // Intra-query parallel enumeration (enum_options.parallel_threads > 0)
+  // fans root chunks into the engine-wide pool: idle batch workers drain a
+  // straggler query's chunks, and this worker help-runs queued tasks while
+  // its own chunks finish. Chunk subtasks pick the workspace of whichever
+  // pool worker executes them, so they reuse the same per-worker state as
+  // whole-query tasks without locking.
+  ParallelEnumResources resources;
+  resources.pool = &pool_;
+  resources.worker_workspaces = &worker_workspaces_;
+  resources.caller_workspace = workspace;
   return RunOrderedEnumeration(query, *config_.data, *candidates, ordering,
                                enum_options, std::move(stats), total,
-                               workspace);
+                               workspace, &resources);
 }
 
 Result<BatchResult> QueryEngine::MatchBatch(const std::vector<Graph>& queries,

@@ -9,8 +9,8 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "engine/candidate_cache.h"
-#include "engine/thread_pool.h"
 #include "matching/matcher.h"
 
 namespace rlqvo {
@@ -108,6 +108,16 @@ struct EngineCounters {
 /// (the enumerator is stateless), consulting the cache before filtering so
 /// repeated queries (same fingerprint) skip phase 1 entirely.
 ///
+/// With enum_options.parallel_threads > 0 (engine default or per-query
+/// override) a query additionally parallelizes *within* its enumeration:
+/// Enumerator::RunParallel splits the search tree at the root candidate
+/// set and feeds the chunks into the same engine pool. Because the pool is
+/// shared, batch workers that run out of whole queries donate themselves
+/// to a straggler's chunk queue — one heavy query at the tail of a batch
+/// no longer pins a single core while the rest of the pool idles. The
+/// query's match_limit/deadline stay global across its chunks (see
+/// EnumBudget).
+///
 /// With a deterministic ordering_factory — every built-in one:
 /// MakeEngineByName's baselines and RLQVOModel::MakeEngine's greedy-argmax
 /// RL-QVO — results are identical to running the same SubgraphMatcher
@@ -119,9 +129,14 @@ struct EngineCounters {
 /// which RNG stream) serves a query depends on scheduling; (2) a finite
 /// time_limit_seconds that actually fires — deadline cuts land at
 /// timing-dependent points, and cache hits shift budget into enumeration,
-/// so partial counts differ between runs and from a sequential run. On a cache hit the reported filter_time_seconds is the (near-zero)
-/// lookup time, which also means cached queries spend more of their
-/// deadline budget in enumeration.
+/// so partial counts differ between runs and from a sequential run;
+/// (3) intra-query parallelism (parallel_threads > 0) whose finite
+/// match_limit actually fires — the run still emits *exactly* match_limit
+/// matches, but which embeddings fill the quota depends on chunk
+/// scheduling (untruncated parallel runs remain bit-identical to serial;
+/// see Enumerator::RunParallel). On a cache hit the reported
+/// filter_time_seconds is the (near-zero) lookup time, which also means
+/// cached queries spend more of their deadline budget in enumeration.
 class QueryEngine {
  public:
   /// \param config must have data, filter and ordering_factory set (checked

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/check.h"
+#include "common/timer.h"
+
+namespace rlqvo {
+
+/// \brief Global per-query enumeration budget, shared by every subtask of
+/// one enumeration run.
+///
+/// A parallel enumeration (Enumerator::RunParallel) splits the search tree
+/// into root-candidate chunks that run concurrently, but `match_limit` and
+/// `time_limit_seconds` are *per-query* semantics: the paper caps each query
+/// at 1e5 matches and 500 s total (Sec IV-A), not each chunk. An EnumBudget
+/// is the single object those limits live in:
+///
+/// - **Match budget.** Every emission first claims a slot via
+///   TryClaimMatch(). The claim is a capped atomic increment, so the total
+///   number of emitted matches across all chunks is *exactly*
+///   min(available, match_limit) — never match_limit-per-chunk, never
+///   limit+1 from a race. The serial path uses the same claim, which makes
+///   its limit enforcement exact by construction too (and free when
+///   match_limit == 0: the unlimited case never touches the atomic).
+/// - **Deadline.** One shared Deadline (wall clock) read by every chunk.
+///   Deadline is immutable after construction, so concurrent Expired() calls
+///   are safe.
+/// - **Stop broadcast.** The first chunk to exhaust the budget or observe
+///   deadline expiry raises `stop`, which other chunks poll at their
+///   work-quantum checkpoints so they unwind promptly instead of burning
+///   their own quantum rediscovering the deadline.
+///
+/// `match_limit == 0` means unlimited (the paper's "ALL" setting, Fig 11):
+/// TryClaimMatch always succeeds and LimitReached is always false.
+class EnumBudget {
+ public:
+  /// \param match_limit global emission cap across all subtasks; 0 =
+  ///        unlimited.
+  /// \param deadline shared wall-clock budget; must outlive the budget.
+  EnumBudget(uint64_t match_limit, const Deadline* deadline)
+      : limit_(match_limit), deadline_(deadline) {
+    RLQVO_DCHECK(deadline != nullptr);
+  }
+
+  EnumBudget(const EnumBudget&) = delete;
+  EnumBudget& operator=(const EnumBudget&) = delete;
+
+  /// Claims one emission slot. Returns false once the global limit is
+  /// exhausted (and raises the stop flag); always true when unlimited.
+  /// A caller must only emit a match for which the claim succeeded.
+  bool TryClaimMatch() {
+    if (limit_ == 0) return true;
+    uint64_t current = claimed_.load(std::memory_order_relaxed);
+    while (current < limit_) {
+      if (claimed_.compare_exchange_weak(current, current + 1,
+                                         std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+    RequestStop();
+    return false;
+  }
+
+  /// True once the claimed count has reached the (finite) limit.
+  bool LimitReached() const {
+    return limit_ != 0 &&
+           claimed_.load(std::memory_order_relaxed) >= limit_;
+  }
+
+  const Deadline& deadline() const { return *deadline_; }
+
+  /// Raised by the first subtask that hits the match limit or observes
+  /// deadline expiry; polled by the others at work-quantum checkpoints.
+  void RequestStop() { stop_.store(true, std::memory_order_relaxed); }
+  bool StopRequested() const {
+    return stop_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const uint64_t limit_;
+  const Deadline* deadline_;
+  std::atomic<uint64_t> claimed_{0};
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace rlqvo

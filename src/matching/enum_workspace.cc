@@ -10,6 +10,10 @@ Status EnumeratorWorkspace::Prepare(const Graph& query, const Graph& data,
   const uint32_t nq = query.num_vertices();
   const size_t nv = data.num_vertices();
 
+  // Any fresh Prepare invalidates a parallel run's "already prepared on
+  // this worker" stamp (see parallel_run_token()).
+  parallel_run_token_ = 0;
+
   // Candidate lists are sorted ascending, so range validation is one
   // tail check per query vertex; total size feeds the density decision.
   size_t total_candidates = 0;

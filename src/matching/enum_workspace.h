@@ -140,6 +140,19 @@ class EnumeratorWorkspace {
   MembershipMode mode() const { return mode_; }
   const Stats& stats() const { return stats_; }
 
+  /// \name Parallel-run prepare dedupe (used by Enumerator::RunParallel).
+  /// A parallel run prepares each per-worker workspace at most once: after
+  /// a successful Prepare the run stamps its unique token here, and later
+  /// chunk subtasks landing on the same worker skip the re-Prepare while
+  /// the token still matches. Prepare() always resets the token to 0, so
+  /// any interleaved use for another query (e.g. a batch worker serving a
+  /// different query between two chunks) invalidates the stamp and forces
+  /// a fresh Prepare. Tokens are process-unique per run, never reused.
+  /// @{
+  uint64_t parallel_run_token() const { return parallel_run_token_; }
+  void set_parallel_run_token(uint64_t token) { parallel_run_token_ = token; }
+  /// @}
+
  private:
   MembershipMode mode_ = MembershipMode::kAuto;
 
@@ -156,6 +169,7 @@ class EnumeratorWorkspace {
   size_t nv_ = 0;      // stamp-row stride for the current query
   uint8_t epoch_ = 0;  // 1..255 once prepared; 0 marks "never stamped"
   bool dense_ = false;
+  uint64_t parallel_run_token_ = 0;  // see parallel_run_token()
   Stats stats_;
 };
 

@@ -1,27 +1,55 @@
 #include "matching/enumerator.h"
 
 #include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <utility>
 
+#include "common/thread_pool.h"
 #include "graph/graph_algorithms.h"
+#include "matching/enum_budget.h"
 #include "matching/intersect.h"
 
 namespace rlqvo {
 
 namespace {
 
-/// Recursion state shared across Extend() calls. All per-query buffers live
-/// in the EnumeratorWorkspace; this only carries the loop bookkeeping.
+/// Work units charged between two deadline re-checks. Work is charged
+/// per recursive call, per intersection comparison and per local-candidate
+/// scanned, so expiry detection is proportional to actual effort: a run
+/// overshoots its deadline by at most ~one quantum of work plus one
+/// in-flight slice intersection, regardless of how wide the slices are.
+/// (The seed polled once per 4096 recursive calls, which let overshoot
+/// scale with slice width after the intersection core made each call do
+/// large gallop/merge intersections.) A steady_clock read costs ~25 ns;
+/// at >= 1 work unit per ns-scale operation this keeps the polling
+/// overhead well under 1%.
+constexpr uint64_t kDeadlineCheckWorkQuantum = uint64_t{1} << 14;
+
+/// Root chunks per requested thread in RunParallel. More chunks than
+/// threads smooths load imbalance between root subtrees (a hub root can be
+/// orders of magnitude heavier than its neighbors); 4 is a standard
+/// granularity factor. The chunk count depends only on parallel_threads
+/// and |C(root)| — never on pool size or scheduling — so the chunk
+/// partition (and thus the stitched output) is deterministic.
+constexpr size_t kRootChunksPerThread = 4;
+
+/// Recursion state for one enumeration task (the whole query in the serial
+/// path, one root-candidate chunk in the parallel path). All per-query
+/// buffers live in the EnumeratorWorkspace; this carries the loop
+/// bookkeeping plus the work-metered stop checks against the shared budget.
 struct EnumContext {
   EnumContext(const Graph& q, const Graph& g, const CandidateSet& c,
               const std::vector<VertexId>& o, const EnumerateOptions& opts,
-              EnumeratorWorkspace* workspace, const Deadline* dl)
+              EnumeratorWorkspace* workspace, EnumBudget* shared_budget)
       : query(&q),
         data(&g),
         candidates(&c),
         order(&o),
         options(&opts),
         ws(workspace),
-        deadline(dl) {}
+        budget(shared_budget) {}
 
   const Graph* query;
   const Graph* data;
@@ -29,52 +57,91 @@ struct EnumContext {
   const std::vector<VertexId>* order;
   const EnumerateOptions* options;
   EnumeratorWorkspace* ws;
-  const Deadline* deadline;
+  EnumBudget* budget;
 
   EnumerateResult result;
-  uint64_t calls_since_time_check = 0;
+  uint64_t work = 0;  // charged work units (calls, comparisons, scans)
+  uint64_t next_deadline_check = kDeadlineCheckWorkQuantum;
+  bool stopped = false;
 
-  bool ShouldStop() {
-    if (options->match_limit > 0 &&
-        result.num_matches >= options->match_limit) {
-      result.hit_match_limit = true;
-      return true;
-    }
-    if (++calls_since_time_check >= 4096) {
-      calls_since_time_check = 0;
-      if (deadline->Expired()) {
+  /// The per-iteration stop test: one compare on the fast path. Once the
+  /// charged work crosses the next quantum boundary it re-checks the shared
+  /// deadline and the budget's stop broadcast (another chunk hitting the
+  /// limit or the deadline first).
+  bool CheckStop() {
+    if (stopped) return true;
+    if (work >= next_deadline_check) {
+      next_deadline_check = work + kDeadlineCheckWorkQuantum;
+      if (budget->deadline().Expired()) {
         result.timed_out = true;
-        return true;
+        budget->RequestStop();
+        stopped = true;
+      } else if (budget->StopRequested()) {
+        stopped = true;
       }
     }
-    return result.timed_out || result.hit_match_limit;
+    return stopped;
   }
 
   void EmitMatch() {
+    if (!budget->TryClaimMatch()) {
+      // Global match budget exhausted. Serially this cannot happen (the
+      // claim that reaches the limit stops the run below); in parallel,
+      // another chunk claimed the final slot first. Either way this match
+      // is not emitted, so the total stays exactly at the limit.
+      stopped = true;
+      return;
+    }
     ++result.num_matches;
+    ++work;
     if (options->store_embeddings) {
       result.embeddings.push_back(ws->mapping());
     }
-    if (options->match_limit > 0 &&
-        result.num_matches >= options->match_limit) {
+    if (budget->LimitReached()) {
       result.hit_match_limit = true;
+      stopped = true;
     }
   }
 
-  // Algorithm 2: extend the partial mapping at position `depth` of the order.
+  /// The root level of Algorithm 2 over candidate indexes [begin, end) of
+  /// C(order[0]) — the first order vertex never has mapped backward
+  /// neighbors, so the root is always the full-candidate-list branch. The
+  /// serial path passes the whole range; parallel chunks pass their slice.
+  /// `charge_root_call` keeps num_enumerations identical to the serial
+  /// count: the root is ONE recursive call no matter how many chunks
+  /// partition its loop, so chunks leave it uncharged and the merge adds
+  /// it back once.
+  void RunRoot(size_t begin, size_t end, bool charge_root_call) {
+    if (charge_root_call) ++result.num_enumerations;
+    ++work;
+    if (CheckStop()) return;
+    const VertexId u = (*order)[0];
+    RLQVO_DCHECK(ws->backward()[0].empty());
+    const std::vector<VertexId>& roots = candidates->candidates(u);
+    for (size_t i = begin; i < end; ++i) {
+      const VertexId v = roots[i];
+      if (ws->Visited(v)) continue;
+      Descend(0, u, v);
+      if (CheckStop()) return;
+    }
+  }
+
+  // Algorithm 2: extend the partial mapping at position `depth` (>= 1) of
+  // the order.
   void Extend(size_t depth) {
     ++result.num_enumerations;
-    if (ShouldStop()) return;
+    ++work;
+    if (CheckStop()) return;
     const VertexId u = (*order)[depth];
     const std::vector<VertexId>& backward = ws->backward()[depth];
 
     if (backward.empty()) {
-      // No mapped backward neighbor (first vertex, or a component break in
-      // a disconnected query/order): iterate C(u).
+      // No mapped backward neighbor (a component break in a disconnected
+      // query/order): iterate C(u).
       for (VertexId v : candidates->candidates(u)) {
         if (ws->Visited(v)) continue;
         Descend(depth, u, v);
-        if (result.timed_out || result.hit_match_limit) return;
+        if (CheckStop()) return;
       }
       return;
     }
@@ -93,10 +160,11 @@ struct EnumContext {
       const std::span<const VertexId> slice =
           data->NeighborsWithLabel(mapping[backward[0]], ul);
       result.local_candidates_total += slice.size();
+      work += slice.size();
       for (VertexId v : slice) {
         if (ws->Visited(v) || !ws->InCandidates(*candidates, u, v)) continue;
         Descend(depth, u, v);
-        if (result.timed_out || result.hit_match_limit) return;
+        if (CheckStop()) return;
       }
       return;
     }
@@ -116,6 +184,7 @@ struct EnumContext {
     if (slices[0].empty()) return;
 
     EnumeratorWorkspace::LocalBuffers& bufs = ws->local(depth);
+    const uint64_t comparisons_before = result.num_probe_comparisons;
     IntersectAdaptive(slices[0], slices[1], &bufs.result,
                       &result.num_probe_comparisons);
     ++result.num_intersections;
@@ -126,10 +195,15 @@ struct EnumContext {
       std::swap(bufs.result, bufs.scratch);
     }
     result.local_candidates_total += bufs.result.size();
+    // Charge the comparisons the intersections performed plus the scan of
+    // their output — the work this Extend actually did — so deadline
+    // polling stays proportional to effort whatever the slice widths are.
+    work += result.num_probe_comparisons - comparisons_before;
+    work += bufs.result.size();
     for (VertexId v : bufs.result) {
       if (ws->Visited(v) || !ws->InCandidates(*candidates, u, v)) continue;
       Descend(depth, u, v);
-      if (result.timed_out || result.hit_match_limit) return;
+      if (CheckStop()) return;
     }
   }
 
@@ -138,6 +212,7 @@ struct EnumContext {
     ws->MarkVisited(v);
     if (depth + 1 == order->size()) {
       ++result.num_enumerations;  // the terminating recursive call (line 3-4)
+      ++work;
       EmitMatch();
     } else {
       Extend(depth + 1);
@@ -159,6 +234,48 @@ bool IsPermutationOrder(uint32_t n, const std::vector<VertexId>& order) {
   return true;
 }
 
+Status ValidateEnumerationInputs(const Graph& query,
+                                 const CandidateSet& candidates,
+                                 const std::vector<VertexId>& order) {
+  if (query.num_vertices() == 0) {
+    return Status::InvalidArgument("query graph is empty");
+  }
+  if (candidates.num_query_vertices() != query.num_vertices()) {
+    return Status::InvalidArgument("candidate set size mismatch");
+  }
+  if (!IsPermutationOrder(query.num_vertices(), order)) {
+    return Status::InvalidArgument(
+        "order is not a permutation of the query vertices");
+  }
+  return Status::OK();
+}
+
+/// Process-unique token per RunParallel invocation, for the once-per-run
+/// per-worker Prepare dedupe (see EnumeratorWorkspace::parallel_run_token).
+std::atomic<uint64_t> g_parallel_run_counter{0};
+
+/// The reusable workspace a chunk subtask may use on the thread it happens
+/// to execute on, or nullptr when only a throwaway will do. Pool workers of
+/// *this run's* pool get their per-worker slot; the coordinating caller
+/// (which help-runs chunks while waiting) gets the caller workspace. A
+/// worker of some other pool that wandered in as a coordinator must not
+/// index this pool's slots — its index belongs to a different worker set
+/// whose slot may be in concurrent use.
+EnumeratorWorkspace* PickChunkWorkspace(const ParallelEnumResources& res) {
+  const int worker = ThreadPool::CurrentWorkerIndex();
+  if (worker >= 0 && ThreadPool::CurrentPool() == res.pool) {
+    if (res.worker_workspaces != nullptr &&
+        static_cast<size_t>(worker) < res.worker_workspaces->size()) {
+      return &(*res.worker_workspaces)[worker];
+    }
+    // No per-worker slot: a throwaway, NOT the caller workspace — several
+    // pool workers (plus the help-waiting coordinator) can run chunks
+    // concurrently, and the caller workspace belongs to the coordinator.
+    return nullptr;
+  }
+  return res.caller_workspace;
+}
+
 }  // namespace
 
 Result<EnumerateResult> Enumerator::Run(const Graph& query, const Graph& data,
@@ -176,16 +293,7 @@ Result<EnumerateResult> Enumerator::Run(const Graph& query, const Graph& data,
                                         EnumeratorWorkspace* workspace,
                                         const Deadline* deadline) const {
   RLQVO_CHECK(workspace != nullptr);
-  if (query.num_vertices() == 0) {
-    return Status::InvalidArgument("query graph is empty");
-  }
-  if (candidates.num_query_vertices() != query.num_vertices()) {
-    return Status::InvalidArgument("candidate set size mismatch");
-  }
-  if (!IsPermutationOrder(query.num_vertices(), order)) {
-    return Status::InvalidArgument(
-        "order is not a permutation of the query vertices");
-  }
+  RLQVO_RETURN_NOT_OK(ValidateEnumerationInputs(query, candidates, order));
 
   // The deadline starts before workspace setup so setup time counts against
   // the per-query budget (callers with a whole-pipeline budget pass their
@@ -196,15 +304,157 @@ Result<EnumerateResult> Enumerator::Run(const Graph& query, const Graph& data,
 
   RLQVO_RETURN_NOT_OK(workspace->Prepare(query, data, candidates, order));
 
+  // The serial path runs on the same budget machinery as the parallel one:
+  // emission claims are what make match_limit exact (see EnumBudget), and
+  // with match_limit == 0 the claim path never touches the atomic.
+  EnumBudget budget(options.match_limit, deadline);
   EnumContext ctx(query, data, candidates, order, options, workspace,
-                  deadline);
+                  &budget);
   if (deadline->Expired()) {
     ctx.result.timed_out = true;
   } else if (!candidates.AnyEmpty()) {
-    ctx.Extend(0);
+    ctx.RunRoot(0, candidates.candidates(order[0]).size(),
+                /*charge_root_call=*/true);
   }
   ctx.result.enum_time_seconds = watch.ElapsedSeconds();
-  return ctx.result;
+  return std::move(ctx.result);
+}
+
+Result<EnumerateResult> Enumerator::RunParallel(
+    const Graph& query, const Graph& data, const CandidateSet& candidates,
+    const std::vector<VertexId>& order, const EnumerateOptions& options,
+    const ParallelEnumResources& resources, const Deadline* deadline) const {
+  if (resources.pool == nullptr || options.parallel_threads == 0) {
+    EnumeratorWorkspace throwaway;
+    EnumeratorWorkspace* ws = resources.caller_workspace != nullptr
+                                  ? resources.caller_workspace
+                                  : &throwaway;
+    return Run(query, data, candidates, order, options, ws, deadline);
+  }
+  RLQVO_RETURN_NOT_OK(ValidateEnumerationInputs(query, candidates, order));
+
+  Stopwatch watch;
+  const Deadline local_deadline(options.time_limit_seconds);
+  if (deadline == nullptr) deadline = &local_deadline;
+
+  EnumerateResult merged;
+  if (deadline->Expired()) {
+    // Serial parity: an already-spent budget times out before the root call.
+    merged.timed_out = true;
+    merged.enum_time_seconds = watch.ElapsedSeconds();
+    return merged;
+  }
+  if (candidates.AnyEmpty()) {
+    merged.enum_time_seconds = watch.ElapsedSeconds();
+    return merged;
+  }
+
+  // Partition the root candidate list into contiguous chunks. The count is
+  // a pure function of (parallel_threads, |C(root)|), so the partition —
+  // and therefore the chunk-order stitching below — is deterministic.
+  const std::vector<VertexId>& roots = candidates.candidates(order[0]);
+  const size_t num_chunks = std::min(
+      roots.size(),
+      static_cast<size_t>(options.parallel_threads) * kRootChunksPerThread);
+
+  EnumBudget budget(options.match_limit, deadline);
+  const uint64_t run_token =
+      g_parallel_run_counter.fetch_add(1, std::memory_order_relaxed) + 1;
+
+  struct ChunkOutcome {
+    Status status = Status::OK();
+    EnumerateResult result;
+  };
+  std::vector<ChunkOutcome> outcomes(num_chunks);
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  size_t done = 0;
+
+  auto run_chunk = [&](size_t chunk) {
+    if (budget.StopRequested()) return;  // budget already exhausted
+    ChunkOutcome& out = outcomes[chunk];
+    const size_t begin = chunk * roots.size() / num_chunks;
+    const size_t end = (chunk + 1) * roots.size() / num_chunks;
+    EnumeratorWorkspace throwaway;
+    EnumeratorWorkspace* ws = PickChunkWorkspace(resources);
+    if (ws == nullptr) ws = &throwaway;
+    // Prepare once per (run, workspace): consecutive chunks of this run on
+    // the same worker reuse the prepared state; any interleaved use for
+    // another query resets the token and forces a fresh Prepare.
+    if (ws->parallel_run_token() != run_token) {
+      Status prepared = ws->Prepare(query, data, candidates, order);
+      if (!prepared.ok()) {
+        out.status = std::move(prepared);
+        // The run is doomed; stop sibling chunks at their next checkpoint
+        // instead of letting them finish subtrees the coordinator will
+        // discard.
+        budget.RequestStop();
+        return;
+      }
+      ws->set_parallel_run_token(run_token);
+    }
+    EnumContext ctx(query, data, candidates, order, options, ws, &budget);
+    ctx.RunRoot(begin, end, /*charge_root_call=*/false);
+    out.result = std::move(ctx.result);
+  };
+
+  // Chunks are tagged with this run's budget address so the coordinator
+  // can help-run exactly its own subtasks below. (Idle pool *workers* pop
+  // anything from the shared queue, so donation across queries still
+  // happens — only the coordinator's inline help is restricted.)
+  const void* run_group = &budget;
+  for (size_t chunk = 0; chunk < num_chunks; ++chunk) {
+    resources.pool->Submit(
+        [&, chunk] {
+          run_chunk(chunk);
+          std::lock_guard<std::mutex> lock(done_mu);
+          if (++done == num_chunks) done_cv.notify_all();
+        },
+        run_group);
+  }
+
+  // Help-while-waiting: drain this run's queued chunks instead of blocking
+  // a thread they may need. Restricting the help to the run's own group
+  // keeps unrelated queued work (e.g. other whole-query tasks on the
+  // engine's shared pool) off this stack — inlining those would nest
+  // arbitrary pipelines recursively and delay this query's completion.
+  // Once no chunk of this run is queued, every remaining one is executing
+  // on some live worker (chunk tasks never block), so waiting on the
+  // completion signal is deadlock-free (see ThreadPool's nested-submission
+  // contract).
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(done_mu);
+      if (done == num_chunks) break;
+    }
+    if (!resources.pool->TryRunOneTask(run_group)) {
+      std::unique_lock<std::mutex> lock(done_mu);
+      done_cv.wait(lock, [&] { return done == num_chunks; });
+      break;
+    }
+  }
+
+  // Stitch in chunk index order: chunk c holds the matches of root
+  // candidates [c*n/nc, (c+1)*n/nc) in serial DFS order, so concatenation
+  // reproduces the serial emission order exactly.
+  merged.num_enumerations = 1;  // the root recursive call, charged once
+  for (size_t chunk = 0; chunk < num_chunks; ++chunk) {
+    if (!outcomes[chunk].status.ok()) return outcomes[chunk].status;
+    EnumerateResult& r = outcomes[chunk].result;
+    merged.num_matches += r.num_matches;
+    merged.num_enumerations += r.num_enumerations;
+    merged.num_intersections += r.num_intersections;
+    merged.num_probe_comparisons += r.num_probe_comparisons;
+    merged.local_candidates_total += r.local_candidates_total;
+    merged.local_candidate_sets += r.local_candidate_sets;
+    merged.timed_out |= r.timed_out;
+    for (std::vector<VertexId>& embedding : r.embeddings) {
+      merged.embeddings.push_back(std::move(embedding));
+    }
+  }
+  merged.hit_match_limit = budget.LimitReached();
+  merged.enum_time_seconds = watch.ElapsedSeconds();
+  return merged;
 }
 
 namespace {

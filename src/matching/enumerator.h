@@ -10,22 +10,39 @@
 
 namespace rlqvo {
 
+class ThreadPool;
+
 /// \brief Controls for the enumeration procedure.
 struct EnumerateOptions {
   /// Stop after this many embeddings. The paper caps evaluation at 1e5
-  /// matches (Sec IV-A). 0 means unlimited ("ALL" in Fig 11).
+  /// matches (Sec IV-A). 0 means unlimited ("ALL" in Fig 11) — the run
+  /// exhausts the search space and EnumerateResult::hit_match_limit stays
+  /// false. A finite limit is exact: emission claims slots from a global
+  /// EnumBudget, so num_matches == min(available, match_limit) in both the
+  /// serial and the parallel path, never limit+1 and never limit-per-chunk.
   uint64_t match_limit = 100000;
   /// Time limit in seconds; 0 = unlimited. Enumerator::Run bounds the
   /// enumeration (including its per-query workspace setup) with this;
   /// SubgraphMatcher and QueryEngine treat it as the whole-pipeline
   /// per-query budget (the paper's 500 s, Sec IV-A) and pass enumeration a
   /// deadline carrying whatever remains after filtering and ordering.
-  /// Expiry is polled every ~4096 recursive calls, so runs can overshoot
-  /// the limit slightly.
+  /// Expiry is re-checked every ~16k units of charged work (recursive
+  /// calls, intersection comparisons, local-candidate scans), so overshoot
+  /// is bounded by a fixed work quantum plus at most one in-flight slice
+  /// intersection — not by how many recursive calls the slices amortize.
   double time_limit_seconds = 0.0;
   /// Keep the embeddings in EnumerateResult::embeddings (otherwise only
   /// counts are tracked).
   bool store_embeddings = false;
+  /// Intra-query enumeration parallelism. 0 (default) runs the classic
+  /// serial recursion. N >= 1 partitions the search tree at the first order
+  /// vertex's candidate set into contiguous chunks (about 4 per thread) and
+  /// fans them across a ThreadPool; match_limit and time_limit_seconds stay
+  /// *global* across chunks via a shared EnumBudget. See
+  /// Enumerator::RunParallel for the determinism contract. Serial callers
+  /// (Enumerator::Run) ignore this field; SubgraphMatcher and QueryEngine
+  /// honor it.
+  uint32_t parallel_threads = 0;
 };
 
 /// \brief Outcome of one enumeration run.
@@ -46,7 +63,8 @@ struct EnumerateResult {
   /// \name Intersection-core work counters.
   /// The local-candidate computation intersects label-restricted adjacency
   /// slices; these track how much of that work a run performed, so perf
-  /// trajectories can follow work done rather than just wall time.
+  /// trajectories can follow work done rather than just wall time. In a
+  /// parallel run they are summed across all chunk subtasks.
   /// @{
   /// Pairwise sorted-set intersections executed (an Extend with k >= 2
   /// mapped backward neighbors performs k-1; k == 1 performs none — the
@@ -65,6 +83,30 @@ struct EnumerateResult {
 
   /// Embeddings as query-vertex-indexed data-vertex vectors, if requested.
   std::vector<std::vector<VertexId>> embeddings;
+};
+
+/// \brief Execution resources for Enumerator::RunParallel.
+///
+/// The pool is shared infrastructure: QueryEngine hands every query the
+/// engine-wide pool (so idle batch workers drain a straggler query's chunk
+/// subtasks), while SubgraphMatcher lazily owns a private one. Chunk
+/// subtasks pick their scratch workspace by the executing thread:
+/// `(*worker_workspaces)[ThreadPool::CurrentWorkerIndex()]` on pool workers
+/// and `caller_workspace` on the coordinating external thread (which donates
+/// itself to the chunk queue while it waits). Each workspace is touched by
+/// at most one running task at a time — pool workers execute one task at a
+/// time and the coordinator only runs chunks between, never during, its own
+/// workspace use.
+struct ParallelEnumResources {
+  /// Executor for chunk subtasks. nullptr degrades RunParallel to Run.
+  ThreadPool* pool = nullptr;
+  /// One workspace per pool worker (size >= pool->size()); may be nullptr,
+  /// in which case chunks on pool workers fall back to throwaway
+  /// workspaces.
+  std::vector<EnumeratorWorkspace>* worker_workspaces = nullptr;
+  /// Workspace for chunks the calling thread runs while help-waiting; also
+  /// the serial-fallback workspace. May be nullptr (throwaway).
+  EnumeratorWorkspace* caller_workspace = nullptr;
 };
 
 /// \brief Phase-3 engine: the recursive backtracking enumeration of
@@ -102,13 +144,46 @@ class Enumerator {
   /// is non-null it supersedes options.time_limit_seconds, and — because the
   /// caller starts it before Run — per-query setup time counts against the
   /// budget; otherwise a fresh deadline of options.time_limit_seconds starts
-  /// at the top of Run (which still covers setup).
+  /// at the top of Run (which still covers setup). Always serial; the
+  /// options.parallel_threads field is ignored here.
   Result<EnumerateResult> Run(const Graph& query, const Graph& data,
                               const CandidateSet& candidates,
                               const std::vector<VertexId>& order,
                               const EnumerateOptions& options,
                               EnumeratorWorkspace* workspace,
                               const Deadline* deadline = nullptr) const;
+
+  /// Parallel enumeration of one query: partitions C(order[0]) into
+  /// contiguous chunks (~4 per options.parallel_threads, capped by the
+  /// candidate count), fans the chunks across resources.pool, and
+  /// coordinates every subtask through one shared EnumBudget, so
+  /// match_limit and the deadline are global per-query limits — exactly the
+  /// serial semantics, just executed concurrently. The calling thread
+  /// donates itself to the pool's queue while waiting (TryRunOneTask), so
+  /// nested fan-out from a pool worker cannot deadlock.
+  ///
+  /// **Determinism contract.** Chunk subtasks traverse disjoint subtrees of
+  /// the identical serial recursion tree, each buffering its own results;
+  /// the chunks are stitched back in chunk index order. A run that is not
+  /// truncated (no limit fired, no deadline expired) is therefore
+  /// bit-identical to the serial path: same embeddings in the same order,
+  /// and every work counter (num_enumerations, num_intersections, ...) sums
+  /// to exactly the serial value, independent of thread count, pool size
+  /// and scheduling. When a finite match_limit fires, the run still emits
+  /// *exactly* match_limit matches (the budget claim is atomic and capped),
+  /// but which valid embeddings fill the quota depends on chunk scheduling
+  /// — same count, possibly different members than serial. Deadline cuts
+  /// are timing-dependent in serial mode already; the parallel path keeps
+  /// that (weaker) semantics and reports timed_out if any chunk was cut.
+  ///
+  /// Falls back to the serial Run (on resources.caller_workspace) when
+  /// resources.pool is null or options.parallel_threads == 0.
+  Result<EnumerateResult> RunParallel(const Graph& query, const Graph& data,
+                                      const CandidateSet& candidates,
+                                      const std::vector<VertexId>& order,
+                                      const EnumerateOptions& options,
+                                      const ParallelEnumResources& resources,
+                                      const Deadline* deadline = nullptr) const;
 };
 
 /// \brief Reference matcher: enumerates all embeddings by unconstrained

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/thread_pool.h"
 #include "common/timer.h"
 
 namespace rlqvo {
@@ -15,6 +16,8 @@ SubgraphMatcher::SubgraphMatcher(MatcherConfig config)
   }
 }
 
+SubgraphMatcher::~SubgraphMatcher() = default;
+
 Result<MatchRunStats> SubgraphMatcher::Match(const Graph& query,
                                              const Graph& data) const {
   MatchRunStats stats;
@@ -26,15 +29,34 @@ Result<MatchRunStats> SubgraphMatcher::Match(const Graph& query,
   stats.filter_time_seconds = phase.ElapsedSeconds();
   stats.candidate_total = candidates.TotalSize();
 
+  // Intra-query parallelism: a private pool of parallel_threads workers,
+  // created on first use and rebuilt if the knob changes. The pool (and
+  // its per-worker workspaces) outlives the call, so steady-state parallel
+  // matching pays no per-query thread spawn.
+  ParallelEnumResources resources;
+  const uint32_t threads = config_.enum_options.parallel_threads;
+  if (threads > 0) {
+    if (enum_pool_ == nullptr || enum_pool_->size() != threads) {
+      enum_pool_ = std::make_unique<ThreadPool>(threads);
+      enum_worker_workspaces_ =
+          std::vector<EnumeratorWorkspace>(enum_pool_->size());
+    }
+    resources.pool = enum_pool_.get();
+    resources.worker_workspaces = &enum_worker_workspaces_;
+    resources.caller_workspace = &workspace_;
+  }
+
   return RunOrderedEnumeration(query, data, candidates,
                                config_.ordering.get(), config_.enum_options,
-                               std::move(stats), total, &workspace_);
+                               std::move(stats), total, &workspace_,
+                               threads > 0 ? &resources : nullptr);
 }
 
 Result<MatchRunStats> RunOrderedEnumeration(
     const Graph& query, const Graph& data, const CandidateSet& candidates,
     Ordering* ordering, const EnumerateOptions& options, MatchRunStats stats,
-    const Stopwatch& total, EnumeratorWorkspace* workspace) {
+    const Stopwatch& total, EnumeratorWorkspace* workspace,
+    const ParallelEnumResources* parallel) {
   Stopwatch phase;
   OrderingContext ctx;
   ctx.query = &query;
@@ -64,10 +86,22 @@ Result<MatchRunStats> RunOrderedEnumeration(
   EnumeratorWorkspace local_workspace;
   if (workspace == nullptr) workspace = &local_workspace;
   Enumerator enumerator;  // stateless: all scratch lives in the workspace
-  RLQVO_ASSIGN_OR_RETURN(
-      EnumerateResult enum_result,
-      enumerator.Run(query, data, candidates, order, enum_options, workspace,
-                     &deadline));
+  Result<EnumerateResult> enum_run =
+      (options.parallel_threads > 0 && parallel != nullptr &&
+       parallel->pool != nullptr)
+          ? [&] {
+              ParallelEnumResources resources = *parallel;
+              if (resources.caller_workspace == nullptr) {
+                resources.caller_workspace = workspace;
+              }
+              return enumerator.RunParallel(query, data, candidates, order,
+                                            enum_options, resources,
+                                            &deadline);
+            }()
+          : enumerator.Run(query, data, candidates, order, enum_options,
+                           workspace, &deadline);
+  RLQVO_RETURN_NOT_OK(enum_run.status());
+  EnumerateResult enum_result = std::move(enum_run).ValueOrDie();
   stats.enum_time_seconds = enum_result.enum_time_seconds;
   stats.num_matches = enum_result.num_matches;
   stats.num_enumerations = enum_result.num_enumerations;

@@ -60,10 +60,18 @@ struct MatchRunStats {
 /// SubgraphMatcher is therefore NOT safe for concurrent Match calls on one
 /// instance — use one matcher per thread (QueryEngine does the equivalent
 /// with per-worker orderings and workspaces).
+///
+/// When enum_options.parallel_threads > 0 the matcher lazily spawns a
+/// private ThreadPool of that size (plus one reusable workspace per
+/// worker) and enumerates each query with Enumerator::RunParallel; the
+/// calling thread donates itself to the chunk queue while waiting. The
+/// pool is created on the first parallel Match and resized if
+/// parallel_threads changes via mutable_enum_options.
 class SubgraphMatcher {
  public:
   /// \param config must have both a filter and an ordering.
   explicit SubgraphMatcher(MatcherConfig config);
+  ~SubgraphMatcher();
 
   /// Runs Algorithm 1 on (query, data). The configured time limit covers
   /// the whole pipeline: enumeration gets whatever remains after filtering
@@ -72,7 +80,8 @@ class SubgraphMatcher {
 
   const std::string& name() const { return config_.name; }
   const MatcherConfig& config() const { return config_; }
-  /// Adjusts enumeration controls (match limit / time limit) in place.
+  /// Adjusts enumeration controls (match limit / time limit / intra-query
+  /// parallelism) in place.
   EnumerateOptions* mutable_enum_options() { return &config_.enum_options; }
 
  private:
@@ -80,6 +89,10 @@ class SubgraphMatcher {
   // Reused scratch state; mutable because Match is logically const (the
   // workspace never affects results, only setup cost).
   mutable EnumeratorWorkspace workspace_;
+  // Intra-query enumeration pool + per-worker workspaces, lazily created
+  // when enum_options.parallel_threads > 0 (see class comment).
+  mutable std::unique_ptr<ThreadPool> enum_pool_;
+  mutable std::vector<EnumeratorWorkspace> enum_worker_workspaces_;
 };
 
 /// \brief Shared phases 2–3 of Algorithm 1: ordering, then enumeration on
@@ -96,10 +109,15 @@ class SubgraphMatcher {
 ///        budget too.
 /// \param workspace reusable enumeration scratch state; nullptr falls back
 ///        to a throwaway workspace for this call.
+/// \param parallel execution resources for intra-query parallel
+///        enumeration; used only when options.parallel_threads > 0 and a
+///        pool is provided (otherwise the classic serial path runs). The
+///        resources' caller_workspace defaults to `workspace`.
 Result<MatchRunStats> RunOrderedEnumeration(
     const Graph& query, const Graph& data, const CandidateSet& candidates,
     Ordering* ordering, const EnumerateOptions& options, MatchRunStats stats,
-    const Stopwatch& total, EnumeratorWorkspace* workspace = nullptr);
+    const Stopwatch& total, EnumeratorWorkspace* workspace = nullptr,
+    const ParallelEnumResources* parallel = nullptr);
 
 /// \brief Builds one of the paper's compared algorithms by name:
 ///

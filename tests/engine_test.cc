@@ -3,10 +3,10 @@
 #include <atomic>
 #include <set>
 
+#include "common/thread_pool.h"
 #include "core/rlqvo.h"
 #include "engine/candidate_cache.h"
 #include "engine/query_engine.h"
-#include "engine/thread_pool.h"
 #include "test_util.h"
 
 namespace rlqvo {
@@ -347,6 +347,66 @@ TEST(QueryEngineTest, OrderingFactoryFailurePoisonsEngineInsteadOfAborting) {
   auto result = engine.MatchBatch(MakeQueries(data, 800, 2));
   ASSERT_FALSE(result.ok());
   EXPECT_TRUE(result.status().IsNotFound());
+}
+
+// Intra-query parallelism through the engine: whole-query tasks and their
+// enumeration chunk subtasks share one pool (nested submit-from-worker +
+// help-while-waiting), and untruncated results stay bit-identical to a
+// fully serial matcher.
+TEST(QueryEngineTest, IntraQueryParallelBatchEqualsSerialMatcher) {
+  Graph data = RandomData(61, 80, 4.0, 3);
+  std::vector<Graph> queries = MakeQueries(data, 400, 10, 5);
+
+  EnumerateOptions serial_options;
+  serial_options.match_limit = 0;
+  serial_options.store_embeddings = true;
+  auto matcher = MakeMatcherByName("Hybrid", serial_options).ValueOrDie();
+
+  for (uint32_t threads : {1u, 2u, 8u}) {
+    EnumerateOptions enum_options = serial_options;
+    enum_options.parallel_threads = threads;
+    EngineOptions engine_options;
+    engine_options.num_threads = 2;  // pool smaller than chunk fan-out
+    auto engine = MakeEngineByName("Hybrid",
+                                   std::make_shared<const Graph>(data),
+                                   engine_options, enum_options)
+                      .ValueOrDie();
+    auto batch = engine->MatchBatch(queries).ValueOrDie();
+    ASSERT_EQ(batch.per_query.size(), queries.size());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      const MatchRunStats sequential =
+          matcher->Match(queries[i], data).ValueOrDie();
+      const MatchRunStats& parallel = batch.per_query[i];
+      EXPECT_EQ(parallel.num_matches, sequential.num_matches)
+          << "threads " << threads << " query " << i;
+      EXPECT_EQ(parallel.num_enumerations, sequential.num_enumerations);
+      EXPECT_EQ(parallel.num_intersections, sequential.num_intersections);
+      EXPECT_EQ(parallel.order, sequential.order);
+      EXPECT_EQ(parallel.embeddings, sequential.embeddings);
+    }
+  }
+}
+
+TEST(QueryEngineTest, ParallelMatcherEqualsSerialMatcher) {
+  Graph data = RandomData(71, 70, 4.5, 3);
+  std::vector<Graph> queries = MakeQueries(data, 500, 6, 5);
+
+  EnumerateOptions serial_options;
+  serial_options.match_limit = 0;
+  serial_options.store_embeddings = true;
+  auto serial = MakeMatcherByName("RI", serial_options).ValueOrDie();
+
+  EnumerateOptions parallel_options = serial_options;
+  parallel_options.parallel_threads = 3;
+  auto parallel = MakeMatcherByName("RI", parallel_options).ValueOrDie();
+
+  for (const Graph& query : queries) {
+    const MatchRunStats s = serial->Match(query, data).ValueOrDie();
+    const MatchRunStats p = parallel->Match(query, data).ValueOrDie();
+    EXPECT_EQ(p.num_matches, s.num_matches);
+    EXPECT_EQ(p.num_enumerations, s.num_enumerations);
+    EXPECT_EQ(p.embeddings, s.embeddings);
+  }
 }
 
 TEST(QueryEngineTest, RlqvoEngineMatchesRlqvoMatcher) {

@@ -1,0 +1,170 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace rlqvo {
+namespace {
+
+// Regression for the Submit/Wait interaction RunParallel depends on: a
+// worker task fanning subtasks out while an outside thread sits in Wait.
+// pending_ covers a task from enqueue to completion, so the parent always
+// overlaps its submissions and Wait can neither return early nor drop them.
+TEST(ThreadPoolTest, SubmitFromWorkerUnderConcurrentWaitRunsEverySubtask) {
+  constexpr int kParents = 16;
+  constexpr int kChildrenPerParent = 8;
+  ThreadPool pool(4);
+  std::atomic<int> children_done{0};
+  for (int p = 0; p < kParents; ++p) {
+    pool.Submit([&] {
+      for (int c = 0; c < kChildrenPerParent; ++c) {
+        pool.Submit([&] {
+          // Long enough that a buggy Wait (counting only queued tasks)
+          // would return while children still run.
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+          children_done.fetch_add(1);
+        });
+      }
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(children_done.load(), kParents * kChildrenPerParent);
+}
+
+TEST(ThreadPoolTest, RepeatedWaitRoundsWithNestedSubmitsStayConsistent) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 50; ++round) {
+    for (int p = 0; p < 4; ++p) {
+      pool.Submit([&] {
+        pool.Submit([&] { total.fetch_add(1); });
+        total.fetch_add(1);
+      });
+    }
+    pool.Wait();
+    EXPECT_EQ(total.load(), (round + 1) * 8);
+  }
+}
+
+// The help-while-waiting pattern must complete on a pool of ONE worker:
+// the parent occupies the only worker, so it has to drain its own subtasks
+// via TryRunOneTask. A parent that blocked in Wait instead would deadlock.
+TEST(ThreadPoolTest, FanOutWithHelpLoopCompletesOnPoolOfOne) {
+  ThreadPool pool(1);
+  std::atomic<int> done{0};
+  std::atomic<bool> parent_finished{false};
+  pool.Submit([&] {
+    constexpr int kSubtasks = 5;
+    for (int i = 0; i < kSubtasks; ++i) {
+      pool.Submit([&] { done.fetch_add(1); });
+    }
+    while (done.load() < kSubtasks) {
+      if (!pool.TryRunOneTask()) std::this_thread::yield();
+    }
+    parent_finished.store(true);
+  });
+  pool.Wait();
+  EXPECT_TRUE(parent_finished.load());
+  EXPECT_EQ(done.load(), 5);
+}
+
+TEST(ThreadPoolTest, TryRunOneTaskRunsOnCallerWithExternalIdentity) {
+  ThreadPool pool(1);
+  // Park the worker so the queue keeps our probe task until the external
+  // thread pops it. Wait until the worker has actually dequeued the parking
+  // task — otherwise this thread's TryRunOneTask could pop it first and
+  // spin on a release flag only it would set.
+  std::atomic<bool> parked{false};
+  std::atomic<bool> release{false};
+  pool.Submit([&] {
+    parked.store(true);
+    while (!release.load()) std::this_thread::yield();
+  });
+  while (!parked.load()) std::this_thread::yield();
+  std::atomic<int> probe_index{-2};
+  std::atomic<const ThreadPool*> probe_pool{&pool};
+  pool.Submit([&] {
+    probe_index.store(ThreadPool::CurrentWorkerIndex());
+    probe_pool.store(ThreadPool::CurrentPool());
+  });
+  ASSERT_TRUE(pool.TryRunOneTask());  // runs the probe on this thread
+  EXPECT_EQ(probe_index.load(), -1);
+  EXPECT_EQ(probe_pool.load(), nullptr);
+  release.store(true);
+  pool.Wait();
+}
+
+TEST(ThreadPoolTest, TryRunOneTaskReturnsFalseOnEmptyQueue) {
+  ThreadPool pool(2);
+  EXPECT_FALSE(pool.TryRunOneTask());
+  pool.Wait();  // trivially returns: nothing pending
+}
+
+// Group-restricted helping: the caller drains exactly its own group's
+// tasks, skipping unrelated queued work, and reports false once its group
+// is drained even though other tasks are still queued.
+TEST(ThreadPoolTest, TryRunOneTaskWithGroupSkipsUnrelatedTasks) {
+  ThreadPool pool(1);
+  // Park the worker so the queue is under our control.
+  std::atomic<bool> parked{false};
+  std::atomic<bool> release{false};
+  pool.Submit([&] {
+    parked.store(true);
+    while (!release.load()) std::this_thread::yield();
+  });
+  while (!parked.load()) std::this_thread::yield();
+
+  int group_marker_a = 0;
+  int group_marker_b = 0;
+  std::atomic<int> ran_a{0};
+  std::atomic<int> ran_b{0};
+  pool.Submit([&] { ran_b.fetch_add(1); }, &group_marker_b);
+  pool.Submit([&] { ran_a.fetch_add(1); }, &group_marker_a);
+  pool.Submit([&] { ran_a.fetch_add(1); }, &group_marker_a);
+
+  // Drain group A only; the leading group-B task must be skipped, not run.
+  EXPECT_TRUE(pool.TryRunOneTask(&group_marker_a));
+  EXPECT_TRUE(pool.TryRunOneTask(&group_marker_a));
+  EXPECT_FALSE(pool.TryRunOneTask(&group_marker_a));  // group A drained
+  EXPECT_EQ(ran_a.load(), 2);
+  EXPECT_EQ(ran_b.load(), 0);
+
+  release.store(true);
+  pool.Wait();  // the worker finishes the remaining group-B task
+  EXPECT_EQ(ran_b.load(), 1);
+}
+
+// Two levels of nesting under a concurrent Wait — the shape QueryEngine
+// produces when batch query tasks spawn enumeration chunk subtasks.
+TEST(ThreadPoolTest, TwoLevelFanOutUnderWaitStress) {
+  ThreadPool pool(3);
+  std::atomic<int> leaves{0};
+  for (int round = 0; round < 10; ++round) {
+    for (int q = 0; q < 6; ++q) {
+      pool.Submit([&] {
+        std::atomic<int> my_chunks{0};
+        constexpr int kChunks = 4;
+        for (int c = 0; c < kChunks; ++c) {
+          pool.Submit([&] {
+            leaves.fetch_add(1);
+            my_chunks.fetch_add(1);
+          });
+        }
+        // Help-wait for this task's own chunks (they may be executed by
+        // any worker, including this one).
+        while (my_chunks.load() < kChunks) {
+          if (!pool.TryRunOneTask()) std::this_thread::yield();
+        }
+      });
+    }
+    pool.Wait();
+  }
+  EXPECT_EQ(leaves.load(), 10 * 6 * 4);
+}
+
+}  // namespace
+}  // namespace rlqvo
