@@ -117,6 +117,9 @@ int main(int argc, char** argv) {
                               batch.total_probe_comparisons,
                               batch.total_local_candidates,
                               batch.total_local_candidate_sets);
+        AppendOrderingMetrics(&metrics, "batch", batch.total_order_seconds,
+                              batch.order_cache_hits,
+                              batch.order_cache_misses);
       }
       best_speedup = std::max(best_speedup, speedup);
     }

@@ -165,6 +165,21 @@ inline void AppendEnumWorkMetrics(
                                   static_cast<double>(local_candidate_sets));
 }
 
+/// \brief Appends the serving-side ordering metrics of a batch under
+/// `<prefix>_...` keys: summed phase-2 seconds and the order-cache hit/miss
+/// split (hits + misses == cache-consulting lookups; both zero when the
+/// cache was bypassed or disabled).
+inline void AppendOrderingMetrics(
+    std::vector<std::pair<std::string, double>>* metrics,
+    const std::string& prefix, double order_seconds, uint64_t order_cache_hits,
+    uint64_t order_cache_misses) {
+  metrics->emplace_back(prefix + "_order_seconds", order_seconds);
+  metrics->emplace_back(prefix + "_order_cache_hits",
+                        static_cast<double>(order_cache_hits));
+  metrics->emplace_back(prefix + "_order_cache_misses",
+                        static_cast<double>(order_cache_misses));
+}
+
 /// \brief Writes the machine-readable results file `BENCH_<name>.json` in
 /// the current directory (schema documented in docs/BENCHMARKS.md):
 ///

@@ -18,6 +18,79 @@ RLQVOOrdering::RLQVOOrdering(std::shared_ptr<const PolicyNetwork> policy,
   RLQVO_CHECK(policy_ != nullptr);
 }
 
+namespace {
+
+/// Last-resort fallback when even RI refuses the query (it requires a
+/// connected query graph): greedily complete the partial policy order into
+/// a full permutation — prefer vertices adjacent to an already-ordered one
+/// (most backward neighbors, then higher degree, then lower id), seeding a
+/// fresh component by (degree, id) when no vertex connects. Since PR 2 the
+/// enumerator accepts any permutation, so this keeps disconnected queries
+/// servable.
+std::vector<VertexId> GreedyConnectedCompletion(const Graph& query,
+                                                std::vector<VertexId> order) {
+  const uint32_t n = query.num_vertices();
+  std::vector<bool> ordered(n, false);
+  for (VertexId u : order) ordered[u] = true;
+  while (order.size() < n) {
+    VertexId best = kInvalidVertex;
+    uint32_t best_backward = 0;
+    for (VertexId u = 0; u < n; ++u) {
+      if (ordered[u]) continue;
+      uint32_t backward = 0;
+      for (VertexId w : query.neighbors(u)) {
+        if (ordered[w]) ++backward;
+      }
+      const bool better =
+          best == kInvalidVertex || backward > best_backward ||
+          (backward == best_backward &&
+           (query.degree(u) > query.degree(best) ||
+            (query.degree(u) == query.degree(best) && u < best)));
+      if (better) {
+        best = u;
+        best_backward = backward;
+      }
+    }
+    order.push_back(best);
+    ordered[best] = true;
+  }
+  return order;
+}
+
+}  // namespace
+
+VertexId RLQVOOrdering::ChooseAction(const nn::Matrix& log_probs,
+                                     const std::vector<bool>& mask,
+                                     uint32_t n) {
+  if (stochastic_) {
+    std::vector<double> probs;
+    std::vector<VertexId> actions;
+    for (VertexId u = 0; u < n; ++u) {
+      if (!mask[u]) continue;
+      const double p = std::exp(log_probs.At(u, 0));
+      if (!std::isfinite(p)) return kInvalidVertex;  // corrupted weights
+      probs.push_back(p);
+      actions.push_back(u);
+    }
+    const size_t pick = rng_.SampleDiscrete(probs);
+    return pick < actions.size() ? actions[pick] : actions[0];
+  }
+  VertexId choice = kInvalidVertex;
+  double best = -1e300;
+  for (VertexId u = 0; u < n; ++u) {
+    if (!mask[u]) continue;
+    const double lp = log_probs.At(u, 0);
+    // A NaN score never compares greater, so a fully-NaN forward (poisoned
+    // checkpoint) leaves choice == kInvalidVertex and triggers the RI
+    // fallback instead of crashing the query.
+    if (lp > best) {
+      best = lp;
+      choice = u;
+    }
+  }
+  return choice;
+}
+
 Result<std::vector<VertexId>> RLQVOOrdering::MakeOrder(
     const OrderingContext& ctx) {
   if (ctx.query == nullptr) {
@@ -27,44 +100,57 @@ Result<std::vector<VertexId>> RLQVOOrdering::MakeOrder(
     return Status::InvalidArgument("RL-QVO ordering requires the data graph");
   }
   Stopwatch watch;
+  const uint32_t n = ctx.query->num_vertices();
+  // The env hoists everything static per query — graph tensors and the
+  // feature columns h(1..5) — at construction; each Step refreshes only the
+  // step columns h(6..7) in place, so the loop below allocates nothing
+  // beyond the (grown-once) inference workspace buffers.
   OrderingEnv env(ctx.query, ctx.data, features_);
+  bool policy_failed = false;
   while (!env.Done()) {
+    if (env.NumActions() == 0) {
+      // Disconnected query: the MDP's action space emptied with vertices
+      // left to order. The policy cannot continue; fall back.
+      policy_failed = true;
+      break;
+    }
     const VertexId sole = env.SoleAction();
     if (sole != kInvalidVertex) {
       env.Step(sole);
       continue;
     }
-    const nn::Matrix features = env.Features();
-    auto forward = policy_->Forward(env.tensors(), features, env.ActionMask(),
-                                    /*training=*/false, nullptr);
-    VertexId choice = kInvalidVertex;
-    if (stochastic_) {
-      std::vector<double> probs;
-      std::vector<VertexId> actions;
-      for (VertexId u = 0; u < ctx.query->num_vertices(); ++u) {
-        if (env.ActionMask()[u]) {
-          probs.push_back(std::exp(forward.log_probs.value().At(u, 0)));
-          actions.push_back(u);
-        }
-      }
-      const size_t pick = rng_.SampleDiscrete(probs);
-      choice = pick < actions.size() ? actions[pick] : actions[0];
+    VertexId choice;
+    if (use_inference_path_) {
+      const PolicyNetwork::InferenceResult forward = policy_->ForwardInference(
+          &inference_workspace_, env.tensors(), env.FeaturesView(),
+          env.ActionMask());
+      choice = ChooseAction(*forward.log_probs, env.ActionMask(), n);
     } else {
-      double best = -1e300;
-      for (VertexId u = 0; u < ctx.query->num_vertices(); ++u) {
-        if (!env.ActionMask()[u]) continue;
-        const double lp = forward.log_probs.value().At(u, 0);
-        if (lp > best) {
-          best = lp;
-          choice = u;
-        }
-      }
+      const PolicyNetwork::ForwardResult forward =
+          policy_->Forward(env.tensors(), env.FeaturesView(), env.ActionMask(),
+                           /*training=*/false, nullptr);
+      choice = ChooseAction(forward.log_probs.value(), env.ActionMask(), n);
     }
-    RLQVO_CHECK(choice != kInvalidVertex);
+    if (choice == kInvalidVertex) {
+      policy_failed = true;  // non-finite scores
+      break;
+    }
     env.Step(choice);
   }
+  if (!policy_failed) {
+    last_inference_seconds_ = watch.ElapsedSeconds();
+    return env.order();
+  }
+
+  // Fallback contract: never fail the query because of the policy. Prefer
+  // the RI baseline; when RI itself refuses (disconnected query), complete
+  // the partial policy order greedily.
+  ++fallback_count_;
+  RIOrdering baseline;
+  Result<std::vector<VertexId>> ri_order = baseline.MakeOrder(ctx);
   last_inference_seconds_ = watch.ElapsedSeconds();
-  return env.order();
+  if (ri_order.ok()) return ri_order;
+  return GreedyConnectedCompletion(*ctx.query, env.order());
 }
 
 RLQVOModel::RLQVOModel(const PolicyConfig& policy_config,

@@ -32,68 +32,4 @@ uint64_t QueryFingerprint(const Graph& query) {
   return h;
 }
 
-std::shared_ptr<const CandidateSet> CandidateCache::Get(uint64_t key) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = index_.find(key);
-  if (it == index_.end()) {
-    ++counters_.misses;
-    return nullptr;
-  }
-  lru_.splice(lru_.begin(), lru_, it->second);  // move to front
-  ++counters_.hits;
-  return it->second->second;
-}
-
-std::shared_ptr<const CandidateSet> CandidateCache::Reprobe(uint64_t key) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = index_.find(key);
-  if (it == index_.end()) return nullptr;
-  lru_.splice(lru_.begin(), lru_, it->second);
-  // The caller's earlier Get on this key counted a miss; the lookup was
-  // actually served from the cache, so move that count to the hit column.
-  RLQVO_DCHECK(counters_.misses > 0);
-  --counters_.misses;
-  ++counters_.hits;
-  return it->second->second;
-}
-
-void CandidateCache::ReclassifyMissesAsHits(uint64_t n) {
-  std::lock_guard<std::mutex> lock(mu_);
-  RLQVO_DCHECK(counters_.misses >= n);
-  counters_.misses -= n;
-  counters_.hits += n;
-}
-
-void CandidateCache::Put(uint64_t key,
-                         std::shared_ptr<const CandidateSet> value) {
-  if (capacity_ == 0) return;
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = index_.find(key);
-  if (it != index_.end()) {
-    it->second->second = std::move(value);
-    lru_.splice(lru_.begin(), lru_, it->second);
-    return;
-  }
-  if (lru_.size() >= capacity_) {
-    index_.erase(lru_.back().first);
-    lru_.pop_back();
-    ++counters_.evictions;
-  }
-  lru_.emplace_front(key, std::move(value));
-  index_[key] = lru_.begin();
-}
-
-void CandidateCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
-  lru_.clear();
-  index_.clear();
-}
-
-CandidateCache::Counters CandidateCache::counters() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  Counters c = counters_;
-  c.entries = lru_.size();
-  return c;
-}
-
 }  // namespace rlqvo

@@ -1,12 +1,10 @@
 #pragma once
 
 #include <cstdint>
-#include <list>
 #include <memory>
-#include <mutex>
-#include <unordered_map>
-#include <utility>
+#include <vector>
 
+#include "engine/lru_cache.h"
 #include "matching/candidate_set.h"
 
 namespace rlqvo {
@@ -16,71 +14,25 @@ namespace rlqvo {
 ///
 /// Two structurally identical queries (same vertex numbering, labels and
 /// edges) always collide; distinct queries collide with probability ~2^-64.
-/// QueryEngine uses it as the candidate-cache key, which is sound because an
-/// engine instance fixes the other two inputs of filtering — the data graph
-/// and the filter.
+/// QueryEngine uses it to key both serving caches — candidate sets and
+/// matching orders — which is sound because an engine instance fixes every
+/// other input of those stages: the data graph, the filter, and (for the
+/// order cache) a deterministic ordering.
 uint64_t QueryFingerprint(const Graph& query);
 
-/// \brief Thread-safe LRU cache of filtered candidate sets, keyed by query
-/// fingerprint.
-///
-/// Values are shared_ptr<const CandidateSet>, so a cached entry can be
-/// evicted while worker threads still hold (and read) it. All operations
-/// take a single internal mutex; the critical sections are O(1) hash/list
-/// updates, so contention stays negligible next to filtering costs.
-class CandidateCache {
- public:
-  /// \name Hit/miss/eviction counters and current size.
-  /// @{
-  struct Counters {
-    uint64_t hits = 0;
-    uint64_t misses = 0;
-    uint64_t evictions = 0;
-    size_t entries = 0;
-  };
-  /// @}
+/// \brief The engine's phase-1 cache: a single-flighted, thread-safe LRU of
+/// filtered candidate sets keyed by query fingerprint — an instantiation of
+/// the generic SingleFlightCache (engine/lru_cache.h). Values are
+/// shared_ptr<const CandidateSet>, so a cached entry can be evicted while
+/// worker threads still hold (and read) it.
+using CandidateCache =
+    SingleFlightCache<uint64_t, std::shared_ptr<const CandidateSet>>;
 
-  /// A cache holding at most `capacity` candidate sets; 0 disables caching
-  /// entirely (Get always misses, Put is a no-op).
-  explicit CandidateCache(size_t capacity) : capacity_(capacity) {}
-
-  /// Returns the cached set for `key` (marking it most-recently-used) or
-  /// nullptr on miss. Counts a hit or a miss; across Get/Reprobe/
-  /// ReclassifyMissesAsHits, hits + misses always equals the number of
-  /// logical lookups, and hits counts exactly the lookups that were served
-  /// from the cache.
-  std::shared_ptr<const CandidateSet> Get(uint64_t key);
-
-  /// Second-chance lookup for a single-flight leader that already counted a
-  /// miss for this logical lookup: on success the entry is promoted to MRU
-  /// and that earlier miss is reclassified as a hit (the lookup *was*
-  /// served from the cache — another leader completed in between). On a
-  /// true miss the counters are untouched: the original miss stands.
-  std::shared_ptr<const CandidateSet> Reprobe(uint64_t key);
-
-  /// Reclassifies `n` previously-counted misses as hits. Used by
-  /// single-flight followers whose leader's Reprobe succeeded: their counted
-  /// misses were in fact served from the cache.
-  void ReclassifyMissesAsHits(uint64_t n);
-
-  /// Inserts (or refreshes) `key`, evicting the least-recently-used entry
-  /// when at capacity.
-  void Put(uint64_t key, std::shared_ptr<const CandidateSet> value);
-
-  /// Drops all entries. Counters are preserved.
-  void Clear();
-
-  Counters counters() const;
-  size_t capacity() const { return capacity_; }
-
- private:
-  using LruList = std::list<std::pair<uint64_t, std::shared_ptr<const CandidateSet>>>;
-
-  mutable std::mutex mu_;
-  size_t capacity_;
-  LruList lru_;  // front = most recently used
-  std::unordered_map<uint64_t, LruList::iterator> index_;
-  Counters counters_;
-};
+/// \brief The engine's phase-2 cache: matching orders of deterministic
+/// orderings, keyed by the same fingerprint and sharing the same LRU +
+/// single-flight machinery. See QueryEngine for the determinism caveat
+/// that gates admission.
+using OrderCache =
+    SingleFlightCache<uint64_t, std::shared_ptr<const std::vector<VertexId>>>;
 
 }  // namespace rlqvo

@@ -1,0 +1,247 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "common/result.h"
+
+namespace rlqvo {
+
+/// \brief Generic thread-safe LRU cache with single-flight-aware hit/miss
+/// accounting. Extracted from the engine's candidate cache so any serving
+/// stage can memoise by fingerprint — the engine instantiates it twice:
+/// CandidateCache (filtered candidate sets) and the order cache (matching
+/// orders of deterministic orderings).
+///
+/// `Value` must be a cheap-to-copy handle whose default-constructed state
+/// tests false — e.g. std::shared_ptr<const T>. That null state is the
+/// "miss" return, and it is what lets a cached entry be evicted while
+/// readers still hold (and use) it.
+///
+/// All operations take a single internal mutex; the critical sections are
+/// O(1) hash/list updates, so contention stays negligible next to the
+/// computations being cached.
+template <typename Key, typename Value>
+class LruCache {
+ public:
+  /// \name Hit/miss/eviction counters and current size.
+  /// @{
+  struct Counters {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    size_t entries = 0;
+  };
+  /// @}
+
+  /// A cache holding at most `capacity` values; 0 disables caching entirely
+  /// (Get always misses, Put is a no-op).
+  explicit LruCache(size_t capacity) : capacity_(capacity) {}
+
+  /// Returns the cached value for `key` (marking it most-recently-used) or
+  /// a null Value on miss. Counts a hit or a miss; across Get/Reprobe/
+  /// ReclassifyMissesAsHits, hits + misses always equals the number of
+  /// logical lookups, and hits counts exactly the lookups that were served
+  /// from the cache.
+  Value Get(const Key& key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+      ++counters_.misses;
+      return Value();
+    }
+    lru_.splice(lru_.begin(), lru_, it->second);  // move to front
+    ++counters_.hits;
+    return it->second->second;
+  }
+
+  /// Second-chance lookup for a single-flight leader that already counted a
+  /// miss for this logical lookup: on success the entry is promoted to MRU
+  /// and that earlier miss is reclassified as a hit (the lookup *was*
+  /// served from the cache — another leader completed in between). On a
+  /// true miss the counters are untouched: the original miss stands.
+  Value Reprobe(const Key& key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(key);
+    if (it == index_.end()) return Value();
+    lru_.splice(lru_.begin(), lru_, it->second);
+    RLQVO_DCHECK(counters_.misses > 0);
+    --counters_.misses;
+    ++counters_.hits;
+    return it->second->second;
+  }
+
+  /// Reclassifies `n` previously-counted misses as hits. Used by
+  /// single-flight followers whose leader's Reprobe succeeded: their counted
+  /// misses were in fact served from the cache.
+  void ReclassifyMissesAsHits(uint64_t n) {
+    std::lock_guard<std::mutex> lock(mu_);
+    RLQVO_DCHECK(counters_.misses >= n);
+    counters_.misses -= n;
+    counters_.hits += n;
+  }
+
+  /// Inserts (or refreshes) `key`, evicting the least-recently-used entry
+  /// when at capacity.
+  void Put(const Key& key, Value value) {
+    if (capacity_ == 0) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->second = std::move(value);
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return;
+    }
+    if (lru_.size() >= capacity_) {
+      index_.erase(lru_.back().first);
+      lru_.pop_back();
+      ++counters_.evictions;
+    }
+    lru_.emplace_front(key, std::move(value));
+    index_[key] = lru_.begin();
+  }
+
+  /// Drops all entries. Counters are preserved.
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    lru_.clear();
+    index_.clear();
+  }
+
+  Counters counters() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    Counters c = counters_;
+    c.entries = lru_.size();
+    return c;
+  }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  using LruList = std::list<std::pair<Key, Value>>;
+
+  mutable std::mutex mu_;
+  size_t capacity_;
+  LruList lru_;  // front = most recently used
+  std::unordered_map<Key, typename LruList::iterator> index_;
+  Counters counters_;
+};
+
+/// \brief An LruCache fronted by single-flight computation: concurrent
+/// misses on the same key run the compute function once — the first caller
+/// (leader) computes while the rest wait for its result. This is the
+/// machinery QueryEngine grew for candidate filtering, made generic so the
+/// order cache shares it verbatim.
+///
+/// Accounting invariant: every GetOrCompute that consults the cache counts
+/// exactly one hit or miss, and a lookup counts as a hit iff its value was
+/// served from the cache (leader re-probe successes and their followers are
+/// reclassified). hits + misses always equals the number of cache-consulting
+/// lookups.
+template <typename Key, typename Value>
+class SingleFlightCache {
+ public:
+  using Counters = typename LruCache<Key, Value>::Counters;
+
+  explicit SingleFlightCache(size_t capacity) : cache_(capacity) {}
+
+  /// Returns the value for `key`, computing it via `compute` on a cold
+  /// miss. With `bypass` set (or capacity 0) the cache is not consulted and
+  /// `compute` runs unconditionally, with no counter effects and no
+  /// single-flight coordination.
+  ///
+  /// \param computed_by_caller optionally receives whether this call paid
+  ///        for the computation itself (false = served from cache or from a
+  ///        concurrent leader's flight).
+  template <typename ComputeFn>
+  Result<Value> GetOrCompute(const Key& key, bool bypass, ComputeFn&& compute,
+                             bool* computed_by_caller = nullptr) {
+    if (computed_by_caller != nullptr) *computed_by_caller = false;
+    if (bypass || cache_.capacity() == 0) {
+      if (computed_by_caller != nullptr) *computed_by_caller = true;
+      return compute();
+    }
+
+    Value value = cache_.Get(key);
+    if (value) return value;
+
+    // Single-flight: concurrent cold misses on the same key compute once.
+    std::shared_ptr<Inflight> entry;
+    bool leader = false;
+    {
+      std::lock_guard<std::mutex> lock(inflight_mu_);
+      auto [it, inserted] = inflight_.try_emplace(key);
+      if (inserted) {
+        it->second = std::make_shared<Inflight>();
+        leader = true;
+      }
+      entry = it->second;
+    }
+    if (!leader) {
+      bool from_cache = false;
+      {
+        std::unique_lock<std::mutex> lock(inflight_mu_);
+        inflight_cv_.wait(lock, [&] { return entry->ready; });
+        from_cache = entry->served_from_cache;
+      }
+      if (!entry->status.ok()) return entry->status;
+      // If the leader's re-probe found the value cached, our counted miss
+      // was really a hit (the value sat in the cache while we waited).
+      if (from_cache) cache_.ReclassifyMissesAsHits(1);
+      return entry->value;
+    }
+
+    // A previous leader may have completed between our counted miss and
+    // winning leadership; re-probe before paying for the computation.
+    // Reprobe reclassifies this leader's own miss as a hit on success.
+    entry->value = cache_.Reprobe(key);
+    if (entry->value) {
+      std::lock_guard<std::mutex> lock(inflight_mu_);
+      entry->served_from_cache = true;
+    } else {
+      Result<Value> fresh = compute();
+      if (computed_by_caller != nullptr) *computed_by_caller = true;
+      if (fresh.ok()) {
+        entry->value = std::move(fresh).ValueOrDie();
+        cache_.Put(key, entry->value);
+      } else {
+        entry->status = fresh.status();
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(inflight_mu_);
+      entry->ready = true;
+      inflight_.erase(key);
+    }
+    inflight_cv_.notify_all();
+    if (!entry->status.ok()) return entry->status;
+    return entry->value;
+  }
+
+  /// The underlying cache, for Clear/counters/capacity and for tests that
+  /// drive the LRU surface directly.
+  LruCache<Key, Value>* cache() { return &cache_; }
+  Counters counters() const { return cache_.counters(); }
+  size_t capacity() const { return cache_.capacity(); }
+  void Clear() { cache_.Clear(); }
+
+ private:
+  /// One in-progress computation; `ready`/`served_from_cache` are guarded
+  /// by inflight_mu_.
+  struct Inflight {
+    bool ready = false;
+    bool served_from_cache = false;
+    Status status;
+    Value value;
+  };
+
+  LruCache<Key, Value> cache_;
+  std::mutex inflight_mu_;
+  std::condition_variable inflight_cv_;
+  std::unordered_map<Key, std::shared_ptr<Inflight>> inflight_;
+};
+
+}  // namespace rlqvo

@@ -8,16 +8,17 @@ namespace rlqvo {
 
 QueryEngine::QueryEngine(EngineConfig config, const EngineOptions& options)
     : config_(std::move(config)),
-      cache_(options.candidate_cache_capacity),
+      candidate_cache_(options.candidate_cache_capacity),
+      order_cache_(options.order_cache_capacity),
       pool_(options.num_threads) {
   RLQVO_CHECK(config_.data != nullptr);
   RLQVO_CHECK(config_.filter != nullptr);
   RLQVO_CHECK(config_.ordering_factory != nullptr);
   if (config_.name.empty()) config_.name = config_.filter->name();
-  // One ordering per worker: orderings may be stateful (RNG, timing), so
-  // sharing one instance across threads would be a data race. A factory
-  // failure is recoverable: it poisons the engine and surfaces from
-  // MatchBatch rather than aborting here.
+  // One ordering per worker: orderings may be stateful (RNG, timing, the
+  // RL-QVO inference workspace), so sharing one instance across threads
+  // would be a data race. A factory failure is recoverable: it poisons the
+  // engine and surfaces from MatchBatch rather than aborting here.
   worker_orderings_.reserve(pool_.size());
   for (uint32_t i = 0; i < pool_.size(); ++i) {
     Result<std::shared_ptr<Ordering>> ordering = config_.ordering_factory();
@@ -33,72 +34,28 @@ QueryEngine::QueryEngine(EngineConfig config, const EngineOptions& options)
   worker_workspaces_ = std::vector<EnumeratorWorkspace>(pool_.size());
 }
 
-Result<std::shared_ptr<const CandidateSet>> QueryEngine::GetCandidates(
-    const Graph& query, bool skip_cache) {
-  if (skip_cache || cache_.capacity() == 0) {
-    RLQVO_ASSIGN_OR_RETURN(CandidateSet fresh,
-                           config_.filter->Filter(query, *config_.data));
-    return std::make_shared<const CandidateSet>(std::move(fresh));
-  }
-
-  // The fingerprint pins down the query; the data graph and filter are
-  // fixed per engine, so equal fingerprints imply equal candidate sets.
-  const uint64_t key = QueryFingerprint(query);
-  std::shared_ptr<const CandidateSet> candidates = cache_.Get(key);
-  if (candidates != nullptr) return candidates;
-
-  // Single-flight: concurrent cold misses on the same key filter once.
-  std::shared_ptr<InflightFilter> entry;
-  bool leader = false;
-  {
-    std::lock_guard<std::mutex> lock(inflight_mu_);
-    auto [it, inserted] = inflight_.try_emplace(key);
-    if (inserted) {
-      it->second = std::make_shared<InflightFilter>();
-      leader = true;
-    }
-    entry = it->second;
-  }
-  if (!leader) {
-    bool from_cache = false;
-    {
-      std::unique_lock<std::mutex> lock(inflight_mu_);
-      inflight_cv_.wait(lock, [&] { return entry->ready; });
-      from_cache = entry->served_from_cache;
-    }
-    if (!entry->status.ok()) return entry->status;
-    // If the leader's re-probe found the value cached, our counted miss was
-    // really a hit (the value sat in the cache the whole time we waited).
-    if (from_cache) cache_.ReclassifyMissesAsHits(1);
-    return entry->value;
-  }
-
-  // A previous leader may have completed between our counted miss and
-  // winning leadership; re-probe before paying for the filter. Reprobe
-  // reclassifies this leader's own miss as a hit on success.
-  entry->value = cache_.Reprobe(key);
-  if (entry->value != nullptr) {
-    std::lock_guard<std::mutex> lock(inflight_mu_);
-    entry->served_from_cache = true;
-  }
-  if (entry->value == nullptr) {
-    Result<CandidateSet> fresh = config_.filter->Filter(query, *config_.data);
-    if (fresh.ok()) {
-      entry->value = std::make_shared<const CandidateSet>(
-          std::move(fresh).ValueOrDie());
-      cache_.Put(key, entry->value);
-    } else {
-      entry->status = fresh.status();
-    }
-  }
-  {
-    std::lock_guard<std::mutex> lock(inflight_mu_);
-    entry->ready = true;
-    inflight_.erase(key);
-  }
-  inflight_cv_.notify_all();
-  if (!entry->status.ok()) return entry->status;
-  return entry->value;
+Result<std::shared_ptr<const std::vector<VertexId>>> QueryEngine::ResolveOrder(
+    const Graph& query, uint64_t fingerprint, const CandidateSet& candidates,
+    bool skip_cache, Ordering* ordering, MatchRunStats* stats) {
+  Stopwatch phase;
+  auto compute = [&]() -> Result<std::shared_ptr<const std::vector<VertexId>>> {
+    OrderingContext ctx;
+    ctx.query = &query;
+    ctx.data = config_.data.get();
+    ctx.candidates = &candidates;
+    RLQVO_ASSIGN_OR_RETURN(std::vector<VertexId> order,
+                           ordering->MakeOrder(ctx));
+    return std::make_shared<const std::vector<VertexId>>(std::move(order));
+  };
+  // Stochastic orderings bypass the cache: memoising a sampled order would
+  // silently make it deterministic (see Ordering::deterministic).
+  const bool bypass = skip_cache || !ordering->deterministic();
+  bool computed = false;
+  auto result =
+      order_cache_.GetOrCompute(fingerprint, bypass, compute, &computed);
+  stats->order_time_seconds = phase.ElapsedSeconds();
+  stats->order_cache_hit = result.ok() && !computed;
+  return result;
 }
 
 Result<MatchRunStats> QueryEngine::RunQuery(
@@ -107,22 +64,42 @@ Result<MatchRunStats> QueryEngine::RunQuery(
   MatchRunStats stats;
   Stopwatch total;
 
-  // Phase 1: candidate filtering, short-circuited by the LRU cache. A
-  // follower of a single-flight miss also counts its filter time as the
-  // wait for the leader's computation.
+  // The fingerprint pins down the query; the data graph, filter and
+  // (deterministic) ordering are fixed per engine, so equal fingerprints
+  // imply equal candidate sets and equal matching orders. One hash serves
+  // both caches.
+  const uint64_t fingerprint = QueryFingerprint(query);
+
+  // Phase 1: candidate filtering, short-circuited by the LRU cache with
+  // single-flighted cold misses. A follower of a single-flight miss counts
+  // its filter time as the wait for the leader's computation.
   Stopwatch phase;
-  RLQVO_ASSIGN_OR_RETURN(std::shared_ptr<const CandidateSet> candidates,
-                         GetCandidates(query, skip_cache));
+  auto filter = [&]() -> Result<std::shared_ptr<const CandidateSet>> {
+    RLQVO_ASSIGN_OR_RETURN(CandidateSet fresh,
+                           config_.filter->Filter(query, *config_.data));
+    return std::make_shared<const CandidateSet>(std::move(fresh));
+  };
+  RLQVO_ASSIGN_OR_RETURN(
+      std::shared_ptr<const CandidateSet> candidates,
+      candidate_cache_.GetOrCompute(fingerprint, skip_cache, filter));
   stats.filter_time_seconds = phase.ElapsedSeconds();
   stats.candidate_total = candidates->TotalSize();
 
-  // Phases 2–3 share SubgraphMatcher's implementation (per-worker ordering
-  // and workspace, deadline budget = whatever the per-query limit has left).
-  // Intra-query parallel enumeration (enum_options.parallel_threads > 0)
-  // fans root chunks into the engine-wide pool: idle batch workers drain a
-  // straggler query's chunks, and this worker help-runs queued tasks while
-  // its own chunks finish. Chunk subtasks pick the workspace of whichever
-  // pool worker executes them, so they reuse the same per-worker state as
+  // Phase 2: order resolution through the fingerprint-keyed order cache —
+  // repeated query shapes skip ordering (the policy forward passes, for
+  // RL-QVO) entirely.
+  RLQVO_ASSIGN_OR_RETURN(
+      std::shared_ptr<const std::vector<VertexId>> order,
+      ResolveOrder(query, fingerprint, *candidates, skip_cache, ordering,
+                   &stats));
+
+  // Phase 3 shares SubgraphMatcher's implementation (per-worker workspace,
+  // deadline budget = whatever the per-query limit has left). Intra-query
+  // parallel enumeration (enum_options.parallel_threads > 0) fans root
+  // chunks into the engine-wide pool: idle batch workers drain a straggler
+  // query's chunks, and this worker help-runs queued tasks while its own
+  // chunks finish. Chunk subtasks pick the workspace of whichever pool
+  // worker executes them, so they reuse the same per-worker state as
   // whole-query tasks without locking.
   ParallelEnumResources resources;
   resources.pool = &pool_;
@@ -130,7 +107,7 @@ Result<MatchRunStats> QueryEngine::RunQuery(
   resources.caller_workspace = workspace;
   return RunOrderedEnumeration(query, *config_.data, *candidates, ordering,
                                enum_options, std::move(stats), total,
-                               workspace, &resources);
+                               workspace, &resources, order.get());
 }
 
 Result<BatchResult> QueryEngine::MatchBatch(const std::vector<Graph>& queries,
@@ -148,7 +125,8 @@ Result<BatchResult> QueryEngine::MatchBatch(const std::vector<Graph>& queries,
   // cache counters are never shared between two in-flight batches; all
   // parallelism is across the queries *within* a batch.
   std::lock_guard<std::mutex> batch_lock(batch_mu_);
-  const CandidateCache::Counters cache_before = cache_.counters();
+  const CandidateCache::Counters cache_before = candidate_cache_.counters();
+  const OrderCache::Counters order_before = order_cache_.counters();
   Stopwatch wall;
 
   BatchResult batch;
@@ -187,11 +165,15 @@ Result<BatchResult> QueryEngine::MatchBatch(const std::vector<Graph>& queries,
     batch.total_probe_comparisons += stats.num_probe_comparisons;
     batch.total_local_candidates += stats.local_candidates_total;
     batch.total_local_candidate_sets += stats.local_candidate_sets;
+    batch.total_order_seconds += stats.order_time_seconds;
     if (!stats.solved) ++batch.unsolved;
   }
-  const CandidateCache::Counters cache_after = cache_.counters();
+  const CandidateCache::Counters cache_after = candidate_cache_.counters();
+  const OrderCache::Counters order_after = order_cache_.counters();
   batch.cache_hits = cache_after.hits - cache_before.hits;
   batch.cache_misses = cache_after.misses - cache_before.misses;
+  batch.order_cache_hits = order_after.hits - order_before.hits;
+  batch.order_cache_misses = order_after.misses - order_before.misses;
   batch.wall_seconds = wall.ElapsedSeconds();
 
   {
@@ -215,7 +197,8 @@ EngineCounters QueryEngine::counters() const {
     counters.queries_served = queries_served_;
     counters.batches_served = batches_served_;
   }
-  counters.cache = cache_.counters();
+  counters.cache = candidate_cache_.counters();
+  counters.order_cache = order_cache_.counters();
   return counters;
 }
 

@@ -1,16 +1,15 @@
 #pragma once
 
-#include <condition_variable>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "engine/candidate_cache.h"
+#include "engine/lru_cache.h"
 #include "matching/matcher.h"
 
 namespace rlqvo {
@@ -22,6 +21,11 @@ struct EngineOptions {
   /// Max cached candidate sets (LRU, keyed by query fingerprint); 0 disables
   /// the cache.
   size_t candidate_cache_capacity = 256;
+  /// Max cached matching orders (LRU, keyed by query fingerprint); 0
+  /// disables the order cache. Only deterministic orderings are admitted
+  /// (see Ordering::deterministic); repeated query shapes then skip phase 2
+  /// entirely.
+  size_t order_cache_capacity = 256;
 };
 
 /// \brief What a QueryEngine serves: a shared data graph plus the
@@ -87,6 +91,15 @@ struct BatchResult {
   /// Candidate-cache hits/misses incurred by this batch.
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
+  /// Order-cache hits/misses incurred by this batch. Both stay zero when
+  /// the ordering is stochastic (cache bypassed) or the order cache is
+  /// disabled; otherwise hits + misses equals the number of queries that
+  /// consulted the cache.
+  uint64_t order_cache_hits = 0;
+  uint64_t order_cache_misses = 0;
+  /// Sum of per-query order_time_seconds (successful queries only) — the
+  /// serving-side cost of phase 2, near-zero for order-cache hits.
+  double total_order_seconds = 0.0;
   /// Wall-clock seconds for the whole batch (submit to last completion).
   double wall_seconds = 0.0;
 };
@@ -96,17 +109,23 @@ struct EngineCounters {
   uint64_t queries_served = 0;
   uint64_t batches_served = 0;
   CandidateCache::Counters cache;
+  OrderCache::Counters order_cache;
 };
 
 /// \brief Parallel batch query-serving front-end over the three-phase
 /// matching pipeline.
 ///
 /// A QueryEngine owns one shared data graph, one matcher configuration, a
-/// fixed-size ThreadPool, and an LRU CandidateCache. MatchBatch fans the
+/// fixed-size ThreadPool, and two fingerprint-keyed LRU caches — candidate
+/// sets (phase 1) and matching orders (phase 2). MatchBatch fans the
 /// queries of a batch out across the pool: each worker runs the full
 /// filter → order → enumerate pipeline with a per-worker Ordering instance
-/// (the enumerator is stateless), consulting the cache before filtering so
-/// repeated queries (same fingerprint) skip phase 1 entirely.
+/// (the enumerator is stateless), consulting the caches first so repeated
+/// queries (same fingerprint) skip phase 1 — and, for deterministic
+/// orderings, phase 2 — entirely. Both caches single-flight concurrent
+/// cold misses on the same fingerprint. The order cache admits only
+/// deterministic orderings (Ordering::deterministic); a stochastic factory
+/// bypasses it so sampling stays independent per query.
 ///
 /// With enum_options.parallel_threads > 0 (engine default or per-query
 /// override) a query additionally parallelizes *within* its enumeration:
@@ -164,35 +183,33 @@ class QueryEngine {
   const Graph& data() const { return *config_.data; }
   /// Cumulative counters (batches, queries, cache hits/misses/evictions).
   EngineCounters counters() const;
-  /// Drops all cached candidate sets (counters are preserved).
-  void ClearCache() { cache_.Clear(); }
+  /// Drops all cached candidate sets and orders (counters are preserved).
+  void ClearCache() {
+    candidate_cache_.Clear();
+    order_cache_.Clear();
+  }
 
  private:
-  /// Tracks one in-progress filter computation so concurrent cold misses on
-  /// the same fingerprint run the filter once (single-flight): the first
-  /// worker computes, the rest wait for its result.
-  struct InflightFilter {
-    bool ready = false;  // guarded by inflight_mu_
-    /// The leader's re-probe found the value already cached, so every
-    /// participant's counted miss is reclassified as a hit.
-    bool served_from_cache = false;  // guarded by inflight_mu_
-    Status status;
-    std::shared_ptr<const CandidateSet> value;
-  };
-
-  /// Runs one query through filter (or cache) → order → enumerate on the
-  /// calling worker thread, reusing that worker's enumeration workspace.
+  /// Runs one query through filter (or cache) → order (or cache) →
+  /// enumerate on the calling worker thread, reusing that worker's
+  /// enumeration workspace.
   Result<MatchRunStats> RunQuery(const Graph& query,
                                  const EnumerateOptions& enum_options,
                                  bool skip_cache, Ordering* ordering,
                                  EnumeratorWorkspace* workspace);
 
-  /// Phase 1 with cache lookup and single-flight deduplication.
-  Result<std::shared_ptr<const CandidateSet>> GetCandidates(const Graph& query,
-                                                            bool skip_cache);
+  /// Phase 2 of the serving pipeline: resolves the matching order through
+  /// the fingerprint-keyed order cache when the ordering is deterministic
+  /// (single-flighted), computing via `ordering` otherwise or on a miss.
+  /// Sets stats->order_time_seconds and stats->order_cache_hit.
+  Result<std::shared_ptr<const std::vector<VertexId>>> ResolveOrder(
+      const Graph& query, uint64_t fingerprint,
+      const CandidateSet& candidates, bool skip_cache, Ordering* ordering,
+      MatchRunStats* stats);
 
   EngineConfig config_;
-  CandidateCache cache_;
+  CandidateCache candidate_cache_;
+  OrderCache order_cache_;
   Status init_status_;  // non-OK iff ordering_factory failed at construction
   std::vector<std::shared_ptr<Ordering>> worker_orderings_;
   // One reusable enumeration workspace per ThreadPool worker (indexed like
@@ -204,10 +221,6 @@ class QueryEngine {
   mutable std::mutex counters_mu_;
   uint64_t queries_served_ = 0;
   uint64_t batches_served_ = 0;
-
-  std::mutex inflight_mu_;
-  std::condition_variable inflight_cv_;
-  std::unordered_map<uint64_t, std::shared_ptr<InflightFilter>> inflight_;
 
   // Declared last so ~QueryEngine joins the workers before any state they
   // touch (orderings, cache, mutexes) is destroyed.

@@ -56,14 +56,22 @@ Result<MatchRunStats> RunOrderedEnumeration(
     const Graph& query, const Graph& data, const CandidateSet& candidates,
     Ordering* ordering, const EnumerateOptions& options, MatchRunStats stats,
     const Stopwatch& total, EnumeratorWorkspace* workspace,
-    const ParallelEnumResources* parallel) {
-  Stopwatch phase;
-  OrderingContext ctx;
-  ctx.query = &query;
-  ctx.data = &data;
-  ctx.candidates = &candidates;
-  RLQVO_ASSIGN_OR_RETURN(std::vector<VertexId> order, ordering->MakeOrder(ctx));
-  stats.order_time_seconds = phase.ElapsedSeconds();
+    const ParallelEnumResources* parallel,
+    const std::vector<VertexId>* precomputed_order) {
+  std::vector<VertexId> order;
+  if (precomputed_order != nullptr) {
+    // Phase 2 already ran in the caller (QueryEngine's unified ordering
+    // pipeline, possibly an order-cache hit); the caller timed it.
+    order = *precomputed_order;
+  } else {
+    Stopwatch phase;
+    OrderingContext ctx;
+    ctx.query = &query;
+    ctx.data = &data;
+    ctx.candidates = &candidates;
+    RLQVO_ASSIGN_OR_RETURN(order, ordering->MakeOrder(ctx));
+    stats.order_time_seconds = phase.ElapsedSeconds();
+  }
   stats.order = order;
 
   // The enumeration budget is whatever remains of the query's time limit.

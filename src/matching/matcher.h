@@ -42,6 +42,10 @@ struct MatchRunStats {
   uint64_t local_candidate_sets = 0;
   /// Query finished within the time limit ("solved", Sec IV-A).
   bool solved = true;
+  /// The matching order was served from the engine's order cache (or a
+  /// concurrent single-flight leader) instead of being computed by this
+  /// query's worker. Always false outside QueryEngine.
+  bool order_cache_hit = false;
   /// The match limit fired before the search space was exhausted.
   bool hit_match_limit = false;
   /// Sum of candidate-set sizes after filtering.
@@ -113,11 +117,17 @@ class SubgraphMatcher {
 ///        enumeration; used only when options.parallel_threads > 0 and a
 ///        pool is provided (otherwise the classic serial path runs). The
 ///        resources' caller_workspace defaults to `workspace`.
+/// \param precomputed_order when non-null, phase 2 is skipped: this order
+///        (already resolved by the caller — e.g. QueryEngine's order cache)
+///        is enumerated directly and `ordering` may be null. The caller is
+///        then responsible for stats.order_time_seconds; this function
+///        leaves it untouched.
 Result<MatchRunStats> RunOrderedEnumeration(
     const Graph& query, const Graph& data, const CandidateSet& candidates,
     Ordering* ordering, const EnumerateOptions& options, MatchRunStats stats,
     const Stopwatch& total, EnumeratorWorkspace* workspace = nullptr,
-    const ParallelEnumResources* parallel = nullptr);
+    const ParallelEnumResources* parallel = nullptr,
+    const std::vector<VertexId>* precomputed_order = nullptr);
 
 /// \brief Builds one of the paper's compared algorithms by name:
 ///

@@ -34,6 +34,13 @@ class Ordering {
   /// Display name used in benchmark tables, e.g. "RI".
   virtual std::string name() const = 0;
 
+  /// Whether MakeOrder is a pure function of (query, data, candidates):
+  /// true for every built-in heuristic and for greedy-argmax RL-QVO. The
+  /// engine's fingerprint-keyed order cache only admits deterministic
+  /// orderings; stochastic ones (sampling RL-QVO, Random) return false and
+  /// bypass it, mirroring the determinism caveat in query_engine.h.
+  virtual bool deterministic() const { return true; }
+
   /// Computes the matching order for the given query.
   virtual Result<std::vector<VertexId>> MakeOrder(
       const OrderingContext& ctx) = 0;
@@ -105,6 +112,9 @@ class CFLOrdering : public Ordering {
 class RandomOrdering : public Ordering {
  public:
   std::string name() const override { return "Random"; }
+  /// Random orders must not be memoised (with an external rng every call
+  /// differs), so the order cache is bypassed.
+  bool deterministic() const override { return false; }
   Result<std::vector<VertexId>> MakeOrder(const OrderingContext& ctx) override;
 };
 

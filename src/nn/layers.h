@@ -9,6 +9,8 @@
 namespace rlqvo {
 namespace nn {
 
+class InferenceWorkspace;
+
 /// \brief Fully-connected layer y = x W + b with Xavier-initialised weights.
 class Linear {
  public:
@@ -17,6 +19,14 @@ class Linear {
 
   /// x: (n, in) -> (n, out).
   Var Forward(const Var& x) const;
+
+  /// Tape-free forward into a caller-owned buffer: *out = x W + b. `out`
+  /// must be shaped (x.rows, out_features) and zeroed. Rows outside
+  /// `out_rows` (when non-null) are not computed and hold unspecified
+  /// values; computed rows are numerically equal to Forward. Implemented in
+  /// nn/inference.cc.
+  void ForwardInference(const Matrix& x, Matrix* out,
+                        const std::vector<bool>* out_rows = nullptr) const;
 
   std::vector<Var> Parameters() const { return {weight_, bias_}; }
   size_t in_features() const { return weight_.rows(); }
@@ -43,6 +53,16 @@ class GraphLayer {
  public:
   virtual ~GraphLayer() = default;
   virtual Var Forward(const GraphTensors& g, const Var& h) const = 0;
+  /// Tape-free forward for serving: writes the layer output into *out
+  /// (shaped (h.rows, out_features), zeroed), using `ws` scratch slots for
+  /// intermediates. When `out_rows` is non-null only those output rows are
+  /// computed (the rest stay zeroed, values unspecified) — sound for the
+  /// network's last graph layer, whose other rows nothing reads. Computed
+  /// rows are numerically equal to the eval-mode Forward. All
+  /// implementations live in nn/inference.cc.
+  virtual void ForwardInference(const GraphTensors& g, const Matrix& h,
+                                InferenceWorkspace* ws, Matrix* out,
+                                const std::vector<bool>* out_rows) const = 0;
   virtual std::vector<Var> Parameters() const = 0;
 };
 
@@ -52,6 +72,9 @@ class GcnConv : public GraphLayer {
  public:
   GcnConv(size_t in_features, size_t out_features, Rng* rng);
   Var Forward(const GraphTensors& g, const Var& h) const override;
+  void ForwardInference(const GraphTensors& g, const Matrix& h,
+                        InferenceWorkspace* ws, Matrix* out,
+                        const std::vector<bool>* out_rows) const override;
   std::vector<Var> Parameters() const override;
 
  private:
@@ -64,6 +87,9 @@ class MlpConv : public GraphLayer {
  public:
   MlpConv(size_t in_features, size_t out_features, Rng* rng);
   Var Forward(const GraphTensors& g, const Var& h) const override;
+  void ForwardInference(const GraphTensors& g, const Matrix& h,
+                        InferenceWorkspace* ws, Matrix* out,
+                        const std::vector<bool>* out_rows) const override;
   std::vector<Var> Parameters() const override;
 
  private:
@@ -76,6 +102,9 @@ class SageConv : public GraphLayer {
  public:
   SageConv(size_t in_features, size_t out_features, Rng* rng);
   Var Forward(const GraphTensors& g, const Var& h) const override;
+  void ForwardInference(const GraphTensors& g, const Matrix& h,
+                        InferenceWorkspace* ws, Matrix* out,
+                        const std::vector<bool>* out_rows) const override;
   std::vector<Var> Parameters() const override;
 
  private:
@@ -91,6 +120,9 @@ class GatConv : public GraphLayer {
  public:
   GatConv(size_t in_features, size_t out_features, Rng* rng);
   Var Forward(const GraphTensors& g, const Var& h) const override;
+  void ForwardInference(const GraphTensors& g, const Matrix& h,
+                        InferenceWorkspace* ws, Matrix* out,
+                        const std::vector<bool>* out_rows) const override;
   std::vector<Var> Parameters() const override;
 
  private:
@@ -106,6 +138,9 @@ class GraphNNConv : public GraphLayer {
  public:
   GraphNNConv(size_t in_features, size_t out_features, Rng* rng);
   Var Forward(const GraphTensors& g, const Var& h) const override;
+  void ForwardInference(const GraphTensors& g, const Matrix& h,
+                        InferenceWorkspace* ws, Matrix* out,
+                        const std::vector<bool>* out_rows) const override;
   std::vector<Var> Parameters() const override;
 
  private:
@@ -120,6 +155,9 @@ class LEConv : public GraphLayer {
  public:
   LEConv(size_t in_features, size_t out_features, Rng* rng);
   Var Forward(const GraphTensors& g, const Var& h) const override;
+  void ForwardInference(const GraphTensors& g, const Matrix& h,
+                        InferenceWorkspace* ws, Matrix* out,
+                        const std::vector<bool>* out_rows) const override;
   std::vector<Var> Parameters() const override;
 
  private:

@@ -56,6 +56,16 @@ class Matrix {
   std::vector<double>& values() { return data_; }
   const std::vector<double>& values() const { return data_; }
 
+  /// Reshapes in place to (rows, cols) with every entry zeroed. The backing
+  /// vector's capacity is never shrunk, so re-shaping to a size at or below
+  /// the high-water mark performs no allocation — the reuse contract the
+  /// inference workspace (nn/inference.h) is built on.
+  void Resize(size_t rows, size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, 0.0);
+  }
+
   /// this += other (shapes must match).
   void AddInPlace(const Matrix& other);
   /// this *= s.

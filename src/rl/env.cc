@@ -6,13 +6,19 @@ OrderingEnv::OrderingEnv(const Graph* query, const Graph* data,
                          const FeatureConfig& feature_config)
     : query_(query),
       feature_builder_(query, data, feature_config),
-      tensors_(BuildGraphTensors(*query)) {
+      tensors_(BuildGraphTensors(*query)),
+      features_(query->num_vertices(), FeatureBuilder::kFeatureDim) {
+  // The tensors and the static feature columns are per-query constants;
+  // Reset (once per episode) and Step (once per ordering step) only touch
+  // the order state and the step columns h(6..7).
+  feature_builder_.FillStatic(&features_);
   Reset();
 }
 
 void OrderingEnv::Reset() {
   order_.clear();
   ordered_.assign(query_->num_vertices(), false);
+  feature_builder_.UpdateStepFeatures(ordered_, 0, &features_);
   RecomputeMask();
 }
 
@@ -24,15 +30,12 @@ VertexId OrderingEnv::SoleAction() const {
   return kInvalidVertex;
 }
 
-nn::Matrix OrderingEnv::Features() const {
-  return feature_builder_.Build(ordered_, order_.size());
-}
-
 void OrderingEnv::Step(VertexId u) {
   RLQVO_CHECK_LT(u, query_->num_vertices());
   RLQVO_CHECK(action_mask_[u]) << "action " << u << " not in action space";
   order_.push_back(u);
   ordered_[u] = true;
+  feature_builder_.UpdateStepFeatures(ordered_, order_.size(), &features_);
   RecomputeMask();
 }
 

@@ -13,6 +13,13 @@ namespace rlqvo {
 /// features evolve). Action space: the unordered neighbors of ordered
 /// vertices, N(φ_t) — all vertices before the first selection. An episode
 /// ends when φ is a full permutation.
+///
+/// Everything that depends only on (query, data) — the GraphTensors and the
+/// static feature columns h(1..5) — is computed once at construction and
+/// reused across Reset/Step: PPO replays the same query for many episodes
+/// and the serving path runs |V(q)| steps per query, so per-episode or
+/// per-step rebuilds would dominate. Only the two step columns h(6..7) are
+/// refreshed by Step/Reset, in place on one owned feature matrix.
 class OrderingEnv {
  public:
   /// \param query / data must outlive the env.
@@ -35,8 +42,14 @@ class OrderingEnv {
   /// of Sec III-D); kInvalidVertex otherwise.
   VertexId SoleAction() const;
 
-  /// Current feature matrix H_t, (|V(q)|, 7).
-  nn::Matrix Features() const;
+  /// Copy of the current feature matrix H_t, (|V(q)|, 7). Training records
+  /// keep the copy; the serving path reads FeaturesView() instead.
+  nn::Matrix Features() const { return features_; }
+
+  /// The env-owned feature matrix, maintained incrementally (static columns
+  /// written once, step columns refreshed by Step/Reset). Valid until the
+  /// next Step/Reset; never reallocated after construction.
+  const nn::Matrix& FeaturesView() const { return features_; }
 
   /// Constant graph matrices for the policy GNN.
   const nn::GraphTensors& tensors() const { return tensors_; }
@@ -53,7 +66,8 @@ class OrderingEnv {
 
   const Graph* query_;
   FeatureBuilder feature_builder_;
-  nn::GraphTensors tensors_;
+  nn::GraphTensors tensors_;  // built once per query, shared by all episodes
+  nn::Matrix features_;       // (|V(q)|, 7), maintained in place
   std::vector<VertexId> order_;
   std::vector<bool> ordered_;
   std::vector<bool> action_mask_;

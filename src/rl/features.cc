@@ -42,21 +42,38 @@ FeatureBuilder::FeatureBuilder(const Graph* query, const Graph* data,
 
 nn::Matrix FeatureBuilder::Build(const std::vector<bool>& ordered,
                                  size_t t) const {
+  nn::Matrix features(query_->num_vertices(), kFeatureDim);
+  FillStatic(&features);
+  UpdateStepFeatures(ordered, t, &features);
+  return features;
+}
+
+void FeatureBuilder::FillStatic(nn::Matrix* features) const {
   const uint32_t n = query_->num_vertices();
-  RLQVO_CHECK_EQ(ordered.size(), n);
-  nn::Matrix features(n, kFeatureDim);
-  const double remaining_scale =
-      config_.scale_ids ? static_cast<double>(n) + 1.0 : 1.0;
+  RLQVO_CHECK_EQ(features->rows(), n);
+  RLQVO_CHECK_EQ(features->cols(), static_cast<size_t>(kFeatureDim));
   for (VertexId u = 0; u < n; ++u) {
     for (int f = 0; f < 5; ++f) {
-      features.At(u, f) = static_features_.At(u, f);
+      features->At(u, f) = static_features_.At(u, f);
     }
-    features.At(u, 5) =
-        (static_cast<double>(n) - static_cast<double>(t) + 1.0) /
-        remaining_scale;
-    features.At(u, 6) = ordered[u] ? 1.0 : 0.0;
   }
-  return features;
+}
+
+void FeatureBuilder::UpdateStepFeatures(const std::vector<bool>& ordered,
+                                        size_t t,
+                                        nn::Matrix* features) const {
+  const uint32_t n = query_->num_vertices();
+  RLQVO_CHECK_EQ(ordered.size(), n);
+  RLQVO_CHECK_EQ(features->rows(), n);
+  const double remaining_scale =
+      config_.scale_ids ? static_cast<double>(n) + 1.0 : 1.0;
+  const double remaining =
+      (static_cast<double>(n) - static_cast<double>(t) + 1.0) /
+      remaining_scale;
+  for (VertexId u = 0; u < n; ++u) {
+    features->At(u, 5) = remaining;
+    features->At(u, 6) = ordered[u] ? 1.0 : 0.0;
+  }
 }
 
 nn::GraphTensors BuildGraphTensors(const Graph& query) {

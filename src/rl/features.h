@@ -48,7 +48,19 @@ class FeatureBuilder {
 
   /// Feature matrix (|V(q)|, 7) for ordering step t (t = |φ_t|, so t=0
   /// before the first selection) with `ordered` flags per query vertex.
+  /// Allocates a fresh matrix; the serving path uses FillStatic +
+  /// UpdateStepFeatures on a reused buffer instead.
   nn::Matrix Build(const std::vector<bool>& ordered, size_t t) const;
+
+  /// Writes the five static columns h(1..5) into `features` (shaped
+  /// (|V(q)|, 7)). Called once per query; only the step columns change
+  /// between ordering steps.
+  void FillStatic(nn::Matrix* features) const;
+
+  /// Refreshes the two step-varying columns h(6..7) — vertices left to
+  /// order and the ordered flag — leaving the static columns untouched.
+  void UpdateStepFeatures(const std::vector<bool>& ordered, size_t t,
+                          nn::Matrix* features) const;
 
   const FeatureConfig& config() const { return config_; }
 

@@ -44,6 +44,45 @@ PolicyNetwork::ForwardResult PolicyNetwork::Forward(
   return result;
 }
 
+PolicyNetwork::InferenceResult PolicyNetwork::ForwardInference(
+    nn::InferenceWorkspace* workspace, const nn::GraphTensors& tensors,
+    const nn::Matrix& features, const std::vector<bool>& action_mask) const {
+  RLQVO_CHECK(workspace != nullptr);
+  RLQVO_CHECK_EQ(features.cols(), static_cast<size_t>(config_.feature_dim));
+  RLQVO_CHECK_EQ(features.rows(), action_mask.size());
+  const size_t n = features.rows();
+  const size_t hidden_dim = static_cast<size_t>(config_.hidden_dim);
+  // GNN stack: ping-pong between two activation buffers (a layer must not
+  // write into the matrix it reads). Only the action-space rows of the
+  // network's output are ever read (MaskedLogSoftmax ignores the rest), so
+  // the last graph layer and the MLP head compute just those rows — a
+  // serving-only cut the autograd forward cannot make.
+  const nn::Matrix* h = &features;
+  bool into_ping = true;
+  for (size_t l = 0; l < gnn_layers_.size(); ++l) {
+    nn::Matrix* next = into_ping ? workspace->ping(n, hidden_dim)
+                                 : workspace->pong(n, hidden_dim);
+    const bool last = l + 1 == gnn_layers_.size();
+    gnn_layers_[l]->ForwardInference(tensors, *h, workspace, next,
+                                     last ? &action_mask : nullptr);
+    nn::ReluInPlace(next);
+    h = next;
+    into_ping = !into_ping;
+  }
+  // Eq. 4 head: scores = W2 σ(W1 h), then masked log-softmax.
+  nn::Matrix* hidden = workspace->hidden(n, hidden_dim);
+  mlp_hidden_->ForwardInference(*h, hidden, &action_mask);
+  nn::ReluInPlace(hidden);
+  nn::Matrix* scores = workspace->scores(n);
+  mlp_out_->ForwardInference(*hidden, scores, &action_mask);
+  nn::Matrix* log_probs = workspace->log_probs(n);
+  nn::MaskedLogSoftmaxInto(*scores, action_mask, log_probs);
+  InferenceResult result;
+  result.raw_scores = scores;
+  result.log_probs = log_probs;
+  return result;
+}
+
 std::vector<nn::Var> PolicyNetwork::Parameters() const {
   std::vector<nn::Var> params;
   for (const auto& layer : gnn_layers_) {

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "nn/inference.h"
 #include "nn/layers.h"
 
 namespace rlqvo {
@@ -48,6 +49,30 @@ class PolicyNetwork {
                         const nn::Matrix& features,
                         const std::vector<bool>& action_mask, bool training,
                         Rng* dropout_rng) const;
+
+  /// Views into an InferenceWorkspace after ForwardInference; valid until
+  /// the workspace's next use.
+  struct InferenceResult {
+    /// (n, 1) log-probabilities: every entry is valid — masked-in entries
+    /// equal the eval-mode autograd forward, the rest hold
+    /// nn::kMaskedLogProb (exactly as the autograd forward does).
+    const nn::Matrix* log_probs = nullptr;
+    /// (n, 1) raw pre-mask scores, valid ONLY at masked-in rows: the
+    /// serving forward computes the network head just for the action space
+    /// (nothing reads the other scores), so rows outside the mask hold
+    /// unspecified values.
+    const nn::Matrix* raw_scores = nullptr;
+  };
+
+  /// Tape-free serving forward: masked scores/log-probs numerically equal
+  /// to the eval-mode (training=false) Forward, but with no Var tape, no
+  /// allocation once `workspace` buffers reach their high-water mark, and
+  /// the last graph layer + MLP head evaluated only on the action-space
+  /// rows. Dropout is off by construction (it only applies when training).
+  InferenceResult ForwardInference(nn::InferenceWorkspace* workspace,
+                                   const nn::GraphTensors& tensors,
+                                   const nn::Matrix& features,
+                                   const std::vector<bool>& action_mask) const;
 
   /// All trainable parameters (GNN layers then MLP).
   std::vector<nn::Var> Parameters() const;

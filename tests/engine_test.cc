@@ -68,21 +68,22 @@ TEST(QueryFingerprintTest, IdenticalGraphsCollideDistinctOnesDoNot) {
   EXPECT_NE(QueryFingerprint(a.Build()), QueryFingerprint(b.Build()));
 }
 
-// --- CandidateCache ---
+// --- CandidateCache (the LRU layer under the single-flight wrapper) ---
 
 TEST(CandidateCacheTest, LruEvictionAndCounters) {
   CandidateCache cache(2);
+  auto* lru = cache.cache();
   auto value = [] {
     return std::make_shared<const CandidateSet>(CandidateSet(1));
   };
-  EXPECT_EQ(cache.Get(1), nullptr);  // miss
-  cache.Put(1, value());
-  cache.Put(2, value());
-  EXPECT_NE(cache.Get(1), nullptr);  // hit; 1 becomes MRU
-  cache.Put(3, value());             // evicts 2 (LRU)
-  EXPECT_EQ(cache.Get(2), nullptr);
-  EXPECT_NE(cache.Get(1), nullptr);
-  EXPECT_NE(cache.Get(3), nullptr);
+  EXPECT_EQ(lru->Get(1), nullptr);  // miss
+  lru->Put(1, value());
+  lru->Put(2, value());
+  EXPECT_NE(lru->Get(1), nullptr);  // hit; 1 becomes MRU
+  lru->Put(3, value());             // evicts 2 (LRU)
+  EXPECT_EQ(lru->Get(2), nullptr);
+  EXPECT_NE(lru->Get(1), nullptr);
+  EXPECT_NE(lru->Get(3), nullptr);
 
   const CandidateCache::Counters c = cache.counters();
   EXPECT_EQ(c.hits, 3u);
@@ -93,33 +94,34 @@ TEST(CandidateCacheTest, LruEvictionAndCounters) {
 
 TEST(CandidateCacheTest, ReprobeReclassifiesMissAsHit) {
   CandidateCache cache(2);
+  auto* lru = cache.cache();
   auto value = [] {
     return std::make_shared<const CandidateSet>(CandidateSet(1));
   };
   // A true miss followed by a failed re-probe leaves the miss standing.
-  EXPECT_EQ(cache.Get(1), nullptr);
-  EXPECT_EQ(cache.Reprobe(1), nullptr);
+  EXPECT_EQ(lru->Get(1), nullptr);
+  EXPECT_EQ(lru->Reprobe(1), nullptr);
   EXPECT_EQ(cache.counters().hits, 0u);
   EXPECT_EQ(cache.counters().misses, 1u);
 
   // Another leader completes between our miss and the re-probe: the lookup
   // was served from the cache after all, so the miss becomes a hit.
-  cache.Put(1, value());
-  EXPECT_NE(cache.Reprobe(1), nullptr);
+  lru->Put(1, value());
+  EXPECT_NE(lru->Reprobe(1), nullptr);
   EXPECT_EQ(cache.counters().hits, 1u);
   EXPECT_EQ(cache.counters().misses, 0u);
 
   // Followers of that leader reclassify their own counted misses.
-  EXPECT_EQ(cache.Get(2), nullptr);  // a follower's miss
-  cache.ReclassifyMissesAsHits(1);
+  EXPECT_EQ(lru->Get(2), nullptr);  // a follower's miss
+  lru->ReclassifyMissesAsHits(1);
   EXPECT_EQ(cache.counters().hits, 2u);
   EXPECT_EQ(cache.counters().misses, 0u);
 }
 
 TEST(CandidateCacheTest, ZeroCapacityDisablesCaching) {
   CandidateCache cache(0);
-  cache.Put(1, std::make_shared<const CandidateSet>(CandidateSet(1)));
-  EXPECT_EQ(cache.Get(1), nullptr);
+  cache.cache()->Put(1, std::make_shared<const CandidateSet>(CandidateSet(1)));
+  EXPECT_EQ(cache.cache()->Get(1), nullptr);
   EXPECT_EQ(cache.counters().entries, 0u);
 }
 

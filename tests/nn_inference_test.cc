@@ -1,0 +1,169 @@
+// Tape-free inference path vs the autograd forward: the serving kernels of
+// nn/inference.{h,cc} and PolicyNetwork::ForwardInference must produce
+// scores numerically equal to the eval-mode (training=false) autograd
+// forward across every backbone, layer depth, mask shape and ordering step —
+// and must stop allocating once the workspace buffers reach their
+// high-water mark.
+#include <cmath>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "nn/inference.h"
+#include "rl/env.h"
+#include "rl/policy_network.h"
+#include "test_util.h"
+
+namespace rlqvo {
+namespace {
+
+using testing_util::RandomData;
+using testing_util::RandomQuery;
+
+constexpr double kTol = 1e-9;
+
+/// All backbones the policy supports (the paper's ablation set).
+const std::vector<nn::Backbone> kBackbones = {
+    nn::Backbone::kGcn,  nn::Backbone::kMlp,     nn::Backbone::kGat,
+    nn::Backbone::kSage, nn::Backbone::kGraphNN, nn::Backbone::kLEConv};
+
+/// Asserts inference == autograd (eval mode) on every decision step of an
+/// ordering episode driven by the autograd path's argmax.
+void ExpectEpisodeEquivalence(const PolicyNetwork& policy,
+                              nn::InferenceWorkspace* ws, const Graph& query,
+                              const Graph& data) {
+  OrderingEnv env(&query, &data, FeatureConfig{});
+  while (!env.Done()) {
+    const VertexId sole = env.SoleAction();
+    if (sole != kInvalidVertex) {
+      env.Step(sole);
+      continue;
+    }
+    const auto autograd = policy.Forward(env.tensors(), env.FeaturesView(),
+                                         env.ActionMask(), /*training=*/false,
+                                         nullptr);
+    const auto inference = policy.ForwardInference(
+        ws, env.tensors(), env.FeaturesView(), env.ActionMask());
+    const uint32_t n = query.num_vertices();
+    ASSERT_EQ(inference.raw_scores->rows(), n);
+    ASSERT_EQ(inference.log_probs->rows(), n);
+    VertexId argmax = kInvalidVertex;
+    double best = -1e300;
+    for (VertexId u = 0; u < n; ++u) {
+      // log_probs are valid (and must agree) everywhere; raw scores only at
+      // action-space rows — the serving head computes nothing else.
+      EXPECT_NEAR(inference.log_probs->At(u, 0),
+                  autograd.log_probs.value().At(u, 0), kTol);
+      if (!env.ActionMask()[u]) continue;
+      EXPECT_NEAR(inference.raw_scores->At(u, 0),
+                  autograd.raw_scores.value().At(u, 0), kTol);
+      if (autograd.log_probs.value().At(u, 0) > best) {
+        best = autograd.log_probs.value().At(u, 0);
+        argmax = u;
+      }
+    }
+    ASSERT_NE(argmax, kInvalidVertex);
+    env.Step(argmax);
+  }
+}
+
+TEST(InferenceEquivalence, AllBackbonesRandomizedQueries) {
+  const Graph data = RandomData(/*seed=*/11, /*n=*/80, /*avg_degree=*/5.0,
+                                /*labels=*/4);
+  for (nn::Backbone backbone : kBackbones) {
+    PolicyConfig config;
+    config.backbone = backbone;
+    config.hidden_dim = 16;
+    config.init_seed = 5 + static_cast<uint64_t>(backbone);
+    PolicyNetwork policy(config);
+    nn::InferenceWorkspace ws;
+    for (uint64_t seed = 0; seed < 4; ++seed) {
+      const Graph query =
+          RandomQuery(data, 100 + seed, /*size=*/4 + 3 * (seed % 3));
+      SCOPED_TRACE(nn::BackboneName(backbone) + " seed " +
+                   std::to_string(seed));
+      ExpectEpisodeEquivalence(policy, &ws, query, data);
+    }
+  }
+}
+
+TEST(InferenceEquivalence, DeeperStacksAndWiderHidden) {
+  const Graph data = RandomData(/*seed=*/13, /*n=*/70);
+  for (int layers : {1, 3}) {
+    for (int hidden : {8, 48}) {
+      PolicyConfig config;
+      config.num_gnn_layers = layers;
+      config.hidden_dim = hidden;
+      PolicyNetwork policy(config);
+      nn::InferenceWorkspace ws;
+      const Graph query = RandomQuery(data, 31 * layers + hidden, 8);
+      SCOPED_TRACE("layers=" + std::to_string(layers) +
+                   " hidden=" + std::to_string(hidden));
+      ExpectEpisodeEquivalence(policy, &ws, query, data);
+    }
+  }
+}
+
+TEST(InferenceEquivalence, DropoutConfigIsInertAtInference) {
+  // Dropout only applies in training mode; a policy configured with heavy
+  // dropout must still match the eval-mode forward exactly.
+  PolicyConfig config;
+  config.dropout = 0.9;
+  PolicyNetwork policy(config);
+  nn::InferenceWorkspace ws;
+  const Graph data = RandomData(/*seed=*/17, /*n=*/50);
+  const Graph query = RandomQuery(data, 23, 6);
+  ExpectEpisodeEquivalence(policy, &ws, query, data);
+}
+
+TEST(InferenceWorkspace, SteadyStateIsAllocationFree) {
+  PolicyConfig config;
+  config.backbone = nn::Backbone::kGat;  // exercises the (n, n) scratch too
+  PolicyNetwork policy(config);
+  nn::InferenceWorkspace ws;
+  const Graph data = RandomData(/*seed=*/19, /*n=*/90);
+  // Warm up at the largest query size the steady state will see.
+  const Graph big = RandomQuery(data, 41, 12);
+  ExpectEpisodeEquivalence(policy, &ws, big, data);
+  const uint64_t grows_after_warmup = ws.buffer_grows();
+  EXPECT_GT(grows_after_warmup, 0u);
+  // Steady state: repeated inference at or below the high-water mark must
+  // never grow a buffer again.
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    const Graph query = RandomQuery(data, 50 + seed, 4 + seed % 9);
+    ExpectEpisodeEquivalence(policy, &ws, query, data);
+  }
+  EXPECT_EQ(ws.buffer_grows(), grows_after_warmup);
+}
+
+TEST(InferenceKernels, MatMulIntoMatchesAllocatingMatMul) {
+  Rng rng(3);
+  const nn::Matrix a = nn::Matrix::Randn(7, 5, 1.0, &rng);
+  const nn::Matrix b = nn::Matrix::Randn(5, 9, 1.0, &rng);
+  const nn::Matrix expected = nn::MatMul(a, b);
+  nn::InferenceWorkspace ws;
+  nn::Matrix* out = ws.Scratch(0, 7, 9);
+  nn::MatMulInto(a, b, out);
+  for (size_t r = 0; r < expected.rows(); ++r) {
+    for (size_t c = 0; c < expected.cols(); ++c) {
+      EXPECT_DOUBLE_EQ(out->At(r, c), expected.At(r, c));
+    }
+  }
+}
+
+TEST(InferenceKernels, MaskedLogSoftmaxMatchesAutogradOp) {
+  Rng rng(5);
+  const nn::Matrix scores = nn::Matrix::Randn(9, 1, 2.0, &rng);
+  std::vector<bool> mask(9, false);
+  mask[1] = mask[4] = mask[8] = true;
+  const nn::Var autograd =
+      nn::MaskedLogSoftmax(nn::Var::Constant(scores), mask);
+  nn::InferenceWorkspace ws;
+  nn::Matrix* out = ws.Scratch(0, 9, 1);
+  nn::MaskedLogSoftmaxInto(scores, mask, out);
+  for (size_t i = 0; i < 9; ++i) {
+    EXPECT_DOUBLE_EQ(out->At(i, 0), autograd.value().At(i, 0));
+  }
+}
+
+}  // namespace
+}  // namespace rlqvo
