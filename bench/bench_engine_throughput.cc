@@ -116,7 +116,9 @@ int main(int argc, char** argv) {
         AppendEnumWorkMetrics(&metrics, "batch", batch.total_intersections,
                               batch.total_probe_comparisons,
                               batch.total_local_candidates,
-                              batch.total_local_candidate_sets);
+                              batch.total_local_candidate_sets,
+                              batch.total_simd_intersections,
+                              batch.total_bitmap_intersections);
         AppendOrderingMetrics(&metrics, "batch", batch.total_order_seconds,
                               batch.order_cache_hits,
                               batch.order_cache_misses);

@@ -120,6 +120,8 @@ CaseResult RunCase(const WorkloadCase& c, const BenchOptions& opts,
     out.accumulated.num_probe_comparisons += r.num_probe_comparisons;
     out.accumulated.local_candidates_total += r.local_candidates_total;
     out.accumulated.local_candidate_sets += r.local_candidate_sets;
+    out.accumulated.num_simd_intersections += r.num_simd_intersections;
+    out.accumulated.num_bitmap_intersections += r.num_bitmap_intersections;
   }
 
   auto run_serial = [&] {
@@ -224,7 +226,9 @@ int main(int argc, char** argv) {
     AppendEnumWorkMetrics(&metrics, c.name, r.accumulated.num_intersections,
                           r.accumulated.num_probe_comparisons,
                           r.accumulated.local_candidates_total,
-                          r.accumulated.local_candidate_sets);
+                          r.accumulated.local_candidate_sets,
+                          r.accumulated.num_simd_intersections,
+                          r.accumulated.num_bitmap_intersections);
     if (c.name == "powerlaw") heavy_speedup_4t = r.serial_us / us[2];
   }
 

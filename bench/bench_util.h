@@ -153,7 +153,8 @@ inline void AppendEnumWorkMetrics(
     std::vector<std::pair<std::string, double>>* metrics,
     const std::string& prefix, uint64_t intersections,
     uint64_t probe_comparisons, uint64_t local_candidates,
-    uint64_t local_candidate_sets) {
+    uint64_t local_candidate_sets, uint64_t simd_intersections = 0,
+    uint64_t bitmap_intersections = 0) {
   metrics->emplace_back(prefix + "_intersections",
                         static_cast<double>(intersections));
   metrics->emplace_back(prefix + "_probe_comparisons",
@@ -163,6 +164,12 @@ inline void AppendEnumWorkMetrics(
                             ? 0.0
                             : static_cast<double>(local_candidates) /
                                   static_cast<double>(local_candidate_sets));
+  // Kernel-dispatch split: how many of the intersections the SIMD and
+  // bitmap families served (the remainder ran scalar).
+  metrics->emplace_back(prefix + "_simd_intersections",
+                        static_cast<double>(simd_intersections));
+  metrics->emplace_back(prefix + "_bitmap_intersections",
+                        static_cast<double>(bitmap_intersections));
 }
 
 /// \brief Appends the serving-side ordering metrics of a batch under

@@ -165,6 +165,8 @@ Result<BatchResult> QueryEngine::MatchBatch(const std::vector<Graph>& queries,
     batch.total_probe_comparisons += stats.num_probe_comparisons;
     batch.total_local_candidates += stats.local_candidates_total;
     batch.total_local_candidate_sets += stats.local_candidate_sets;
+    batch.total_simd_intersections += stats.num_simd_intersections;
+    batch.total_bitmap_intersections += stats.num_bitmap_intersections;
     batch.total_order_seconds += stats.order_time_seconds;
     if (!stats.solved) ++batch.unsolved;
   }

@@ -86,6 +86,10 @@ struct BatchResult {
   uint64_t total_probe_comparisons = 0;
   uint64_t total_local_candidates = 0;
   uint64_t total_local_candidate_sets = 0;
+  /// Of total_intersections, how many the SIMD / bitmap kernel families
+  /// served (see EnumerateResult).
+  uint64_t total_simd_intersections = 0;
+  uint64_t total_bitmap_intersections = 0;
   /// Number of queries whose deadline fired before completion.
   uint32_t unsolved = 0;
   /// Candidate-cache hits/misses incurred by this batch.

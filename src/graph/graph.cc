@@ -25,6 +25,16 @@ std::span<const VertexId> Graph::NeighborsWithLabel(VertexId v, Label l) const {
   return NeighborSlice(v, static_cast<size_t>(it - begin));
 }
 
+Graph::SliceView Graph::NeighborsWithLabelView(VertexId v, Label l) const {
+  RLQVO_DCHECK_LT(v, num_vertices());
+  const Label* begin = slice_labels_.data() + slice_offsets_[v];
+  const Label* end = slice_labels_.data() + slice_offsets_[v + 1];
+  const Label* it = std::lower_bound(begin, end, l);
+  if (it == end || *it != l) return {};
+  const size_t i = static_cast<size_t>(it - begin);
+  return {NeighborSlice(v, i), SliceBitmap(v, i)};
+}
+
 std::span<const VertexId> Graph::VerticesWithLabel(Label l) const {
   if (l >= num_labels_) return {};
   return {vertices_by_label_.data() + label_offsets_[l],
@@ -58,7 +68,9 @@ size_t Graph::MemoryFootprintBytes() const {
          sorted_degrees_.size() * sizeof(uint32_t) +
          slice_offsets_.size() * sizeof(uint64_t) +
          slice_labels_.size() * sizeof(Label) +
-         slice_begins_.size() * sizeof(uint64_t);
+         slice_begins_.size() * sizeof(uint64_t) +
+         slice_bitmap_slot_.size() * sizeof(uint32_t) +
+         slice_bitmap_words_.size() * sizeof(uint64_t);
 }
 
 std::string Graph::ToString() const {
@@ -130,6 +142,43 @@ Graph GraphBuilder::Build() {
     }
   }
   g.slice_offsets_[n] = g.slice_labels_.size();
+
+  // Bitmap sidecar: one |V|-bit membership bitmap per dense slice (see
+  // SliceQualifiesForBitmap). Built here — the Graph is immutable after
+  // Build, so the sidecar can never go stale.
+  if (build_slice_bitmaps_ && n > 0) {
+    const size_t words = (static_cast<size_t>(n) + 63) / 64;
+    uint32_t slots = 0;
+    // A slice entry's end is the next entry's begin within the same vertex,
+    // or offsets_[v+1] for the vertex's last slice — walk vertices exactly
+    // like the index build above.
+    g.slice_bitmap_slot_.assign(g.slice_labels_.size(), Graph::kNoBitmapSlot);
+    for (uint32_t v = 0; v < n; ++v) {
+      for (uint64_t e = g.slice_offsets_[v]; e < g.slice_offsets_[v + 1];
+           ++e) {
+        const uint64_t begin = g.slice_begins_[e];
+        const uint64_t slice_end = e + 1 < g.slice_offsets_[v + 1]
+                                       ? g.slice_begins_[e + 1]
+                                       : g.offsets_[v + 1];
+        const size_t size = static_cast<size_t>(slice_end - begin);
+        if (!Graph::SliceQualifiesForBitmap(size, n)) continue;
+        g.slice_bitmap_slot_[e] = slots++;
+        const size_t base = g.slice_bitmap_words_.size();
+        g.slice_bitmap_words_.resize(base + words, 0);
+        uint64_t* w = g.slice_bitmap_words_.data() + base;
+        for (uint64_t i = begin; i < slice_end; ++i) {
+          const VertexId id = g.adj_[i];
+          w[id >> 6] |= uint64_t{1} << (id & 63);
+        }
+      }
+    }
+    if (slots == 0) {
+      g.slice_bitmap_slot_.clear();
+      g.slice_bitmap_slot_.shrink_to_fit();
+    } else {
+      g.bitmap_words_ = words;
+    }
+  }
 
   g.num_labels_ = 0;
   for (Label l : g.labels_) g.num_labels_ = std::max(g.num_labels_, l + 1);

@@ -28,10 +28,47 @@ inline constexpr VertexId kInvalidVertex = UINT32_MAX;
 ///     sorted span — the input of the enumerator's candidate intersections;
 ///   - HasEdge(u, v): binary search confined to the relevant slice;
 ///   - per-label degree counts as plain slice lengths (NLF/GQL filters).
+///
+/// Dense *hub* slices additionally carry a bitmap sidecar (see SliceView):
+/// a |V|-bit membership bitmap built in GraphBuilder::Build for every slice
+/// whose length passes the density threshold below, so hub-heavy
+/// intersections can run as word-parallel ANDs or O(1) bit probes
+/// (intersect.h) instead of element-wise merges. The sidecar never changes
+/// slice contents or order — HasEdge/NeighborSlice semantics are identical
+/// with it on or off.
+///
 /// Construct via GraphBuilder or the loaders in graph_io.h.
 class Graph {
  public:
   Graph() = default;
+
+  /// A label slice plus its optional bitmap sidecar. `ids` is the sorted
+  /// member list (what NeighborsWithLabel returns); `bitmap`, when non-null,
+  /// is a bitmap_words()-word membership bitmap over [0, |V|) with bit v set
+  /// iff v ∈ ids.
+  struct SliceView {
+    std::span<const VertexId> ids;
+    const uint64_t* bitmap = nullptr;
+  };
+
+  /// A slice gets a bitmap iff its length is at least kBitmapMinSliceSize
+  /// AND at least |V| / kBitmapDensityRatio. The density bound makes the
+  /// word-parallel AND (|V|/64 word ops over the overlap range) cheaper
+  /// than the merge it replaces (≥ 2·|V|/ratio element steps); the absolute
+  /// floor keeps tiny graphs — where scalar merges are already cache-
+  /// resident — from paying sidecar memory for no win. Sidecar memory is
+  /// bounded: at most 2|E| / (|V|/ratio) qualifying slices of |V|/8 bytes
+  /// each, i.e. ≤ ratio·avg_degree/4 bytes per vertex.
+  static constexpr size_t kBitmapMinSliceSize = 128;
+  static constexpr size_t kBitmapDensityRatio = 32;
+
+  /// True iff a slice of `slice_size` in a graph of `num_vertices` gets a
+  /// bitmap sidecar (when building with bitmaps enabled).
+  static constexpr bool SliceQualifiesForBitmap(size_t slice_size,
+                                                size_t num_vertices) {
+    return slice_size >= kBitmapMinSliceSize &&
+           slice_size * kBitmapDensityRatio >= num_vertices;
+  }
 
   /// Number of vertices |V|.
   uint32_t num_vertices() const { return static_cast<uint32_t>(labels_.size()); }
@@ -75,6 +112,32 @@ class Graph {
   /// Neighbors of v carrying label l, sorted ascending by id. Empty span
   /// when no neighbor carries l. O(log #distinct-labels-in-N(v)) lookup.
   std::span<const VertexId> NeighborsWithLabel(VertexId v, Label l) const;
+
+  /// NeighborsWithLabel plus the slice's bitmap sidecar (null for slices
+  /// below the density threshold or graphs built without sidecars). The
+  /// enumerator's intersection inputs come from here so hub slices can take
+  /// the bitmap kernels.
+  SliceView NeighborsWithLabelView(VertexId v, Label l) const;
+
+  /// Bitmap sidecar of the i-th label slice of N(v) (i indexes
+  /// NeighborLabels(v)), or nullptr when that slice has none.
+  const uint64_t* SliceBitmap(VertexId v, size_t i) const {
+    RLQVO_DCHECK_LT(v, num_vertices());
+    if (slice_bitmap_slot_.empty()) return nullptr;
+    const uint64_t entry = slice_offsets_[v] + i;
+    RLQVO_DCHECK_LT(entry, slice_offsets_[v + 1]);
+    const uint32_t slot = slice_bitmap_slot_[entry];
+    if (slot == kNoBitmapSlot) return nullptr;
+    return slice_bitmap_words_.data() + static_cast<size_t>(slot) * bitmap_words_;
+  }
+
+  /// Words per slice bitmap: ceil(|V|/64) when any sidecar exists, else 0.
+  size_t bitmap_words() const { return bitmap_words_; }
+
+  /// Number of slices carrying a bitmap sidecar.
+  size_t num_bitmap_slices() const {
+    return bitmap_words_ == 0 ? 0 : slice_bitmap_words_.size() / bitmap_words_;
+  }
 
   /// The i-th label slice of N(v) (i indexes NeighborLabels(v)), sorted
   /// ascending by id. Walking i over [0, NeighborLabels(v).size()) visits
@@ -138,6 +201,16 @@ class Graph {
   std::vector<uint64_t> slice_offsets_;  // size n+1, into the two below
   std::vector<Label> slice_labels_;      // one entry per (v, label) pair
   std::vector<uint64_t> slice_begins_;   // parallel: absolute start in adj_
+
+  // Bitmap sidecar for dense slices (see SliceQualifiesForBitmap):
+  // slice_bitmap_slot_ parallels slice_labels_ (kNoBitmapSlot = none);
+  // slot s owns words [s*bitmap_words_, (s+1)*bitmap_words_) of
+  // slice_bitmap_words_. Both empty when no slice qualified or the builder
+  // disabled sidecars.
+  static constexpr uint32_t kNoBitmapSlot = UINT32_MAX;
+  std::vector<uint32_t> slice_bitmap_slot_;
+  std::vector<uint64_t> slice_bitmap_words_;
+  size_t bitmap_words_ = 0;
 };
 
 /// \brief Incremental builder for Graph.
@@ -160,12 +233,20 @@ class GraphBuilder {
 
   uint32_t num_vertices() const { return static_cast<uint32_t>(labels_.size()); }
 
+  /// Whether Build() creates bitmap sidecars for qualifying dense slices
+  /// (default on). Off skips the sidecar entirely — intersections then
+  /// always take the merge/gallop kernels; results are identical.
+  void set_build_slice_bitmaps(bool enabled) {
+    build_slice_bitmaps_ = enabled;
+  }
+
   /// Finalises into an immutable Graph. The builder is left empty.
   Graph Build();
 
  private:
   std::vector<Label> labels_;
   std::vector<std::vector<VertexId>> adjacency_;
+  bool build_slice_bitmaps_ = true;
 };
 
 }  // namespace rlqvo

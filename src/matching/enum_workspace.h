@@ -127,13 +127,11 @@ class EnumeratorWorkspace {
     return local_[depth];
   }
 
-  /// Scratch for gathering the backward neighbors' label slices before
-  /// intersecting. Shared across depths — safe because every Extend consumes
-  /// it (materializes the intersection into its depth's LocalBuffers) before
-  /// recursing deeper.
-  std::vector<std::span<const VertexId>>& slice_scratch() {
-    return slice_scratch_;
-  }
+  /// Scratch for gathering the backward neighbors' label slices (with their
+  /// bitmap sidecars, for the dispatch layer) before intersecting. Shared
+  /// across depths — safe because every Extend consumes it (materializes the
+  /// intersection into its depth's LocalBuffers) before recursing deeper.
+  std::vector<Graph::SliceView>& slice_scratch() { return slice_scratch_; }
   /// @}
 
   void set_mode(MembershipMode mode) { mode_ = mode; }
@@ -163,7 +161,7 @@ class EnumeratorWorkspace {
   std::vector<VertexId> mapping_;
   std::vector<std::vector<VertexId>> backward_;
   std::vector<LocalBuffers> local_;  // one pair per recursion depth
-  std::vector<std::span<const VertexId>> slice_scratch_;
+  std::vector<Graph::SliceView> slice_scratch_;
   std::vector<uint8_t> placed_;  // scratch for the backward build
 
   size_t nv_ = 0;      // stamp-row stride for the current query

@@ -103,6 +103,25 @@ struct EnumContext {
     }
   }
 
+  /// Counts one dispatched intersection, attributing SIMD/bitmap paths to
+  /// their per-family counters.
+  void TallyPath(IntersectPath path) {
+    ++result.num_intersections;
+    switch (path) {
+      case IntersectPath::kSimdMerge:
+      case IntersectPath::kSimdGallop:
+        ++result.num_simd_intersections;
+        break;
+      case IntersectPath::kBitmapAnd:
+      case IntersectPath::kBitmapProbe:
+        ++result.num_bitmap_intersections;
+        break;
+      case IntersectPath::kScalarMerge:
+      case IntersectPath::kScalarGallop:
+        break;
+    }
+  }
+
   /// The root level of Algorithm 2 over candidate indexes [begin, end) of
   /// C(order[0]) — the first order vertex never has mapped backward
   /// neighbors, so the root is always the full-candidate-list branch. The
@@ -174,24 +193,26 @@ struct EnumContext {
     // gather buffer is shared across depths (consumed before recursing);
     // the result/scratch pair is per depth, because the result is iterated
     // while deeper calls run.
-    std::vector<std::span<const VertexId>>& slices = ws->slice_scratch();
+    std::vector<Graph::SliceView>& slices = ws->slice_scratch();
     slices.clear();
     for (VertexId ub : backward) {
-      slices.push_back(data->NeighborsWithLabel(mapping[ub], ul));
+      slices.push_back(data->NeighborsWithLabelView(mapping[ub], ul));
     }
-    std::sort(slices.begin(), slices.end(),
-              [](const auto& a, const auto& b) { return a.size() < b.size(); });
-    if (slices[0].empty()) return;
+    std::sort(slices.begin(), slices.end(), [](const auto& a, const auto& b) {
+      return a.ids.size() < b.ids.size();
+    });
+    if (slices[0].ids.empty()) return;
 
     EnumeratorWorkspace::LocalBuffers& bufs = ws->local(depth);
     const uint64_t comparisons_before = result.num_probe_comparisons;
-    IntersectAdaptive(slices[0], slices[1], &bufs.result,
-                      &result.num_probe_comparisons);
-    ++result.num_intersections;
+    TallyPath(IntersectDispatch(slices[0], slices[1], &bufs.result,
+                                &result.num_probe_comparisons));
     for (size_t i = 2; i < slices.size() && !bufs.result.empty(); ++i) {
-      IntersectAdaptive(bufs.result, slices[i], &bufs.scratch,
-                        &result.num_probe_comparisons);
-      ++result.num_intersections;
+      // The running result is a plain sorted buffer (no sidecar); the slice
+      // side may still route the pair to a bitmap probe.
+      TallyPath(IntersectDispatch(
+          Graph::SliceView{std::span<const VertexId>(bufs.result), nullptr},
+          slices[i], &bufs.scratch, &result.num_probe_comparisons));
       std::swap(bufs.result, bufs.scratch);
     }
     result.local_candidates_total += bufs.result.size();
@@ -447,6 +468,8 @@ Result<EnumerateResult> Enumerator::RunParallel(
     merged.num_probe_comparisons += r.num_probe_comparisons;
     merged.local_candidates_total += r.local_candidates_total;
     merged.local_candidate_sets += r.local_candidate_sets;
+    merged.num_simd_intersections += r.num_simd_intersections;
+    merged.num_bitmap_intersections += r.num_bitmap_intersections;
     merged.timed_out |= r.timed_out;
     for (std::vector<VertexId>& embedding : r.embeddings) {
       merged.embeddings.push_back(std::move(embedding));

@@ -79,6 +79,15 @@ struct EnumerateResult {
   /// Number of local-candidate sets computed (Extend calls with at least
   /// one mapped backward neighbor).
   uint64_t local_candidate_sets = 0;
+  /// Of num_intersections, how many a SIMD kernel served (shuffle merge or
+  /// SIMD-probe gallop — see IntersectDispatch). Embeddings and the shape
+  /// counters above are bit-identical whatever kernel serves; only
+  /// num_probe_comparisons is kernel-specific (each kernel charges the work
+  /// it actually performed, deterministically for a given input).
+  uint64_t num_simd_intersections = 0;
+  /// Of num_intersections, how many a bitmap path served (word-parallel AND
+  /// or bit-probe against a dense slice's sidecar).
+  uint64_t num_bitmap_intersections = 0;
   /// @}
 
   /// Embeddings as query-vertex-indexed data-vertex vectors, if requested.

@@ -1,6 +1,12 @@
 #include "matching/intersect.h"
 
 #include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cstdio>
+#include <cstdlib>
+
+#include "matching/intersect_simd.h"
 
 namespace rlqvo {
 
@@ -85,6 +91,284 @@ void IntersectAdaptive(std::span<const VertexId> a, std::span<const VertexId> b,
   } else {
     IntersectLinear(a, b, out, comparisons);
   }
+}
+
+void IntersectBitmapAnd(std::span<const VertexId> a, const uint64_t* a_words,
+                        std::span<const VertexId> b, const uint64_t* b_words,
+                        std::vector<VertexId>* out, uint64_t* comparisons) {
+  out->clear();
+  if (a.empty() || b.empty()) return;
+  // A common element is >= both fronts and <= both backs, so only the words
+  // covering [max(fronts), min(backs)] can carry AND bits — the rest of the
+  // universe never needs touching.
+  const VertexId lo = std::max(a.front(), b.front());
+  const VertexId hi = std::min(a.back(), b.back());
+  if (lo > hi) return;
+  uint64_t charged = 0;
+  for (size_t w = lo >> 6, w_end = hi >> 6; w <= w_end; ++w) {
+    ++charged;
+    uint64_t bits = a_words[w] & b_words[w];
+    while (bits != 0) {
+      const unsigned t = static_cast<unsigned>(std::countr_zero(bits));
+      out->push_back(static_cast<VertexId>((w << 6) + t));
+      bits &= bits - 1;
+    }
+  }
+  *comparisons += charged;
+}
+
+void IntersectBitmapProbe(std::span<const VertexId> probe,
+                          const uint64_t* words, std::vector<VertexId>* out,
+                          uint64_t* comparisons) {
+  out->clear();
+  uint64_t charged = 0;
+  for (VertexId v : probe) {
+    ++charged;
+    if ((words[v >> 6] >> (v & 63)) & 1) out->push_back(v);
+  }
+  *comparisons += charged;
+}
+
+void BuildBitmapWords(std::span<const VertexId> ids, uint32_t universe,
+                      std::vector<uint64_t>* words) {
+  words->assign((static_cast<size_t>(universe) + 63) / 64, 0);
+  for (VertexId v : ids) {
+    RLQVO_DCHECK_LT(v, universe);
+    (*words)[v >> 6] |= uint64_t{1} << (v & 63);
+  }
+}
+
+namespace {
+
+/// The process-global kernel selection. Initialised (once, thread-safe via
+/// the function-local static) from RLQVO_INTERSECT_KERNEL; unknown or
+/// unsupported values warn on stderr and fall back to kAuto.
+std::atomic<IntersectKernel>& GlobalKernel() {
+  static std::atomic<IntersectKernel> kernel{[] {
+    const char* env = std::getenv("RLQVO_INTERSECT_KERNEL");
+    if (env == nullptr || *env == '\0') return IntersectKernel::kAuto;
+    const Result<IntersectKernel> parsed = IntersectKernelFromName(env);
+    if (!parsed.ok()) {
+      std::fprintf(stderr,
+                   "rlqvo: unknown RLQVO_INTERSECT_KERNEL=%s, using auto\n",
+                   env);
+      return IntersectKernel::kAuto;
+    }
+    if (!IntersectKernelSupported(*parsed)) {
+      std::fprintf(
+          stderr,
+          "rlqvo: RLQVO_INTERSECT_KERNEL=%s unsupported here, using auto\n",
+          env);
+      return IntersectKernel::kAuto;
+    }
+    return *parsed;
+  }()};
+  return kernel;
+}
+
+/// Scalar adaptive with the executed path reported (merge vs gallop), so
+/// dispatch can attribute it. Mirrors IntersectAdaptive exactly.
+IntersectPath ScalarAdaptivePath(std::span<const VertexId> a,
+                                 std::span<const VertexId> b,
+                                 std::vector<VertexId>* out,
+                                 uint64_t* comparisons) {
+  if (a.size() > b.size()) std::swap(a, b);
+  if (a.empty()) {
+    out->clear();
+    return IntersectPath::kScalarMerge;
+  }
+  if (b.size() / a.size() >= kGallopRatio) {
+    IntersectGalloping(a, b, out, comparisons);
+    return IntersectPath::kScalarGallop;
+  }
+  IntersectLinear(a, b, out, comparisons);
+  return IntersectPath::kScalarMerge;
+}
+
+/// SIMD family with the scalar adaptive shape heuristic: gallop past
+/// kGallopRatio skew, shuffle merge otherwise.
+IntersectPath SimdAdaptivePath(IntersectKernel family,
+                               std::span<const VertexId> a,
+                               std::span<const VertexId> b,
+                               std::vector<VertexId>* out,
+                               uint64_t* comparisons) {
+  if (a.size() > b.size()) std::swap(a, b);
+  if (a.empty()) {
+    out->clear();
+    return IntersectPath::kSimdMerge;
+  }
+  if (b.size() / a.size() >= kGallopRatio) {
+    if (family == IntersectKernel::kAvx2) {
+      simd::IntersectAvx2Gallop(a, b, out, comparisons);
+    } else {
+      simd::IntersectSseGallop(a, b, out, comparisons);
+    }
+    return IntersectPath::kSimdGallop;
+  }
+  if (family == IntersectKernel::kAvx2) {
+    simd::IntersectAvx2Merge(a, b, out, comparisons);
+  } else {
+    simd::IntersectSseMerge(a, b, out, comparisons);
+  }
+  return IntersectPath::kSimdMerge;
+}
+
+/// Number of bitmap words the AND kernel would touch for these lists.
+size_t OverlapWords(std::span<const VertexId> a, std::span<const VertexId> b) {
+  const VertexId lo = std::max(a.front(), b.front());
+  const VertexId hi = std::min(a.back(), b.back());
+  if (lo > hi) return 0;
+  return (hi >> 6) - (lo >> 6) + 1;
+}
+
+}  // namespace
+
+bool IntersectKernelSupported(IntersectKernel kernel) {
+  switch (kernel) {
+    case IntersectKernel::kAuto:
+    case IntersectKernel::kScalar:
+    case IntersectKernel::kScalarMerge:
+    case IntersectKernel::kScalarGallop:
+    case IntersectKernel::kBitmap:
+      return true;
+    case IntersectKernel::kSse:
+      return simd::CpuHasSse();
+    case IntersectKernel::kAvx2:
+      return simd::CpuHasAvx2();
+  }
+  return false;
+}
+
+std::vector<IntersectKernel> SupportedIntersectKernels() {
+  std::vector<IntersectKernel> kernels;
+  for (IntersectKernel k :
+       {IntersectKernel::kAuto, IntersectKernel::kScalar,
+        IntersectKernel::kScalarMerge, IntersectKernel::kScalarGallop,
+        IntersectKernel::kSse, IntersectKernel::kAvx2,
+        IntersectKernel::kBitmap}) {
+    if (IntersectKernelSupported(k)) kernels.push_back(k);
+  }
+  return kernels;
+}
+
+Status SetIntersectKernel(IntersectKernel kernel) {
+  if (!IntersectKernelSupported(kernel)) {
+    return Status::InvalidArgument(
+        std::string("intersect kernel not supported on this build/CPU: ") +
+        IntersectKernelName(kernel));
+  }
+  GlobalKernel().store(kernel, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+IntersectKernel GetIntersectKernel() {
+  return GlobalKernel().load(std::memory_order_relaxed);
+}
+
+IntersectKernel AutoSimdKernel() {
+  if (simd::CpuHasAvx2()) return IntersectKernel::kAvx2;
+  if (simd::CpuHasSse()) return IntersectKernel::kSse;
+  return IntersectKernel::kScalar;
+}
+
+const char* IntersectKernelName(IntersectKernel kernel) {
+  switch (kernel) {
+    case IntersectKernel::kAuto: return "auto";
+    case IntersectKernel::kScalar: return "scalar";
+    case IntersectKernel::kScalarMerge: return "scalar_merge";
+    case IntersectKernel::kScalarGallop: return "scalar_gallop";
+    case IntersectKernel::kSse: return "sse";
+    case IntersectKernel::kAvx2: return "avx2";
+    case IntersectKernel::kBitmap: return "bitmap";
+  }
+  return "unknown";
+}
+
+Result<IntersectKernel> IntersectKernelFromName(const std::string& name) {
+  for (IntersectKernel k :
+       {IntersectKernel::kAuto, IntersectKernel::kScalar,
+        IntersectKernel::kScalarMerge, IntersectKernel::kScalarGallop,
+        IntersectKernel::kSse, IntersectKernel::kAvx2,
+        IntersectKernel::kBitmap}) {
+    if (name == IntersectKernelName(k)) return k;
+  }
+  return Status::InvalidArgument("unknown intersect kernel name: " + name);
+}
+
+IntersectPath IntersectDispatch(const Graph::SliceView& a,
+                                const Graph::SliceView& b,
+                                std::vector<VertexId>* out,
+                                uint64_t* comparisons) {
+  const IntersectKernel kernel = GetIntersectKernel();
+  switch (kernel) {
+    case IntersectKernel::kScalar:
+      return ScalarAdaptivePath(a.ids, b.ids, out, comparisons);
+    case IntersectKernel::kScalarMerge:
+      IntersectLinear(a.ids, b.ids, out, comparisons);
+      return IntersectPath::kScalarMerge;
+    case IntersectKernel::kScalarGallop: {
+      const bool a_small = a.ids.size() <= b.ids.size();
+      IntersectGalloping(a_small ? a.ids : b.ids, a_small ? b.ids : a.ids, out,
+                         comparisons);
+      return IntersectPath::kScalarGallop;
+    }
+    case IntersectKernel::kSse:
+    case IntersectKernel::kAvx2:
+      return SimdAdaptivePath(kernel, a.ids, b.ids, out, comparisons);
+    case IntersectKernel::kBitmap: {
+      // Forced bitmap: take a bitmap path wherever any sidecar exists.
+      const Graph::SliceView& small = a.ids.size() <= b.ids.size() ? a : b;
+      const Graph::SliceView& large = a.ids.size() <= b.ids.size() ? b : a;
+      if (small.ids.empty()) {
+        out->clear();
+        return IntersectPath::kScalarMerge;
+      }
+      if (small.bitmap != nullptr && large.bitmap != nullptr &&
+          OverlapWords(small.ids, large.ids) <= small.ids.size()) {
+        IntersectBitmapAnd(small.ids, small.bitmap, large.ids, large.bitmap,
+                           out, comparisons);
+        return IntersectPath::kBitmapAnd;
+      }
+      if (large.bitmap != nullptr) {
+        IntersectBitmapProbe(small.ids, large.bitmap, out, comparisons);
+        return IntersectPath::kBitmapProbe;
+      }
+      if (small.bitmap != nullptr) {
+        IntersectBitmapProbe(large.ids, small.bitmap, out, comparisons);
+        return IntersectPath::kBitmapProbe;
+      }
+      return ScalarAdaptivePath(a.ids, b.ids, out, comparisons);
+    }
+    case IntersectKernel::kAuto: {
+      const Graph::SliceView& small = a.ids.size() <= b.ids.size() ? a : b;
+      const Graph::SliceView& large = a.ids.size() <= b.ids.size() ? b : a;
+      if (small.ids.empty()) {
+        out->clear();
+        return IntersectPath::kScalarMerge;
+      }
+      // Bitmap paths only when the *larger* side carries a sidecar: probing
+      // the smaller list costs |small| word tests, which beats both merge
+      // (|small|+|large| steps) and SIMD on hub slices. The word-parallel
+      // AND wins over even that when both sides are bitmap-dense enough
+      // that the overlap word count undercuts |small|.
+      if (large.bitmap != nullptr) {
+        if (small.bitmap != nullptr &&
+            OverlapWords(small.ids, large.ids) <= small.ids.size()) {
+          IntersectBitmapAnd(small.ids, small.bitmap, large.ids, large.bitmap,
+                             out, comparisons);
+          return IntersectPath::kBitmapAnd;
+        }
+        IntersectBitmapProbe(small.ids, large.bitmap, out, comparisons);
+        return IntersectPath::kBitmapProbe;
+      }
+      const IntersectKernel simd_family = AutoSimdKernel();
+      if (simd_family == IntersectKernel::kScalar) {
+        return ScalarAdaptivePath(a.ids, b.ids, out, comparisons);
+      }
+      return SimdAdaptivePath(simd_family, a.ids, b.ids, out, comparisons);
+    }
+  }
+  return ScalarAdaptivePath(a.ids, b.ids, out, comparisons);
 }
 
 }  // namespace rlqvo

@@ -4,6 +4,8 @@
 #include <span>
 #include <vector>
 
+#include "common/result.h"
+#include "common/status.h"
 #include "graph/graph.h"
 
 namespace rlqvo {
@@ -25,6 +27,15 @@ namespace rlqvo {
 ///   (see docs/BENCHMARKS.md): gallop wins from roughly 8–16× onward;
 ///   16 is the conservative middle of that band.
 ///
+/// On top of the scalar primitives sits a runtime-dispatched kernel layer
+/// (IntersectDispatch below): SSE/AVX2 shuffle-based merge and SIMD-probe
+/// galloping (intersect_simd.h), plus word-parallel AND / bit-probe paths
+/// over the Graph's per-slice bitmap sidecars. Every kernel produces the
+/// identical ascending output, so enumeration results are bit-identical
+/// whatever kernel serves them; only the comparisons *charged* (the work
+/// metric) are kernel-specific — each kernel reports the work it actually
+/// performed, deterministically for a given input.
+///
 /// All functions require strictly ascending inputs (CSR slices and
 /// candidate lists are), write the ascending intersection to *out
 /// (overwritten, not appended), and add the number of element comparisons
@@ -36,7 +47,9 @@ void IntersectLinear(std::span<const VertexId> a, std::span<const VertexId> b,
                      std::vector<VertexId>* out, uint64_t* comparisons);
 
 /// `small` should be the smaller input; each of its elements is located in
-/// `large` by galloping from the previous match position.
+/// `large` by galloping from the previous match position. (Results are
+/// correct for any argument order; only the cost bound assumes small is
+/// smaller.)
 void IntersectGalloping(std::span<const VertexId> small,
                         std::span<const VertexId> large,
                         std::vector<VertexId>* out, uint64_t* comparisons);
@@ -44,5 +57,105 @@ void IntersectGalloping(std::span<const VertexId> small,
 /// Merge vs gallop by the kGallopRatio size test (argument order free).
 void IntersectAdaptive(std::span<const VertexId> a, std::span<const VertexId> b,
                        std::vector<VertexId>* out, uint64_t* comparisons);
+
+/// \name Bitmap kernels (the Graph slice-bitmap sidecar, see graph.h).
+/// @{
+
+/// Word-parallel AND of two slice bitmaps, decoded into ascending ids.
+/// `a_words`/`b_words` are bitmaps over the same universe (bit v set iff v
+/// is a member); `a`/`b` are the corresponding sorted id lists, used only to
+/// bound the overlapping word range. Charges one comparison per word ANDed.
+void IntersectBitmapAnd(std::span<const VertexId> a, const uint64_t* a_words,
+                        std::span<const VertexId> b, const uint64_t* b_words,
+                        std::vector<VertexId>* out, uint64_t* comparisons);
+
+/// Probes each element of the sorted `probe` list against `words` (bitmap
+/// membership); emits the hits, ascending. Charges one comparison per probe.
+void IntersectBitmapProbe(std::span<const VertexId> probe,
+                          const uint64_t* words, std::vector<VertexId>* out,
+                          uint64_t* comparisons);
+
+/// Builds the bitmap for `ids` over universe [0, universe): words gets
+/// ceil(universe/64) entries with bit v set iff v ∈ ids. Test/bench helper
+/// mirroring what GraphBuilder::Build does for hub slices.
+void BuildBitmapWords(std::span<const VertexId> ids, uint32_t universe,
+                      std::vector<uint64_t>* words);
+/// @}
+
+/// \name Runtime kernel dispatch.
+///
+/// One process-global kernel selection serves every enumeration. The
+/// default (kAuto) resolves at first use: bitmap paths where a sidecar
+/// makes them profitable, then the widest SIMD family this CPU supports
+/// (AVX2 > SSE), with the scalar adaptive code as the portable fallback —
+/// also the only family in -DRLQVO_SIMD=OFF builds and on non-x86.
+/// Overridable for tests/benches via SetIntersectKernel or the
+/// RLQVO_INTERSECT_KERNEL environment variable (read once, at first
+/// dispatch): auto | scalar | scalar_merge | scalar_gallop | sse | avx2 |
+/// bitmap. Selection is NOT synchronized against concurrently running
+/// enumerations: set it before starting work (tests and benches do).
+/// @{
+
+enum class IntersectKernel : uint8_t {
+  kAuto = 0,      ///< bitmap when profitable, then best SIMD, else scalar
+  kScalar,        ///< scalar adaptive merge/gallop (the pre-SIMD behavior)
+  kScalarMerge,   ///< always the two-pointer merge
+  kScalarGallop,  ///< always galloping (smaller side drives)
+  kSse,           ///< 4-lane shuffle merge + SIMD-probe gallop (SSSE3)
+  kAvx2,          ///< 8-lane shuffle merge + SIMD-probe gallop (AVX2)
+  kBitmap,        ///< bitmap AND/probe wherever a sidecar exists,
+                  ///< scalar adaptive otherwise
+};
+
+/// The code path one dispatched intersection actually took (the SIMD/bitmap
+/// hit counters in EnumerateResult are derived from this).
+enum class IntersectPath : uint8_t {
+  kScalarMerge,
+  kScalarGallop,
+  kSimdMerge,
+  kSimdGallop,
+  kBitmapAnd,
+  kBitmapProbe,
+};
+
+/// True iff this build + CPU can execute `kernel`. kAuto/kScalar*/kBitmap
+/// are always supported; kSse/kAvx2 require an RLQVO_SIMD build on x86 with
+/// the matching CPU feature.
+bool IntersectKernelSupported(IntersectKernel kernel);
+
+/// Every supported kernel, kAuto first — what forced-dispatch test suites
+/// iterate.
+std::vector<IntersectKernel> SupportedIntersectKernels();
+
+/// Selects the process-global kernel; InvalidArgument for kernels this
+/// build/CPU cannot execute (the selection is left unchanged).
+Status SetIntersectKernel(IntersectKernel kernel);
+
+/// The currently configured kernel (kAuto unless overridden by
+/// SetIntersectKernel or RLQVO_INTERSECT_KERNEL).
+IntersectKernel GetIntersectKernel();
+
+/// What kAuto resolves to on this machine for non-bitmap inputs: kAvx2,
+/// kSse or kScalar.
+IntersectKernel AutoSimdKernel();
+
+/// Lower-case display name ("avx2", "scalar_merge", ...).
+const char* IntersectKernelName(IntersectKernel kernel);
+
+/// Parses a kernel name (the RLQVO_INTERSECT_KERNEL values); Invalid-
+/// Argument on unknown names.
+Result<IntersectKernel> IntersectKernelFromName(const std::string& name);
+
+/// \brief The enumerator's intersection entry point: routes (a ∩ b) to the
+/// globally selected kernel, honoring bitmap sidecars where the kernel
+/// allows. Output is the ascending intersection regardless of path; the
+/// returned IntersectPath tells the caller which family executed (for the
+/// per-run SIMD/bitmap hit counters). Charges kernel-specific, input-
+/// deterministic comparison counts to *comparisons.
+IntersectPath IntersectDispatch(const Graph::SliceView& a,
+                                const Graph::SliceView& b,
+                                std::vector<VertexId>* out,
+                                uint64_t* comparisons);
+/// @}
 
 }  // namespace rlqvo

@@ -117,6 +117,8 @@ Result<MatchRunStats> RunOrderedEnumeration(
   stats.num_probe_comparisons = enum_result.num_probe_comparisons;
   stats.local_candidates_total = enum_result.local_candidates_total;
   stats.local_candidate_sets = enum_result.local_candidate_sets;
+  stats.num_simd_intersections = enum_result.num_simd_intersections;
+  stats.num_bitmap_intersections = enum_result.num_bitmap_intersections;
   stats.solved = !enum_result.timed_out;
   stats.hit_match_limit = enum_result.hit_match_limit;
   stats.embeddings = std::move(enum_result.embeddings);

@@ -40,6 +40,10 @@ struct MatchRunStats {
   uint64_t num_probe_comparisons = 0;
   uint64_t local_candidates_total = 0;
   uint64_t local_candidate_sets = 0;
+  /// Of num_intersections, how many the SIMD / bitmap kernel families
+  /// served (see EnumerateResult).
+  uint64_t num_simd_intersections = 0;
+  uint64_t num_bitmap_intersections = 0;
   /// Query finished within the time limit ("solved", Sec IV-A).
   bool solved = true;
   /// The matching order was served from the engine's order cache (or a

@@ -307,6 +307,129 @@ TEST(IntersectionEquivalenceTest, DeadlinePath) {
   if (!result.timed_out) EXPECT_FALSE(result.hit_match_limit);
 }
 
+// ---------------------------------------------------------------------------
+// Forced-kernel dispatch: enumeration is kernel-invariant.
+// ---------------------------------------------------------------------------
+
+/// Every supported dispatch kernel produces the same embeddings and the
+/// same search-shape counters as forced scalar — only the comparison charge
+/// (each kernel's own work metric) may differ, and even that must be
+/// deterministic run to run.
+TEST(ForcedKernelTest, EnumerationInvariantAcrossKernels) {
+  LabelConfig cfg;
+  cfg.num_labels = 5;
+  cfg.zipf_exponent = 1.2;
+  Graph data = GenerateErdosRenyi(80, 5.0, cfg, 33).ValueOrDie();
+  QuerySampler sampler(&data, 34);
+  const Graph query = sampler.SampleQuery(5).ValueOrDie();
+  CandidateSet cs = GQLFilter().Filter(query, data).ValueOrDie();
+  OrderingContext ctx;
+  ctx.query = &query;
+  ctx.data = &data;
+  ctx.candidates = &cs;
+  const auto order = RIOrdering().MakeOrder(ctx).ValueOrDie();
+  EnumerateOptions opts;
+  opts.match_limit = 0;
+  opts.store_embeddings = true;
+  Enumerator enumerator;
+
+  const IntersectKernel saved = GetIntersectKernel();
+  ASSERT_TRUE(SetIntersectKernel(IntersectKernel::kScalar).ok());
+  const auto baseline =
+      enumerator.Run(query, data, cs, order, opts).ValueOrDie();
+  ASSERT_GT(baseline.num_intersections, 0u);
+
+  for (IntersectKernel kernel : SupportedIntersectKernels()) {
+    SCOPED_TRACE(IntersectKernelName(kernel));
+    ASSERT_TRUE(SetIntersectKernel(kernel).ok());
+    const auto run1 = enumerator.Run(query, data, cs, order, opts).ValueOrDie();
+    EXPECT_EQ(run1.embeddings, baseline.embeddings);
+    EXPECT_EQ(run1.num_matches, baseline.num_matches);
+    EXPECT_EQ(run1.num_enumerations, baseline.num_enumerations);
+    EXPECT_EQ(run1.num_intersections, baseline.num_intersections);
+    EXPECT_EQ(run1.local_candidates_total, baseline.local_candidates_total);
+    EXPECT_EQ(run1.local_candidate_sets, baseline.local_candidate_sets);
+    // Kernel-specific but deterministic: an identical second run charges
+    // the identical comparison count and takes the identical paths.
+    const auto run2 = enumerator.Run(query, data, cs, order, opts).ValueOrDie();
+    EXPECT_EQ(run2.num_probe_comparisons, run1.num_probe_comparisons);
+    EXPECT_EQ(run2.num_simd_intersections, run1.num_simd_intersections);
+    EXPECT_EQ(run2.num_bitmap_intersections, run1.num_bitmap_intersections);
+    // Scalar kernels never report SIMD/bitmap paths.
+    if (kernel == IntersectKernel::kScalar ||
+        kernel == IntersectKernel::kScalarMerge ||
+        kernel == IntersectKernel::kScalarGallop) {
+      EXPECT_EQ(run1.num_simd_intersections, 0u);
+      EXPECT_EQ(run1.num_bitmap_intersections, 0u);
+    }
+  }
+  ASSERT_TRUE(SetIntersectKernel(saved).ok());
+}
+
+/// A data graph where the bitmap sidecar actually fires: two hubs sharing a
+/// dense label-1 neighborhood. A triangle query mapping both hubs forces
+/// slice ∩ slice on two sidecar-carrying slices, so auto dispatch must
+/// route to a bitmap path (and report it), while forced scalar must not —
+/// with identical embeddings either way.
+TEST(ForcedKernelTest, BitmapPathFiresOnHubSlices) {
+  GraphBuilder gb;
+  const VertexId hub_a = gb.AddVertex(0);
+  const VertexId hub_b = gb.AddVertex(0);
+  std::vector<VertexId> shared;
+  for (int i = 0; i < 300; ++i) shared.push_back(gb.AddVertex(1));
+  gb.AddEdge(hub_a, hub_b);
+  for (VertexId v : shared) {
+    gb.AddEdge(hub_a, v);
+    gb.AddEdge(hub_b, v);
+  }
+  Graph data = gb.Build();
+  // The hubs' label-1 slices qualify (300 >= 128, 300*32 >= 302).
+  ASSERT_GE(data.num_bitmap_slices(), 2u);
+
+  GraphBuilder qb;
+  qb.AddVertex(0);
+  qb.AddVertex(0);
+  qb.AddVertex(1);
+  qb.AddEdge(0, 1);
+  qb.AddEdge(0, 2);
+  qb.AddEdge(1, 2);
+  Graph query = qb.Build();
+
+  CandidateSet cs = LDFFilter().Filter(query, data).ValueOrDie();
+  const std::vector<VertexId> order = {0, 1, 2};
+  EnumerateOptions opts;
+  opts.match_limit = 0;
+  opts.store_embeddings = true;
+  Enumerator enumerator;
+
+  const IntersectKernel saved = GetIntersectKernel();
+  ASSERT_TRUE(SetIntersectKernel(IntersectKernel::kScalar).ok());
+  const auto scalar = enumerator.Run(query, data, cs, order, opts).ValueOrDie();
+  // (hub_a, hub_b, x) and (hub_b, hub_a, x) for every shared x.
+  EXPECT_EQ(scalar.num_matches, 2u * shared.size());
+  EXPECT_EQ(scalar.num_bitmap_intersections, 0u);
+
+  ASSERT_TRUE(SetIntersectKernel(IntersectKernel::kAuto).ok());
+  const auto autod = enumerator.Run(query, data, cs, order, opts).ValueOrDie();
+  EXPECT_EQ(autod.embeddings, scalar.embeddings);
+  EXPECT_GT(autod.num_bitmap_intersections, 0u);
+
+  ASSERT_TRUE(SetIntersectKernel(IntersectKernel::kBitmap).ok());
+  const auto bitmap = enumerator.Run(query, data, cs, order, opts).ValueOrDie();
+  EXPECT_EQ(bitmap.embeddings, scalar.embeddings);
+  EXPECT_GT(bitmap.num_bitmap_intersections, 0u);
+
+  if (IntersectKernelSupported(IntersectKernel::kAvx2)) {
+    ASSERT_TRUE(SetIntersectKernel(IntersectKernel::kAvx2).ok());
+    const auto avx2 =
+        enumerator.Run(query, data, cs, order, opts).ValueOrDie();
+    EXPECT_EQ(avx2.embeddings, scalar.embeddings);
+    EXPECT_GT(avx2.num_simd_intersections, 0u);
+    EXPECT_EQ(avx2.num_bitmap_intersections, 0u);  // forced SIMD skips sidecars
+  }
+  ASSERT_TRUE(SetIntersectKernel(saved).ok());
+}
+
 /// The work counters are plumbed end to end: a multi-backward query must
 /// report intersections and local-candidate sizes through MatchRunStats.
 TEST(IntersectionCountersTest, SurfaceThroughMatcherStats) {

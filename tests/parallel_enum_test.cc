@@ -15,6 +15,7 @@
 #include "common/thread_pool.h"
 #include "matching/enumerator.h"
 #include "matching/filters.h"
+#include "matching/intersect.h"
 #include "matching/ordering.h"
 #include "test_util.h"
 
@@ -82,6 +83,9 @@ void ExpectBitIdentical(const EnumerateResult& serial,
   EXPECT_EQ(parallel.num_probe_comparisons, serial.num_probe_comparisons);
   EXPECT_EQ(parallel.local_candidates_total, serial.local_candidates_total);
   EXPECT_EQ(parallel.local_candidate_sets, serial.local_candidate_sets);
+  EXPECT_EQ(parallel.num_simd_intersections, serial.num_simd_intersections);
+  EXPECT_EQ(parallel.num_bitmap_intersections,
+            serial.num_bitmap_intersections);
   EXPECT_EQ(parallel.hit_match_limit, serial.hit_match_limit);
   EXPECT_FALSE(parallel.timed_out);
   // Same embeddings in the same (serial DFS) order — chunk stitching.
@@ -115,6 +119,47 @@ TEST(ParallelEnumTest, BitIdenticalToSerialAcrossThreadCounts) {
       }
     }
   }
+}
+
+// The serial ≡ parallel contract holds under every dispatch kernel this
+// build/CPU supports, and — since all kernels compute the same
+// intersections — embeddings and search-shape counters also agree *across*
+// kernels (only num_probe_comparisons is kernel-specific).
+TEST(ParallelEnumTest, BitIdenticalAcrossKernelsAndThreadCounts) {
+  Graph data = MakeData(77, 90, 5.0, 3, 1.2);
+  PreparedQuery pq = PrepareQuery(data, 78, 5);
+  EnumerateOptions opts;
+  opts.match_limit = 0;
+  opts.store_embeddings = true;
+
+  const IntersectKernel saved = GetIntersectKernel();
+  ASSERT_TRUE(SetIntersectKernel(IntersectKernel::kScalar).ok());
+  const EnumerateResult baseline = RunSerial(data, pq, opts);
+  ASSERT_GT(baseline.num_intersections, 0u);  // the kernels actually ran
+
+  for (IntersectKernel kernel : SupportedIntersectKernels()) {
+    SCOPED_TRACE(IntersectKernelName(kernel));
+    ASSERT_TRUE(SetIntersectKernel(kernel).ok());
+    const EnumerateResult serial = RunSerial(data, pq, opts);
+    // Cross-kernel: same search, same results, same shape.
+    EXPECT_EQ(serial.embeddings, baseline.embeddings);
+    EXPECT_EQ(serial.num_matches, baseline.num_matches);
+    EXPECT_EQ(serial.num_enumerations, baseline.num_enumerations);
+    EXPECT_EQ(serial.num_intersections, baseline.num_intersections);
+    EXPECT_EQ(serial.local_candidates_total, baseline.local_candidates_total);
+    EXPECT_EQ(serial.local_candidate_sets, baseline.local_candidate_sets);
+    // Per-kernel: parallel runs reproduce that kernel's serial run bit for
+    // bit, including the kernel-specific comparison charge.
+    for (uint32_t threads : {2u, 8u}) {
+      ThreadPool pool(threads);
+      std::vector<EnumeratorWorkspace> workspaces(pool.size());
+      EnumeratorWorkspace caller_ws;
+      const EnumerateResult parallel = RunParallelWith(
+          data, pq, opts, threads, &pool, &workspaces, &caller_ws);
+      ExpectBitIdentical(serial, parallel, threads);
+    }
+  }
+  ASSERT_TRUE(SetIntersectKernel(saved).ok());
 }
 
 TEST(ParallelEnumTest, MatchesBruteForceGroundTruth) {
