@@ -149,7 +149,11 @@ int main(int argc, char** argv) {
                 seed_per_query * 1e6, ws_per_query * 1e6, speedup, stamp_mib,
                 fill * 100.0);
 
-    const std::string key = "n" + std::to_string(n);
+    // Spelled as append rather than `"n" + std::to_string(n)`: the
+    // `const char* + string&&` overload trips GCC 12's -Wrestrict false
+    // positive (GCC PR105329) at -O3.
+    std::string key = "n";
+    key += std::to_string(n);
     metrics.emplace_back("seed_setup_us_" + key, seed_per_query * 1e6);
     metrics.emplace_back("ws_setup_us_" + key, ws_per_query * 1e6);
     metrics.emplace_back("setup_speedup_" + key, speedup);

@@ -138,7 +138,10 @@ int main(int argc, char** argv) {
           MustOk(gql_filter->Filter(queries.back(), data), "filter"));
     }
 
-    const std::string tag = "q" + std::to_string(size);
+    // Append, not `"q" + std::to_string(size)`: GCC 12 -Wrestrict false
+    // positive (PR105329) on the const char* + string&& overload at -O3.
+    std::string tag = "q";
+    tag += std::to_string(size);
     auto record = [&](const std::string& name,
                       const std::vector<double>& lat) {
       const LatencyStats stats = Percentiles(lat);

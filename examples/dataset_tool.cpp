@@ -3,8 +3,8 @@
 // text format, and sample query sets from it — the on-disk workflow for
 // using this library with external matching engines.
 //
-//   ./build/examples/dataset_tool --dataset=yeast --scale=0.5 \
-//       --out=/tmp/yeast.graph --queries=4 --query-size=8 \
+//   ./build/examples/dataset_tool --dataset=yeast --scale=0.5
+//       --out=/tmp/yeast.graph --queries=4 --query-size=8
 //       --query-out=/tmp/yeast_q
 #include <cstdio>
 #include <cstring>

@@ -3,9 +3,9 @@
 // interoperability path for workloads produced by other tools (or by
 // examples/dataset_tool).
 //
-//   ./build/examples/match_tool --data=/tmp/yeast.graph \
+//   ./build/examples/match_tool --data=/tmp/yeast.graph
 //       --query=/tmp/yeast_q_0.graph --method=Hybrid --limit=100000
-//   ./build/examples/match_tool --data=... --query=... --method=RL-QVO \
+//   ./build/examples/match_tool --data=... --query=... --method=RL-QVO
 //       --model=/tmp/rlqvo.model
 #include <cstdio>
 #include <cstring>

@@ -18,7 +18,7 @@ class FatalLogMessage {
             << " ";
   }
   [[noreturn]] ~FatalLogMessage() {
-    std::cerr << stream_.str() << std::endl;
+    std::cerr << stream_.str() << '\n' << std::flush;
     std::abort();
   }
   std::ostream& stream() { return stream_; }

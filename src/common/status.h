@@ -102,6 +102,9 @@ class Status {
 
 /// Evaluates a Result<T> expression; on success binds the value to `lhs`,
 /// on failure returns the error status.
+// `lhs` cannot be parenthesized: it is usually a declaration
+// (`RLQVO_ASSIGN_OR_RETURN(auto g, LoadGraph(...))`).
+// NOLINTNEXTLINE(bugprone-macro-parentheses)
 #define RLQVO_ASSIGN_OR_RETURN(lhs, expr)                         \
   auto RLQVO_CONCAT(_res_, __LINE__) = (expr);                    \
   if (!RLQVO_CONCAT(_res_, __LINE__).ok())                        \

@@ -1,6 +1,7 @@
 #include "common/string_util.h"
 
 #include <cctype>
+#include <cstring>
 #include <cstdio>
 
 namespace rlqvo {
@@ -57,6 +58,20 @@ std::string FormatBytes(size_t bytes) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.1f %s", value, units[unit]);
   return buf;
+}
+
+std::string ErrnoMessage(int err) {
+  char buf[256];
+#if defined(__GLIBC__) && defined(_GNU_SOURCE)
+  // GNU strerror_r may return a static string instead of filling buf, but
+  // unlike strerror's buffer it is immutable, so reading it is safe.
+  return std::string(strerror_r(err, buf, sizeof(buf)));
+#else
+  if (strerror_r(err, buf, sizeof(buf)) != 0) {
+    return "errno " + std::to_string(err);
+  }
+  return std::string(buf);
+#endif
 }
 
 }  // namespace rlqvo

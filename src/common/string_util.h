@@ -20,4 +20,9 @@ std::string FormatDouble(double v, int precision = 4);
 /// \brief Formats a byte count with a binary unit suffix ("186.2 kB").
 std::string FormatBytes(size_t bytes);
 
+/// \brief Thread-safe strerror. std::strerror returns a pointer into a
+/// static buffer that a concurrent caller may overwrite mid-read
+/// (clang-tidy concurrency-mt-unsafe); this wraps strerror_r instead.
+std::string ErrnoMessage(int err);
+
 }  // namespace rlqvo

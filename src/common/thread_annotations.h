@@ -1,0 +1,225 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "common/check.h"
+
+/// \file
+/// \brief Clang Thread Safety Analysis annotations + the annotated mutex
+/// vocabulary every lock in this codebase goes through.
+///
+/// The macros below are the standard `-Wthread-safety` attribute set
+/// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html). Under Clang they
+/// turn locking discipline into compile-time contracts: a `GUARDED_BY(mu_)`
+/// member read without `mu_` held, or a `REQUIRES(mu_)` helper called
+/// outside the lock, is a build error on the CI leg that compiles with
+/// `-Wthread-safety -Werror=thread-safety`. Under GCC (which has no such
+/// analysis) they expand to nothing, so the annotated code is plain C++.
+///
+/// Raw `std::mutex` / `std::lock_guard` / `std::condition_variable` are
+/// banned in `src/` outside this header (enforced by scripts/lint_rlqvo.py,
+/// which runs in CI): the analysis cannot see through the standard types, so
+/// every lock must be an `rlqvo::Mutex` acquired via `rlqvo::MutexLock` and
+/// every wait an `rlqvo::CondVar`. See docs/CONCURRENCY.md for the lock
+/// hierarchy and the per-class guarded-member map.
+
+// NOLINTBEGIN(bugprone-macro-parentheses): attribute arguments cannot be
+// parenthesized — `guarded_by((mu_))` is not valid attribute syntax, and
+// capability expressions like `!mu_` must reach the attribute verbatim.
+
+#if defined(__clang__)
+#define RLQVO_TSA_ATTRIBUTE(x) __attribute__((x))
+#else
+#define RLQVO_TSA_ATTRIBUTE(x)  // no-op off-Clang
+#endif
+
+/// Marks a class as a lockable capability (e.g. `class CAPABILITY("mutex")
+/// Mutex`). The string names the capability kind in diagnostics.
+#define CAPABILITY(x) RLQVO_TSA_ATTRIBUTE(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases a
+/// capability (e.g. MutexLock).
+#define SCOPED_CAPABILITY RLQVO_TSA_ATTRIBUTE(scoped_lockable)
+
+/// Declares that a member is protected by the given mutex: every read needs
+/// the mutex held (shared or exclusive), every write needs it exclusive.
+#define GUARDED_BY(x) RLQVO_TSA_ATTRIBUTE(guarded_by(x))
+
+/// Like GUARDED_BY, but for the data *pointed to* by a pointer member (the
+/// pointer itself is unguarded).
+#define PT_GUARDED_BY(x) RLQVO_TSA_ATTRIBUTE(pt_guarded_by(x))
+
+/// Declares that callers must hold the given capabilities (exclusively)
+/// before calling; the function neither acquires nor releases them.
+#define REQUIRES(...) \
+  RLQVO_TSA_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+/// Shared (reader) variant of REQUIRES.
+#define REQUIRES_SHARED(...) \
+  RLQVO_TSA_ATTRIBUTE(requires_shared_capability(__VA_ARGS__))
+
+/// Declares that the function acquires the given capabilities (or `this`
+/// when empty) and holds them on return.
+#define ACQUIRE(...) \
+  RLQVO_TSA_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+
+/// Declares that the function releases the given capabilities (or `this`
+/// when empty), which must be held on entry.
+#define RELEASE(...) \
+  RLQVO_TSA_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+/// Declares a function that acquires the capability only when it returns
+/// the given value (e.g. `bool TryLock() TRY_ACQUIRE(true)`).
+#define TRY_ACQUIRE(...) \
+  RLQVO_TSA_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+
+/// Declares that callers must NOT hold the given capabilities — the
+/// function acquires them itself, so holding them on entry would deadlock
+/// (non-reentrant std::mutex underneath).
+#define EXCLUDES(...) RLQVO_TSA_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+/// Declares that the function checks (at runtime) that the capability is
+/// held, and fails fatally otherwise; the analysis then assumes it held.
+#define ASSERT_CAPABILITY(x) \
+  RLQVO_TSA_ATTRIBUTE(assert_capability(x))
+
+/// Declares that the function returns a reference to the given capability.
+#define RETURN_CAPABILITY(x) RLQVO_TSA_ATTRIBUTE(lock_returned(x))
+
+/// Documents lock-ordering edges for the analysis (deadlock detection).
+#define ACQUIRED_BEFORE(...) \
+  RLQVO_TSA_ATTRIBUTE(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) \
+  RLQVO_TSA_ATTRIBUTE(acquired_after(__VA_ARGS__))
+
+/// Opts a function out of the analysis. Use only for deliberate protocol
+/// violations with a comment explaining why they are safe.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  RLQVO_TSA_ATTRIBUTE(no_thread_safety_analysis)
+
+// NOLINTEND(bugprone-macro-parentheses)
+
+namespace rlqvo {
+
+/// \brief Annotated exclusive mutex over std::mutex.
+///
+/// The only mutex type allowed in `src/`. Besides carrying the CAPABILITY
+/// annotation the analysis needs, it adds an `AssertHeld()` debug hook: in
+/// debug builds the owning thread id is tracked, so code that *receives*
+/// control with a lock logically held (REQUIRES-annotated helpers reached
+/// through a function pointer, protocol hand-offs the static analysis
+/// cannot follow) can fail fast at runtime too. Release builds compile the
+/// tracking out; the wrapper is then exactly a std::mutex.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() {
+    mu_.lock();
+    DebugSetHolder();
+  }
+
+  void Unlock() RELEASE() {
+    DebugClearHolder();
+    mu_.unlock();
+  }
+
+  /// Returns true (and holds the mutex) iff it was free.
+  bool TryLock() TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+    DebugSetHolder();
+    return true;
+  }
+
+  /// Fatally asserts (debug builds) that the calling thread holds this
+  /// mutex. The static analysis treats the capability as held afterwards,
+  /// which makes it the runtime bridge for contracts the analysis cannot
+  /// prove — the dynamic counterpart of REQUIRES(this).
+  void AssertHeld() const ASSERT_CAPABILITY(this) {
+#ifndef NDEBUG
+    RLQVO_DCHECK(holder_.load(std::memory_order_relaxed) ==
+                 std::this_thread::get_id())
+        << "Mutex::AssertHeld: calling thread does not hold the mutex";
+#endif
+  }
+
+ private:
+  friend class CondVar;
+
+#ifndef NDEBUG
+  // Set immediately after acquiring mu_ and cleared immediately before
+  // releasing it, so only the current owner ever stores its own id: relaxed
+  // ordering suffices (the mutex itself orders the stores; AssertHeld only
+  // compares against the caller's own id).
+  void DebugSetHolder() {
+    holder_.store(std::this_thread::get_id(), std::memory_order_relaxed);
+  }
+  void DebugClearHolder() {
+    holder_.store(std::thread::id(), std::memory_order_relaxed);
+  }
+  std::atomic<std::thread::id> holder_{};
+#else
+  void DebugSetHolder() {}
+  void DebugClearHolder() {}
+#endif
+
+  std::mutex mu_;
+};
+
+/// \brief RAII scoped lock over Mutex — the std::lock_guard replacement the
+/// analysis can follow.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+/// \brief Condition variable bound to rlqvo::Mutex.
+///
+/// Wait() is REQUIRES-annotated: the caller must hold the mutex, and —
+/// exactly like std::condition_variable — the mutex is released while
+/// blocked and reacquired before returning, which the analysis models as
+/// "held throughout". There is deliberately no predicate overload: a
+/// predicate lambda would be analyzed as a separate function and could not
+/// see the caller's lock set, so waits are written as explicit
+/// `while (!cond) cv.Wait(&mu);` loops (spurious wakeups are handled the
+/// same way either spelling).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `*mu` and blocks until notified (or spuriously
+  /// woken); reacquires `*mu` before returning. Callers must re-check their
+  /// condition in a loop.
+  void Wait(Mutex* mu) REQUIRES(mu) {
+    // Adopt the caller's hold so std::condition_variable can do its
+    // unlock-block-relock dance, then release ownership back without
+    // unlocking: the caller's MutexLock still owns the mutex.
+    std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+    mu->DebugClearHolder();
+    cv_.wait(lock);
+    mu->DebugSetHolder();
+    lock.release();
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace rlqvo

@@ -22,16 +22,16 @@ ThreadPool::ThreadPool(uint32_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     shutdown_ = true;
   }
-  work_available_.notify_all();
+  work_available_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task, const void* group) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     queue_.push_back(QueuedTask{std::move(task), group});
     // pending_ covers the task from enqueue to completion. A parent task
     // submitting subtasks therefore always overlaps them: pending_ cannot
@@ -39,18 +39,23 @@ void ThreadPool::Submit(std::function<void()> task, const void* group) {
     // so a concurrent Wait stays blocked until the whole tree is done.
     ++pending_;
   }
-  work_available_.notify_one();
+  work_available_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  all_done_.wait(lock, [this] { return pending_ == 0; });
+  MutexLock lock(&mu_);
+  while (pending_ != 0) all_done_.Wait(&mu_);
+}
+
+void ThreadPool::FinishTask() {
+  MutexLock lock(&mu_);
+  if (--pending_ == 0) all_done_.NotifyAll();
 }
 
 bool ThreadPool::TryRunOneTask(const void* group) {
   std::function<void()> task;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (group == nullptr) {
       if (queue_.empty()) return false;
       task = std::move(queue_.front().fn);
@@ -66,10 +71,7 @@ bool ThreadPool::TryRunOneTask(const void* group) {
     }
   }
   task();
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (--pending_ == 0) all_done_.notify_all();
-  }
+  FinishTask();
   return true;
 }
 
@@ -83,18 +85,14 @@ void ThreadPool::WorkerLoop(uint32_t index) {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_available_.wait(lock,
-                           [this] { return shutdown_ || !queue_.empty(); });
+      MutexLock lock(&mu_);
+      while (!shutdown_ && queue_.empty()) work_available_.Wait(&mu_);
       if (queue_.empty()) return;  // shutdown with a drained queue
       task = std::move(queue_.front().fn);
       queue_.pop_front();
     }
     task();
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (--pending_ == 0) all_done_.notify_all();
-    }
+    FinishTask();
   }
 }
 

@@ -1,12 +1,12 @@
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace rlqvo {
 
@@ -20,6 +20,14 @@ namespace rlqvo {
 /// [0, num_threads), exposed to running tasks via CurrentWorkerIndex() so
 /// callers can keep per-worker state (e.g. a per-thread Ordering instance or
 /// EnumeratorWorkspace) without locking.
+///
+/// **Locking.** One mutex guards the queue and the pending-task count; both
+/// condition variables are bound to it. The GUARDED_BY annotations below are
+/// compile-time contracts under Clang's -Wthread-safety (see
+/// common/thread_annotations.h); the CurrentPool()/CurrentWorkerIndex() TLS
+/// contract is lock-free by construction — each entry is written exactly
+/// once, by its own thread, before that thread runs any task, and only ever
+/// read by the same thread.
 ///
 /// **Nested submission.** Submit may be called from inside a running task
 /// (a worker fanning its own subtasks out); the bookkeeping counts a task
@@ -48,13 +56,14 @@ class ThreadPool {
   /// from worker threads (see "Nested submission" above). `group` is an
   /// opaque tag identifying a family of related tasks (e.g. one parallel
   /// run's chunk subtasks); TryRunOneTask can restrict itself to a group.
-  void Submit(std::function<void()> task, const void* group = nullptr);
+  void Submit(std::function<void()> task, const void* group = nullptr)
+      EXCLUDES(mu_);
 
   /// Blocks until every submitted task has finished executing (not merely
   /// been dequeued). Safe to call repeatedly; new Submits after Wait returns
   /// start a fresh round. Must only be called from outside the pool — a
   /// worker waiting for the pool to drain waits for itself.
-  void Wait();
+  void Wait() EXCLUDES(mu_);
 
   /// Runs one queued task on the *calling* thread, if one is immediately
   /// available; returns false when no eligible task is queued (some may
@@ -72,7 +81,7 @@ class ThreadPool {
   /// threads and external threads alike; the popped task runs with the
   /// worker index of the calling thread (external callers run it with
   /// index -1).
-  bool TryRunOneTask(const void* group = nullptr);
+  bool TryRunOneTask(const void* group = nullptr) EXCLUDES(mu_);
 
   /// Number of worker threads.
   uint32_t size() const { return static_cast<uint32_t>(workers_.size()); }
@@ -90,17 +99,22 @@ class ThreadPool {
  private:
   void WorkerLoop(uint32_t index);
 
+  /// Marks one task finished; notifies waiters when the count hits zero.
+  void FinishTask() EXCLUDES(mu_);
+
   struct QueuedTask {
     std::function<void()> fn;
     const void* group;
   };
 
-  std::mutex mu_;
-  std::condition_variable work_available_;
-  std::condition_variable all_done_;
-  std::deque<QueuedTask> queue_;
-  uint64_t pending_ = 0;  // queued + currently executing
-  bool shutdown_ = false;
+  Mutex mu_;
+  CondVar work_available_;  // signaled on Submit and at shutdown
+  CondVar all_done_;        // signaled when pending_ drops to zero
+  std::deque<QueuedTask> queue_ GUARDED_BY(mu_);
+  uint64_t pending_ GUARDED_BY(mu_) = 0;  // queued + currently executing
+  bool shutdown_ GUARDED_BY(mu_) = false;
+  // Written only in the constructor (before any concurrent access) and read
+  // structurally immutably afterwards; joined in the destructor.
   std::vector<std::thread> workers_;
 };
 

@@ -219,8 +219,15 @@ Status RLQVOModel::Save(const std::string& path) const {
   metadata["feature_alpha_degree"] = std::to_string(feature_config_.alpha_degree);
   metadata["feature_alpha_d"] = std::to_string(feature_config_.alpha_d);
   metadata["feature_alpha_l"] = std::to_string(feature_config_.alpha_l);
-  metadata["feature_random"] = feature_config_.random_features ? "1" : "0";
-  metadata["feature_scale_ids"] = feature_config_.scale_ids ? "1" : "0";
+  // std::string temporaries instead of `cond ? "1" : "0"` const char*
+  // assignment: GCC 12's -O2/-O3 inliner emits a -Wrestrict false positive
+  // (GCC PR105329) through basic_string::operator=(const char*) on the
+  // ternary form, and this spelling is what lets the GCC CI legs build with
+  // -Werror.
+  metadata["feature_random"] =
+      std::string(feature_config_.random_features ? "1" : "0");
+  metadata["feature_scale_ids"] =
+      std::string(feature_config_.scale_ids ? "1" : "0");
   return nn::SaveParameters(policy_->Parameters(), metadata, path);
 }
 

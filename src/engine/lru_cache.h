@@ -1,13 +1,13 @@
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <list>
-#include <mutex>
+#include <memory>
 #include <unordered_map>
 #include <utility>
 
 #include "common/result.h"
+#include "common/thread_annotations.h"
 
 namespace rlqvo {
 
@@ -24,7 +24,11 @@ namespace rlqvo {
 ///
 /// All operations take a single internal mutex; the critical sections are
 /// O(1) hash/list updates, so contention stays negligible next to the
-/// computations being cached.
+/// computations being cached. The counter invariant — hits + misses always
+/// equals the number of logical lookups — is maintained exclusively through
+/// the REQUIRES(mu_)-annotated private helpers below, so under Clang's
+/// -Wthread-safety no code path can bump a counter without holding the lock
+/// the invariant is defined under.
 template <typename Key, typename Value>
 class LruCache {
  public:
@@ -47,15 +51,15 @@ class LruCache {
   /// ReclassifyMissesAsHits, hits + misses always equals the number of
   /// logical lookups, and hits counts exactly the lookups that were served
   /// from the cache.
-  Value Get(const Key& key) {
-    std::lock_guard<std::mutex> lock(mu_);
+  Value Get(const Key& key) EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     auto it = index_.find(key);
     if (it == index_.end()) {
-      ++counters_.misses;
+      CountMiss();
       return Value();
     }
-    lru_.splice(lru_.begin(), lru_, it->second);  // move to front
-    ++counters_.hits;
+    Promote(it->second);
+    CountHit();
     return it->second->second;
   }
 
@@ -64,36 +68,32 @@ class LruCache {
   /// and that earlier miss is reclassified as a hit (the lookup *was*
   /// served from the cache — another leader completed in between). On a
   /// true miss the counters are untouched: the original miss stands.
-  Value Reprobe(const Key& key) {
-    std::lock_guard<std::mutex> lock(mu_);
+  Value Reprobe(const Key& key) EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     auto it = index_.find(key);
     if (it == index_.end()) return Value();
-    lru_.splice(lru_.begin(), lru_, it->second);
-    RLQVO_DCHECK(counters_.misses > 0);
-    --counters_.misses;
-    ++counters_.hits;
+    Promote(it->second);
+    Reclassify(1);
     return it->second->second;
   }
 
   /// Reclassifies `n` previously-counted misses as hits. Used by
   /// single-flight followers whose leader's Reprobe succeeded: their counted
   /// misses were in fact served from the cache.
-  void ReclassifyMissesAsHits(uint64_t n) {
-    std::lock_guard<std::mutex> lock(mu_);
-    RLQVO_DCHECK(counters_.misses >= n);
-    counters_.misses -= n;
-    counters_.hits += n;
+  void ReclassifyMissesAsHits(uint64_t n) EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    Reclassify(n);
   }
 
   /// Inserts (or refreshes) `key`, evicting the least-recently-used entry
   /// when at capacity.
-  void Put(const Key& key, Value value) {
+  void Put(const Key& key, Value value) EXCLUDES(mu_) {
     if (capacity_ == 0) return;
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = index_.find(key);
     if (it != index_.end()) {
       it->second->second = std::move(value);
-      lru_.splice(lru_.begin(), lru_, it->second);
+      Promote(it->second);
       return;
     }
     if (lru_.size() >= capacity_) {
@@ -106,14 +106,14 @@ class LruCache {
   }
 
   /// Drops all entries. Counters are preserved.
-  void Clear() {
-    std::lock_guard<std::mutex> lock(mu_);
+  void Clear() EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     lru_.clear();
     index_.clear();
   }
 
-  Counters counters() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  Counters counters() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     Counters c = counters_;
     c.entries = lru_.size();
     return c;
@@ -123,11 +123,31 @@ class LruCache {
  private:
   using LruList = std::list<std::pair<Key, Value>>;
 
-  mutable std::mutex mu_;
-  size_t capacity_;
-  LruList lru_;  // front = most recently used
-  std::unordered_map<Key, typename LruList::iterator> index_;
-  Counters counters_;
+  /// \name hits + misses == lookups invariant.
+  /// Every counter mutation goes through these three helpers; REQUIRES(mu_)
+  /// makes "counter touched outside the lock" a compile error under Clang.
+  /// A lookup counts exactly one hit or one miss, and Reclassify only moves
+  /// weight between the two buckets — the sum is monotone in lookups.
+  /// @{
+  void CountHit() REQUIRES(mu_) { ++counters_.hits; }
+  void CountMiss() REQUIRES(mu_) { ++counters_.misses; }
+  void Reclassify(uint64_t n) REQUIRES(mu_) {
+    RLQVO_DCHECK(counters_.misses >= n);
+    counters_.misses -= n;
+    counters_.hits += n;
+  }
+  /// @}
+
+  /// Moves `it` to the MRU front.
+  void Promote(typename LruList::iterator it) REQUIRES(mu_) {
+    lru_.splice(lru_.begin(), lru_, it);
+  }
+
+  mutable Mutex mu_;
+  const size_t capacity_;
+  LruList lru_ GUARDED_BY(mu_);  // front = most recently used
+  std::unordered_map<Key, typename LruList::iterator> index_ GUARDED_BY(mu_);
+  Counters counters_ GUARDED_BY(mu_);
 };
 
 /// \brief An LruCache fronted by single-flight computation: concurrent
@@ -158,7 +178,8 @@ class SingleFlightCache {
   ///        concurrent leader's flight).
   template <typename ComputeFn>
   Result<Value> GetOrCompute(const Key& key, bool bypass, ComputeFn&& compute,
-                             bool* computed_by_caller = nullptr) {
+                             bool* computed_by_caller = nullptr)
+      EXCLUDES(inflight_mu_) {
     if (computed_by_caller != nullptr) *computed_by_caller = false;
     if (bypass || cache_.capacity() == 0) {
       if (computed_by_caller != nullptr) *computed_by_caller = true;
@@ -172,7 +193,7 @@ class SingleFlightCache {
     std::shared_ptr<Inflight> entry;
     bool leader = false;
     {
-      std::lock_guard<std::mutex> lock(inflight_mu_);
+      MutexLock lock(&inflight_mu_);
       auto [it, inserted] = inflight_.try_emplace(key);
       if (inserted) {
         it->second = std::make_shared<Inflight>();
@@ -183,8 +204,8 @@ class SingleFlightCache {
     if (!leader) {
       bool from_cache = false;
       {
-        std::unique_lock<std::mutex> lock(inflight_mu_);
-        inflight_cv_.wait(lock, [&] { return entry->ready; });
+        MutexLock lock(&inflight_mu_);
+        while (!entry->ready) inflight_cv_.Wait(&inflight_mu_);
         from_cache = entry->served_from_cache;
       }
       if (!entry->status.ok()) return entry->status;
@@ -199,7 +220,7 @@ class SingleFlightCache {
     // Reprobe reclassifies this leader's own miss as a hit on success.
     entry->value = cache_.Reprobe(key);
     if (entry->value) {
-      std::lock_guard<std::mutex> lock(inflight_mu_);
+      MutexLock lock(&inflight_mu_);
       entry->served_from_cache = true;
     } else {
       Result<Value> fresh = compute();
@@ -212,11 +233,11 @@ class SingleFlightCache {
       }
     }
     {
-      std::lock_guard<std::mutex> lock(inflight_mu_);
+      MutexLock lock(&inflight_mu_);
       entry->ready = true;
       inflight_.erase(key);
     }
-    inflight_cv_.notify_all();
+    inflight_cv_.NotifyAll();
     if (!entry->status.ok()) return entry->status;
     return entry->value;
   }
@@ -229,8 +250,14 @@ class SingleFlightCache {
   void Clear() { cache_.Clear(); }
 
  private:
-  /// One in-progress computation; `ready`/`served_from_cache` are guarded
-  /// by inflight_mu_.
+  /// One in-progress computation. `ready` and `served_from_cache` are
+  /// written and read only under inflight_mu_ (annotating that is beyond
+  /// Clang's analysis for a nested struct referencing the enclosing
+  /// object's mutex, so the contract is documented here instead). `status`
+  /// and `value` are published by message passing: the leader writes them
+  /// before setting `ready` under the mutex, followers read them only after
+  /// observing `ready` under the same mutex — the mutex release/acquire
+  /// pair is the happens-before edge.
   struct Inflight {
     bool ready = false;
     bool served_from_cache = false;
@@ -239,9 +266,10 @@ class SingleFlightCache {
   };
 
   LruCache<Key, Value> cache_;
-  std::mutex inflight_mu_;
-  std::condition_variable inflight_cv_;
-  std::unordered_map<Key, std::shared_ptr<Inflight>> inflight_;
+  Mutex inflight_mu_;
+  CondVar inflight_cv_;
+  std::unordered_map<Key, std::shared_ptr<Inflight>> inflight_
+      GUARDED_BY(inflight_mu_);
 };
 
 }  // namespace rlqvo

@@ -124,7 +124,7 @@ Result<BatchResult> QueryEngine::MatchBatch(const std::vector<Graph>& queries,
   // Batches are serialized against each other so the pool and the per-batch
   // cache counters are never shared between two in-flight batches; all
   // parallelism is across the queries *within* a batch.
-  std::lock_guard<std::mutex> batch_lock(batch_mu_);
+  MutexLock batch_lock(&batch_mu_);
   const CandidateCache::Counters cache_before = candidate_cache_.counters();
   const OrderCache::Counters order_before = order_cache_.counters();
   Stopwatch wall;
@@ -179,7 +179,7 @@ Result<BatchResult> QueryEngine::MatchBatch(const std::vector<Graph>& queries,
   batch.wall_seconds = wall.ElapsedSeconds();
 
   {
-    std::lock_guard<std::mutex> lock(counters_mu_);
+    MutexLock lock(&counters_mu_);
     queries_served_ += queries.size();
     ++batches_served_;
   }
@@ -195,7 +195,7 @@ Result<MatchRunStats> QueryEngine::Match(const Graph& query) {
 EngineCounters QueryEngine::counters() const {
   EngineCounters counters;
   {
-    std::lock_guard<std::mutex> lock(counters_mu_);
+    MutexLock lock(&counters_mu_);
     counters.queries_served = queries_served_;
     counters.batches_served = batches_served_;
   }

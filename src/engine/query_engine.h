@@ -2,11 +2,11 @@
 
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "engine/candidate_cache.h"
 #include "engine/lru_cache.h"
@@ -176,7 +176,8 @@ class QueryEngine {
   /// is not even a per-query error — it is reported via
   /// MatchRunStats::solved = false.
   Result<BatchResult> MatchBatch(const std::vector<Graph>& queries,
-                                 const BatchOptions& options = {});
+                                 const BatchOptions& options = {})
+      EXCLUDES(batch_mu_, counters_mu_);
 
   /// Single-query convenience wrapper over MatchBatch; surfaces the query's
   /// per-query status as the call's status.
@@ -186,7 +187,7 @@ class QueryEngine {
   uint32_t num_threads() const { return pool_.size(); }
   const Graph& data() const { return *config_.data; }
   /// Cumulative counters (batches, queries, cache hits/misses/evictions).
-  EngineCounters counters() const;
+  EngineCounters counters() const EXCLUDES(counters_mu_);
   /// Drops all cached candidate sets and orders (counters are preserved).
   void ClearCache() {
     candidate_cache_.Clear();
@@ -215,16 +216,27 @@ class QueryEngine {
   CandidateCache candidate_cache_;
   OrderCache order_cache_;
   Status init_status_;  // non-OK iff ordering_factory failed at construction
+  // Per-worker state, deliberately lock-free: both vectors are sized once in
+  // the constructor (before any task can run) and slot i is only ever
+  // touched by the pool worker whose CurrentWorkerIndex() == i — distinct
+  // threads never share a slot, so there is nothing to guard. Chunk
+  // subtasks of intra-query parallel runs follow the same rule via
+  // PickChunkWorkspace (they index by the executing worker, never the
+  // submitting one). See docs/CONCURRENCY.md.
   std::vector<std::shared_ptr<Ordering>> worker_orderings_;
   // One reusable enumeration workspace per ThreadPool worker (indexed like
   // worker_orderings_ by CurrentWorkerIndex), so steady-state batch serving
   // never pays the O(|V(q)|·|V(G)|) per-query setup the seed enumerator had.
   std::vector<EnumeratorWorkspace> worker_workspaces_;
 
-  std::mutex batch_mu_;  // serializes MatchBatch calls against each other
-  mutable std::mutex counters_mu_;
-  uint64_t queries_served_ = 0;
-  uint64_t batches_served_ = 0;
+  /// Serializes MatchBatch calls against each other: the pool and the
+  /// per-batch cache-counter deltas are never shared between two in-flight
+  /// batches. Held for a whole batch, so it must never be acquired from a
+  /// pool worker (the batch's own tasks run under it).
+  Mutex batch_mu_;
+  mutable Mutex counters_mu_;
+  uint64_t queries_served_ GUARDED_BY(counters_mu_) = 0;
+  uint64_t batches_served_ GUARDED_BY(counters_mu_) = 0;
 
   // Declared last so ~QueryEngine joins the workers before any state they
   // touch (orderings, cache, mutexes) is destroyed.

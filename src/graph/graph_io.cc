@@ -1,7 +1,6 @@
 #include "graph/graph_io.h"
 
 #include <cerrno>
-#include <cstring>
 #include <fstream>
 #include <sstream>
 
@@ -101,7 +100,7 @@ Result<Graph> LoadGraphFromFile(const std::string& path) {
   std::ifstream in(path);
   if (!in) {
     return Status::IOError("cannot open '" + path + "': " +
-                           std::strerror(errno));
+                           ErrnoMessage(errno));
   }
   std::ostringstream buf;
   buf << in.rdbuf();
@@ -126,7 +125,7 @@ Status SaveGraphToFile(const Graph& g, const std::string& path) {
   std::ofstream out(path);
   if (!out) {
     return Status::IOError("cannot open '" + path + "' for writing: " +
-                           std::strerror(errno));
+                           ErrnoMessage(errno));
   }
   out << GraphToText(g);
   if (!out) return Status::IOError("write to '" + path + "' failed");

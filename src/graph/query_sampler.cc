@@ -34,11 +34,11 @@ Result<Graph> QuerySampler::SampleQuery(uint32_t num_vertices) {
       const VertexId v = frontier[pick];
       frontier[pick] = frontier.back();
       frontier.pop_back();
-      if (in_set.count(v)) continue;
+      if (in_set.contains(v)) continue;
       in_set.insert(v);
       chosen.push_back(v);
       for (VertexId w : g.neighbors(v)) {
-        if (!in_set.count(w)) frontier.push_back(w);
+        if (!in_set.contains(w)) frontier.push_back(w);
       }
     }
     if (chosen.size() < num_vertices) continue;  // stuck in a small component

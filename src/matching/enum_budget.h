@@ -34,6 +34,21 @@ namespace rlqvo {
 ///
 /// `match_limit == 0` means unlimited (the paper's "ALL" setting, Fig 11):
 /// TryClaimMatch always succeeds and LimitReached is always false.
+///
+/// **Memory-order protocol.** Every atomic here uses
+/// std::memory_order_relaxed, deliberately: the budget only *counts* and
+/// *signals* — it never publishes data. A successful claim entitles the
+/// chunk to emit into its own chunk-local buffer; those buffers are handed
+/// to the coordinator through the ThreadPool/Completion mutexes (see
+/// Enumerator::RunParallel), which provide all the happens-before edges the
+/// emitted embeddings need. `stop_` is a pure hint — a chunk that misses a
+/// freshly-raised stop merely burns the rest of its current work quantum
+/// before re-polling, which affects latency, never correctness (claims, not
+/// the stop flag, bound the emission count). Strengthening these to
+/// acq_rel would cost fence traffic on the hot emission path and buy
+/// nothing; this reasoning is a contract, so any new field that *does*
+/// publish data through the budget must either use release/acquire or go
+/// through a mutex.
 class EnumBudget {
  public:
   /// \param match_limit global emission cap across all subtasks; 0 =
@@ -52,6 +67,10 @@ class EnumBudget {
   /// A caller must only emit a match for which the claim succeeded.
   bool TryClaimMatch() {
     if (limit_ == 0) return true;
+    // Relaxed CAS loop: the counter is the entire shared state. The CAS's
+    // atomicity alone guarantees exactly `limit_` successful claims; no
+    // other memory is ordered by a claim (emissions go to chunk-local
+    // buffers, published later via the coordinator's mutex).
     uint64_t current = claimed_.load(std::memory_order_relaxed);
     while (current < limit_) {
       if (claimed_.compare_exchange_weak(current, current + 1,
@@ -73,6 +92,9 @@ class EnumBudget {
 
   /// Raised by the first subtask that hits the match limit or observes
   /// deadline expiry; polled by the others at work-quantum checkpoints.
+  /// Relaxed on both sides: the flag carries no payload, and a stale read
+  /// only delays a chunk's unwind by one work quantum (see the class
+  /// comment's memory-order protocol).
   void RequestStop() { stop_.store(true, std::memory_order_relaxed); }
   bool StopRequested() const {
     return stop_.load(std::memory_order_relaxed);

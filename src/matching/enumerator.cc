@@ -2,10 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
-#include <mutex>
 #include <utility>
 
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "graph/graph_algorithms.h"
 #include "matching/enum_budget.h"
@@ -273,6 +272,10 @@ Status ValidateEnumerationInputs(const Graph& query,
 
 /// Process-unique token per RunParallel invocation, for the once-per-run
 /// per-worker Prepare dedupe (see EnumeratorWorkspace::parallel_run_token).
+/// fetch_add with relaxed order: uniqueness is all that matters (the
+/// token's *value* is compared, never used to order other memory — the
+/// workspace it stamps is only touched by one thread at a time via the
+/// pool's per-worker handoff).
 std::atomic<uint64_t> g_parallel_run_counter{0};
 
 /// The reusable workspace a chunk subtask may use on the thread it happens
@@ -387,9 +390,17 @@ Result<EnumerateResult> Enumerator::RunParallel(
     EnumerateResult result;
   };
   std::vector<ChunkOutcome> outcomes(num_chunks);
-  std::mutex done_mu;
-  std::condition_variable done_cv;
-  size_t done = 0;
+  // Completion rendezvous between the chunk subtasks and the coordinator.
+  // A named struct (rather than loose locals) so the GUARDED_BY contract is
+  // visible to Clang's thread-safety analysis: `done` may only be touched
+  // under `mu`. Each outcomes[chunk] slot is written by exactly one subtask
+  // before its ++done, and read by the coordinator only after done ==
+  // num_chunks under mu — that release/acquire pair publishes the slots.
+  struct Completion {
+    Mutex mu;
+    CondVar cv;
+    size_t done GUARDED_BY(mu) = 0;
+  } completion;
 
   auto run_chunk = [&](size_t chunk) {
     if (budget.StopRequested()) return;  // budget already exhausted
@@ -428,8 +439,8 @@ Result<EnumerateResult> Enumerator::RunParallel(
     resources.pool->Submit(
         [&, chunk] {
           run_chunk(chunk);
-          std::lock_guard<std::mutex> lock(done_mu);
-          if (++done == num_chunks) done_cv.notify_all();
+          MutexLock lock(&completion.mu);
+          if (++completion.done == num_chunks) completion.cv.NotifyAll();
         },
         run_group);
   }
@@ -445,12 +456,12 @@ Result<EnumerateResult> Enumerator::RunParallel(
   // contract).
   for (;;) {
     {
-      std::lock_guard<std::mutex> lock(done_mu);
-      if (done == num_chunks) break;
+      MutexLock lock(&completion.mu);
+      if (completion.done == num_chunks) break;
     }
     if (!resources.pool->TryRunOneTask(run_group)) {
-      std::unique_lock<std::mutex> lock(done_mu);
-      done_cv.wait(lock, [&] { return done == num_chunks; });
+      MutexLock lock(&completion.mu);
+      while (completion.done < num_chunks) completion.cv.Wait(&completion.mu);
       break;
     }
   }

@@ -132,6 +132,12 @@ class CandidateMembership {
 };
 
 /// The per-thread instance the refinement filters reuse across queries.
+/// thread_local is the whole concurrency story: each engine worker (or
+/// caller thread) owns its instance outright, so the shared, stateless
+/// filter objects stay const-callable from any number of threads without a
+/// lock. The instance is rebound via Reset() at the top of every filter
+/// call; nothing leaks between queries except the (intentional) buffer
+/// high-water mark.
 CandidateMembership& ThreadLocalMembership() {
   static thread_local CandidateMembership membership;
   return membership;

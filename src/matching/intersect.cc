@@ -143,8 +143,19 @@ namespace {
 /// The process-global kernel selection. Initialised (once, thread-safe via
 /// the function-local static) from RLQVO_INTERSECT_KERNEL; unknown or
 /// unsupported values warn on stderr and fall back to kAuto.
+///
+/// Lock-free protocol: the enum value is the entire state — no other data
+/// hangs off a kernel change, every kernel computes byte-identical output,
+/// and dispatch re-reads the atomic per intersection. Relaxed loads/stores
+/// therefore suffice (SetIntersectKernel racing a running enumeration can
+/// at worst serve some intersections with the old kernel, which is
+/// indistinguishable from calling Set a moment later). The function-local
+/// static gives the env-var read its once-only, data-race-free init
+/// (C++11 magic static).
 std::atomic<IntersectKernel>& GlobalKernel() {
   static std::atomic<IntersectKernel> kernel{[] {
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): read once during magic-static
+    // init, and nothing in the process ever calls setenv/putenv.
     const char* env = std::getenv("RLQVO_INTERSECT_KERNEL");
     if (env == nullptr || *env == '\0') return IntersectKernel::kAuto;
     const Result<IntersectKernel> parsed = IntersectKernelFromName(env);

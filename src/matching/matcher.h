@@ -96,6 +96,16 @@ class SubgraphMatcher {
   MatcherConfig config_;
   // Reused scratch state; mutable because Match is logically const (the
   // workspace never affects results, only setup cost).
+  //
+  // None of the mutable members below is guarded by a mutex, on purpose:
+  // SubgraphMatcher's contract (class comment) is external synchronization
+  // — one matcher per thread, never concurrent Match calls on one
+  // instance. The lazy pool init in Match would be a classic
+  // check-then-create race *if* that contract were violated, so it must
+  // stay single-caller; code that needs concurrent serving goes through
+  // QueryEngine, which owns the per-worker replication. (The pool's own
+  // workers touching enum_worker_workspaces_ is safe for the same
+  // per-worker-slot reason as QueryEngine — see docs/CONCURRENCY.md.)
   mutable EnumeratorWorkspace workspace_;
   // Intra-query enumeration pool + per-worker workspaces, lazily created
   // when enum_options.parallel_threads > 0 (see class comment).

@@ -105,7 +105,7 @@ void Backward(const Var& root) {
     Frame& frame = stack.back();
     if (frame.next_parent < frame.node->parents.size()) {
       Node* parent = frame.node->parents[frame.next_parent++].get();
-      if (parent->requires_grad && !visited.count(parent)) {
+      if (parent->requires_grad && !visited.contains(parent)) {
         visited.insert(parent);
         stack.push_back({parent, 0});
       }

@@ -2,7 +2,6 @@
 
 #include <cerrno>
 #include <cstdio>
-#include <cstring>
 #include <fstream>
 #include <sstream>
 
@@ -21,7 +20,7 @@ Status SaveParameters(const std::vector<Var>& parameters,
   std::ofstream out(path);
   if (!out) {
     return Status::IOError("cannot open '" + path + "' for writing: " +
-                           std::strerror(errno));
+                           ErrnoMessage(errno));
   }
   out << kMagic << "\n";
   for (const auto& [key, value] : metadata) {
@@ -50,7 +49,7 @@ Result<Checkpoint> LoadCheckpoint(const std::string& path) {
   std::ifstream in(path);
   if (!in) {
     return Status::IOError("cannot open '" + path + "': " +
-                           std::strerror(errno));
+                           ErrnoMessage(errno));
   }
   std::string line;
   if (!std::getline(in, line) || line != kMagic) {

@@ -304,7 +304,9 @@ TEST(IntersectionEquivalenceTest, DeadlinePath) {
   Enumerator enumerator;
   auto result = enumerator.Run(query, data, cs, order, opts).ValueOrDie();
   // Either finished very fast or reports the cut; never an error.
-  if (!result.timed_out) EXPECT_FALSE(result.hit_match_limit);
+  if (!result.timed_out) {
+    EXPECT_FALSE(result.hit_match_limit);
+  }
 }
 
 // ---------------------------------------------------------------------------
