@@ -4,13 +4,22 @@
 // front-end.
 //
 //   ./build/examples/batch_serve [num_threads]
+//   ./build/examples/batch_serve --list-failpoints
 //
 // Wave 1 is all cache misses (every query is filtered); wave 2 repeats the
 // workload and is served almost entirely from the LRU candidate cache.
+//
+// The binary is also the chaos-CI driver: `--list-failpoints` prints every
+// registered failpoint site (one per line), and running under
+// RLQVO_FAILPOINTS=<site>=<mode> exercises the serving stack with that
+// fault injected — per-query failures land in the batch statuses (printed
+// as "failed" below) while the process and the other queries stay healthy.
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 
+#include "common/failpoint.h"
 #include "core/rlqvo.h"
 #include "datasets/datasets.h"
 #include "graph/query_sampler.h"
@@ -20,9 +29,16 @@ using namespace rlqvo;
 int main(int argc, char** argv) {
   uint32_t num_threads = 4;
   if (argc > 1) {
+    if (std::strcmp(argv[1], "--list-failpoints") == 0) {
+      for (std::string_view site : failpoint::AllSites()) {
+        std::printf("%.*s\n", static_cast<int>(site.size()), site.data());
+      }
+      return 0;
+    }
     const int parsed = std::atoi(argv[1]);
     if (parsed < 1) {
-      std::fprintf(stderr, "usage: batch_serve [num_threads >= 1]\n");
+      std::fprintf(stderr,
+                   "usage: batch_serve [num_threads >= 1 | --list-failpoints]\n");
       return 2;
     }
     num_threads = static_cast<uint32_t>(parsed);
@@ -63,10 +79,10 @@ int main(int argc, char** argv) {
     std::printf("wave %d: %zu queries in %.3f s (%.1f q/s)\n", wave,
                 queries.size(), batch.wall_seconds,
                 queries.size() / batch.wall_seconds);
-    std::printf("        %llu total matches, %u unsolved, "
+    std::printf("        %llu total matches, %u failed, %u unsolved, "
                 "cache %llu hits / %llu misses\n",
                 static_cast<unsigned long long>(batch.total_matches),
-                batch.unsolved,
+                batch.failed, batch.unsolved,
                 static_cast<unsigned long long>(batch.cache_hits),
                 static_cast<unsigned long long>(batch.cache_misses));
   }
@@ -82,10 +98,13 @@ int main(int argc, char** argv) {
               batch.unsolved, queries.size());
 
   const EngineCounters counters = engine->counters();
-  std::printf("\nlifetime: %llu queries over %llu batches; "
+  std::printf("\nlifetime: %llu queries over %llu batches "
+              "(%llu queries / %llu batches shed); "
               "cache %llu hits / %llu misses / %llu evictions\n",
               static_cast<unsigned long long>(counters.queries_served),
               static_cast<unsigned long long>(counters.batches_served),
+              static_cast<unsigned long long>(counters.queries_shed),
+              static_cast<unsigned long long>(counters.batches_shed),
               static_cast<unsigned long long>(counters.cache.hits),
               static_cast<unsigned long long>(counters.cache.misses),
               static_cast<unsigned long long>(counters.cache.evictions));

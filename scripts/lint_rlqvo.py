@@ -20,6 +20,14 @@ library — they are not part of the annotated serving stack):
    TU, with $CXX -fsyntax-only. A header that leans on its includers'
    includes breaks the next refactor.
 
+4. **Failpoint sites are closed under the catalog.** Every
+   RLQVO_FAILPOINT / RLQVO_FAILPOINT_FIRED site named in src/ must be
+   registered in the catalog in src/common/failpoint.cc, every catalog
+   entry must be used somewhere in src/ (a registered-but-dead site is a
+   hole in the chaos suite, which iterates the catalog), names must match
+   `component.operation` (lowercase [a-z0-9_], exactly one dot), and the
+   catalog must be duplicate-free.
+
 Exit status 0 = clean, 1 = violations (printed as file:line: message),
 2 = usage/environment error.
 """
@@ -119,6 +127,58 @@ def check_banned_patterns():
     return violations
 
 
+FAILPOINT_CATALOG = os.path.join(SRC_DIR, "common", "failpoint.cc")
+FAILPOINT_ENTRY_RE = re.compile(r'\{"([^"]+)",\s*StatusCode::')
+FAILPOINT_USE_RE = re.compile(r'RLQVO_FAILPOINT(?:_FIRED)?\s*\(\s*"([^"]+)"')
+FAILPOINT_NAME_RE = re.compile(r"^[a-z0-9_]+\.[a-z0-9_]+$")
+
+
+def check_failpoints():
+    """The failpoint catalog and the RLQVO_FAILPOINT* sites in src/ must be
+    the same set (note: uses are matched on raw text, not comment-stripped
+    text, because site names live inside string literals)."""
+    violations = []
+    if not os.path.isfile(FAILPOINT_CATALOG):
+        return [f"{os.path.relpath(FAILPOINT_CATALOG, REPO_ROOT)}:1: "
+                "failpoint catalog not found"]
+    with open(FAILPOINT_CATALOG, encoding="utf-8") as f:
+        catalog_text = f.read()
+    registered = {}
+    for lineno, line in enumerate(catalog_text.splitlines(), start=1):
+        for name in FAILPOINT_ENTRY_RE.findall(line):
+            if name in registered:
+                violations.append(
+                    f"src/common/failpoint.cc:{lineno}: duplicate catalog "
+                    f'entry "{name}" (first at line {registered[name]})')
+            else:
+                registered[name] = lineno
+            if not FAILPOINT_NAME_RE.match(name):
+                violations.append(
+                    f"src/common/failpoint.cc:{lineno}: failpoint name "
+                    f'"{name}" must match component.operation '
+                    "(lowercase [a-z0-9_], exactly one dot)")
+
+    used = {}
+    for path in source_files():
+        rel = os.path.relpath(path, REPO_ROOT)
+        with open(path, encoding="utf-8") as f:
+            for lineno, line in enumerate(f, start=1):
+                for name in FAILPOINT_USE_RE.findall(line):
+                    used.setdefault(name, f"{rel}:{lineno}")
+                    if name not in registered:
+                        violations.append(
+                            f"{rel}:{lineno}: failpoint site \"{name}\" is "
+                            "not registered in the catalog in "
+                            "src/common/failpoint.cc")
+    for name, lineno in sorted(registered.items()):
+        if name not in used:
+            violations.append(
+                f"src/common/failpoint.cc:{lineno}: catalog entry "
+                f'"{name}" has no RLQVO_FAILPOINT(_FIRED) use in src/ — '
+                "remove it or instrument the site")
+    return violations
+
+
 def check_header_self_contained(cxx: str, jobs: int):
     headers = [p for p in source_files() if p.endswith(".h")]
 
@@ -165,6 +225,7 @@ def main() -> int:
         return 2
 
     violations = check_banned_patterns()
+    violations += check_failpoints()
     if not args.skip_header_check:
         violations += check_header_self_contained(args.cxx, args.jobs)
 

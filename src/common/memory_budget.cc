@@ -1,0 +1,91 @@
+#include "common/memory_budget.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/failpoint.h"
+
+namespace rlqvo {
+
+void MemoryCharge::Reset() {
+  if (budget_ != nullptr) {
+    budget_->Release(bytes_);
+    budget_ = nullptr;
+    bytes_ = 0;
+  }
+}
+
+namespace {
+
+// Parses "67108864", "64m", "2G", ... Returns 0 (unlimited) on garbage —
+// a bad env var must not change behaviour, only forfeit the limit.
+size_t ParseBudgetEnv(const char* text) {
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text, &end, 10);
+  if (end == text) return 0;
+  size_t multiplier = 1;
+  if (*end != '\0') {
+    switch (std::tolower(static_cast<unsigned char>(*end))) {
+      case 'k':
+        multiplier = size_t{1} << 10;
+        break;
+      case 'm':
+        multiplier = size_t{1} << 20;
+        break;
+      case 'g':
+        multiplier = size_t{1} << 30;
+        break;
+      default:
+        return 0;
+    }
+    if (end[1] != '\0') return 0;
+  }
+  return static_cast<size_t>(value) * multiplier;
+}
+
+}  // namespace
+
+MemoryBudget& MemoryBudget::Global() {
+  static MemoryBudget* budget = [] {
+    auto* b = new MemoryBudget();
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): read once during magic-static
+    // init; nothing in-process writes the environment.
+    if (const char* env = std::getenv("RLQVO_MEMORY_BUDGET")) {
+      const size_t limit = ParseBudgetEnv(env);
+      if (limit == 0 && *env != '\0' && *env != '0') {
+        std::fprintf(stderr,
+                     "[rlqvo] ignoring bad RLQVO_MEMORY_BUDGET: %s\n", env);
+      }
+      b->set_limit_bytes(limit);
+    }
+    return b;
+  }();
+  return *budget;
+}
+
+MemoryCharge MemoryBudget::TryCharge(size_t bytes) {
+  if (bytes == 0) return MemoryCharge();
+  if (RLQVO_FAILPOINT_FIRED("budget.charge")) {
+    denials_.fetch_add(1, std::memory_order_relaxed);
+    return MemoryCharge();
+  }
+  const size_t limit = limit_.load(std::memory_order_relaxed);
+  const size_t after = used_.fetch_add(bytes, std::memory_order_relaxed) +
+                       bytes;
+  if (limit != 0 && after > limit) {
+    used_.fetch_sub(bytes, std::memory_order_relaxed);
+    denials_.fetch_add(1, std::memory_order_relaxed);
+    return MemoryCharge();
+  }
+  // Best-effort peak tracking; racing updates can only under-report by the
+  // width of the race, which is fine for a diagnostic counter.
+  size_t peak = peak_.load(std::memory_order_relaxed);
+  while (after > peak &&
+         !peak_.compare_exchange_weak(peak, after,
+                                      std::memory_order_relaxed)) {
+  }
+  return MemoryCharge(this, bytes);
+}
+
+}  // namespace rlqvo

@@ -19,6 +19,11 @@ enum class StatusCode : int {
   kUnimplemented = 6,
   kInternal = 7,
   kTimedOut = 8,
+  /// A bounded resource ran out: an admission-control shed, a MemoryBudget
+  /// denial, or an injected allocation failure. Retryable by contract —
+  /// the request was well-formed, the system just could not take it *now*
+  /// (see IsRetryable below and docs/ROBUSTNESS.md).
+  kResourceExhausted = 9,
 };
 
 /// \brief Returns a human readable name for a status code (e.g. "Invalid").
@@ -63,6 +68,9 @@ class Status {
   static Status TimedOut(std::string msg) {
     return Status(StatusCode::kTimedOut, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
   /// @}
 
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -75,6 +83,9 @@ class Status {
   bool IsIOError() const { return code_ == StatusCode::kIOError; }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
   bool IsTimedOut() const { return code_ == StatusCode::kTimedOut; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
 
   /// \brief "OK" or "<CodeName>: <message>".
   std::string ToString() const;
@@ -87,6 +98,15 @@ class Status {
   StatusCode code_ = StatusCode::kOk;
   std::string msg_;
 };
+
+/// \brief True for transient failures a client should retry (with backoff):
+/// load shedding and budget denials (kResourceExhausted) and deadline
+/// expiry (kTimedOut). Malformed-input and internal errors are not
+/// retryable — resubmitting the same request would fail the same way.
+inline bool IsRetryable(const Status& status) {
+  return status.code() == StatusCode::kResourceExhausted ||
+         status.code() == StatusCode::kTimedOut;
+}
 
 }  // namespace rlqvo
 

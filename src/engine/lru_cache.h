@@ -1,11 +1,16 @@
 #pragma once
 
+#include <chrono>
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
+#include <thread>
 #include <unordered_map>
 #include <utility>
 
+#include "common/failpoint.h"
+#include "common/memory_budget.h"
 #include "common/result.h"
 #include "common/thread_annotations.h"
 
@@ -37,7 +42,15 @@ class LruCache {
   struct Counters {
     uint64_t hits = 0;
     uint64_t misses = 0;
+    /// Logical lookups (Get calls). Invariant: hits + misses == lookups —
+    /// Reprobe/Reclassify only move weight between the two buckets. Chaos
+    /// tests assert this balance under every injected fault.
+    uint64_t lookups = 0;
     uint64_t evictions = 0;
+    /// Inserts skipped because the memory budget denied the entry's cost
+    /// or the `cache.put` failpoint fired. The value is still served to
+    /// the caller — only the caching is lost.
+    uint64_t put_rejects = 0;
     size_t entries = 0;
   };
   /// @}
@@ -46,6 +59,20 @@ class LruCache {
   /// (Get always misses, Put is a no-op).
   explicit LruCache(size_t capacity) : capacity_(capacity) {}
 
+  /// Attaches a memory budget: every Put charges `cost_fn(value)` bytes and
+  /// skips the insert (counting a put_reject) when the budget denies the
+  /// charge. The charge is released when the entry is evicted, replaced out,
+  /// or cleared. Call before the cache sees concurrent traffic; a refreshed
+  /// key keeps its original charge (same-key values are assumed
+  /// cost-stable, which holds for the fingerprint-keyed engine caches).
+  void SetBudget(MemoryBudget* budget,
+                 std::function<size_t(const Value&)> cost_fn)
+      EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    budget_ = budget;
+    cost_fn_ = std::move(cost_fn);
+  }
+
   /// Returns the cached value for `key` (marking it most-recently-used) or
   /// a null Value on miss. Counts a hit or a miss; across Get/Reprobe/
   /// ReclassifyMissesAsHits, hits + misses always equals the number of
@@ -53,6 +80,7 @@ class LruCache {
   /// from the cache.
   Value Get(const Key& key) EXCLUDES(mu_) {
     MutexLock lock(&mu_);
+    ++counters_.lookups;
     auto it = index_.find(key);
     if (it == index_.end()) {
       CountMiss();
@@ -60,7 +88,7 @@ class LruCache {
     }
     Promote(it->second);
     CountHit();
-    return it->second->second;
+    return it->second->value;
   }
 
   /// Second-chance lookup for a single-flight leader that already counted a
@@ -74,7 +102,7 @@ class LruCache {
     if (it == index_.end()) return Value();
     Promote(it->second);
     Reclassify(1);
-    return it->second->second;
+    return it->second->value;
   }
 
   /// Reclassifies `n` previously-counted misses as hits. Used by
@@ -86,22 +114,41 @@ class LruCache {
   }
 
   /// Inserts (or refreshes) `key`, evicting the least-recently-used entry
-  /// when at capacity.
+  /// when at capacity. Inserts can be *rejected* — by the `cache.put`
+  /// failpoint or by an attached memory budget denying the entry's cost —
+  /// in which case the cache is simply not updated (callers already hold
+  /// the value; losing the caching is the graceful-degradation contract).
   void Put(const Key& key, Value value) EXCLUDES(mu_) {
     if (capacity_ == 0) return;
+    if (RLQVO_FAILPOINT_FIRED("cache.put")) {
+      MutexLock lock(&mu_);
+      ++counters_.put_rejects;
+      return;
+    }
     MutexLock lock(&mu_);
     auto it = index_.find(key);
     if (it != index_.end()) {
-      it->second->second = std::move(value);
+      it->second->value = std::move(value);
       Promote(it->second);
       return;
     }
+    MemoryCharge charge;
+    if (budget_ != nullptr && cost_fn_) {
+      const size_t cost = cost_fn_(value);
+      if (cost > 0) {
+        charge = budget_->TryCharge(cost);
+        if (charge.empty()) {
+          ++counters_.put_rejects;
+          return;
+        }
+      }
+    }
     if (lru_.size() >= capacity_) {
-      index_.erase(lru_.back().first);
-      lru_.pop_back();
+      index_.erase(lru_.back().key);
+      lru_.pop_back();  // releases the evicted entry's charge
       ++counters_.evictions;
     }
-    lru_.emplace_front(key, std::move(value));
+    lru_.emplace_front(Entry{key, std::move(value), std::move(charge)});
     index_[key] = lru_.begin();
   }
 
@@ -121,7 +168,12 @@ class LruCache {
   size_t capacity() const { return capacity_; }
 
  private:
-  using LruList = std::list<std::pair<Key, Value>>;
+  struct Entry {
+    Key key;
+    Value value;
+    MemoryCharge charge;  // released to the budget when the entry dies
+  };
+  using LruList = std::list<Entry>;
 
   /// \name hits + misses == lookups invariant.
   /// Every counter mutation goes through these three helpers; REQUIRES(mu_)
@@ -148,6 +200,8 @@ class LruCache {
   LruList lru_ GUARDED_BY(mu_);  // front = most recently used
   std::unordered_map<Key, typename LruList::iterator> index_ GUARDED_BY(mu_);
   Counters counters_ GUARDED_BY(mu_);
+  MemoryBudget* budget_ GUARDED_BY(mu_) = nullptr;
+  std::function<size_t(const Value&)> cost_fn_ GUARDED_BY(mu_);
 };
 
 /// \brief An LruCache fronted by single-flight computation: concurrent
@@ -189,57 +243,73 @@ class SingleFlightCache {
     Value value = cache_.Get(key);
     if (value) return value;
 
-    // Single-flight: concurrent cold misses on the same key compute once.
-    std::shared_ptr<Inflight> entry;
-    bool leader = false;
-    {
-      MutexLock lock(&inflight_mu_);
-      auto [it, inserted] = inflight_.try_emplace(key);
-      if (inserted) {
-        it->second = std::make_shared<Inflight>();
-        leader = true;
-      }
-      entry = it->second;
-    }
-    if (!leader) {
-      bool from_cache = false;
+    // Leader-failure contract: a leader's error is propagated to its
+    // waiters but never cached, and it returns that error immediately (its
+    // caller owns the retry decision). A *follower* that inherited a
+    // leader's error retries here — capped exponential backoff, bounded
+    // attempts — instead of re-stampeding: on retry it re-consults the
+    // cache and, if still cold, competes to lead a fresh flight. A
+    // deterministic failure therefore still surfaces after
+    // kFollowerAttempts rounds.
+    for (int attempt = 0;; ++attempt) {
+      // Single-flight: concurrent cold misses on the same key compute once.
+      std::shared_ptr<Inflight> entry;
+      bool leader = false;
       {
         MutexLock lock(&inflight_mu_);
-        while (!entry->ready) inflight_cv_.Wait(&inflight_mu_);
-        from_cache = entry->served_from_cache;
+        auto [it, inserted] = inflight_.try_emplace(key);
+        if (inserted) {
+          it->second = std::make_shared<Inflight>();
+          leader = true;
+        }
+        entry = it->second;
       }
+      if (!leader) {
+        bool from_cache = false;
+        {
+          MutexLock lock(&inflight_mu_);
+          while (!entry->ready) inflight_cv_.Wait(&inflight_mu_);
+          from_cache = entry->served_from_cache;
+        }
+        if (!entry->status.ok()) {
+          if (attempt + 1 >= kFollowerAttempts) return entry->status;
+          BackoffSleep(attempt);
+          value = cache_.Get(key);  // counts its own lookup
+          if (value) return value;
+          continue;
+        }
+        // If the leader's re-probe found the value cached, our counted miss
+        // was really a hit (the value sat in the cache while we waited).
+        if (from_cache) cache_.ReclassifyMissesAsHits(1);
+        return entry->value;
+      }
+
+      // A previous leader may have completed between our counted miss and
+      // winning leadership; re-probe before paying for the computation.
+      // Reprobe reclassifies this leader's own miss as a hit on success.
+      entry->value = cache_.Reprobe(key);
+      if (entry->value) {
+        MutexLock lock(&inflight_mu_);
+        entry->served_from_cache = true;
+      } else {
+        Result<Value> fresh = compute();
+        if (computed_by_caller != nullptr) *computed_by_caller = true;
+        if (fresh.ok()) {
+          entry->value = std::move(fresh).ValueOrDie();
+          cache_.Put(key, entry->value);
+        } else {
+          entry->status = fresh.status();
+        }
+      }
+      {
+        MutexLock lock(&inflight_mu_);
+        entry->ready = true;
+        inflight_.erase(key);
+      }
+      inflight_cv_.NotifyAll();
       if (!entry->status.ok()) return entry->status;
-      // If the leader's re-probe found the value cached, our counted miss
-      // was really a hit (the value sat in the cache while we waited).
-      if (from_cache) cache_.ReclassifyMissesAsHits(1);
       return entry->value;
     }
-
-    // A previous leader may have completed between our counted miss and
-    // winning leadership; re-probe before paying for the computation.
-    // Reprobe reclassifies this leader's own miss as a hit on success.
-    entry->value = cache_.Reprobe(key);
-    if (entry->value) {
-      MutexLock lock(&inflight_mu_);
-      entry->served_from_cache = true;
-    } else {
-      Result<Value> fresh = compute();
-      if (computed_by_caller != nullptr) *computed_by_caller = true;
-      if (fresh.ok()) {
-        entry->value = std::move(fresh).ValueOrDie();
-        cache_.Put(key, entry->value);
-      } else {
-        entry->status = fresh.status();
-      }
-    }
-    {
-      MutexLock lock(&inflight_mu_);
-      entry->ready = true;
-      inflight_.erase(key);
-    }
-    inflight_cv_.NotifyAll();
-    if (!entry->status.ok()) return entry->status;
-    return entry->value;
   }
 
   /// The underlying cache, for Clear/counters/capacity and for tests that
@@ -264,6 +334,18 @@ class SingleFlightCache {
     Status status;
     Value value;
   };
+
+  /// Total attempts a follower makes before surfacing an inherited leader
+  /// error: the initial join plus two retries.
+  static constexpr int kFollowerAttempts = 3;
+
+  /// ~1ms, 2ms, 4ms... capped at 8ms — long enough for a transient fault
+  /// (a fired prob failpoint, a momentary budget denial) to clear, short
+  /// enough not to blow a per-query deadline.
+  static void BackoffSleep(int attempt) {
+    const int shift = attempt < 3 ? attempt : 3;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1LL << shift));
+  }
 
   LruCache<Key, Value> cache_;
   Mutex inflight_mu_;

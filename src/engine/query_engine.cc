@@ -2,12 +2,15 @@
 
 #include <utility>
 
+#include "common/failpoint.h"
+#include "common/memory_budget.h"
 #include "common/timer.h"
 
 namespace rlqvo {
 
 QueryEngine::QueryEngine(EngineConfig config, const EngineOptions& options)
     : config_(std::move(config)),
+      options_(options),
       candidate_cache_(options.candidate_cache_capacity),
       order_cache_(options.order_cache_capacity),
       pool_(options.num_threads) {
@@ -28,10 +31,36 @@ QueryEngine::QueryEngine(EngineConfig config, const EngineOptions& options)
     }
     worker_orderings_.push_back(std::move(ordering).ValueOrDie());
   }
+  // One more ordering for the inline-degradation slot: when the
+  // `pool.submit` failpoint bounces a batch task back to the submitting
+  // thread, that thread is not a pool worker and needs its own state.
+  Result<std::shared_ptr<Ordering>> inline_ordering =
+      config_.ordering_factory();
+  if (!inline_ordering.ok()) {
+    init_status_ = inline_ordering.status();
+    return;
+  }
+  inline_ordering_ = std::move(inline_ordering).ValueOrDie();
   // One enumeration workspace per worker, living next to the per-worker
   // ordering: buffers grow to the workload's high-water mark and are then
   // reused, so steady-state batch serving never reallocates.
   worker_workspaces_ = std::vector<EnumeratorWorkspace>(pool_.size());
+
+  // Both caches charge the process memory budget per entry; a denied
+  // charge skips the insert (the value is still served), so cache growth
+  // degrades before the process OOMs.
+  candidate_cache_.cache()->SetBudget(
+      &MemoryBudget::Global(),
+      [](const std::shared_ptr<const CandidateSet>& v) -> size_t {
+        if (!v) return 0;
+        return v->TotalSize() * sizeof(VertexId) +
+               v->num_query_vertices() * sizeof(std::vector<VertexId>);
+      });
+  order_cache_.cache()->SetBudget(
+      &MemoryBudget::Global(),
+      [](const std::shared_ptr<const std::vector<VertexId>>& v) -> size_t {
+        return v ? v->size() * sizeof(VertexId) : 0;
+      });
 }
 
 Result<std::shared_ptr<const std::vector<VertexId>>> QueryEngine::ResolveOrder(
@@ -39,6 +68,7 @@ Result<std::shared_ptr<const std::vector<VertexId>>> QueryEngine::ResolveOrder(
     bool skip_cache, Ordering* ordering, MatchRunStats* stats) {
   Stopwatch phase;
   auto compute = [&]() -> Result<std::shared_ptr<const std::vector<VertexId>>> {
+    RLQVO_FAILPOINT("engine.order");
     OrderingContext ctx;
     ctx.query = &query;
     ctx.data = config_.data.get();
@@ -75,6 +105,7 @@ Result<MatchRunStats> QueryEngine::RunQuery(
   // its filter time as the wait for the leader's computation.
   Stopwatch phase;
   auto filter = [&]() -> Result<std::shared_ptr<const CandidateSet>> {
+    RLQVO_FAILPOINT("engine.filter");
     RLQVO_ASSIGN_OR_RETURN(CandidateSet fresh,
                            config_.filter->Filter(query, *config_.data));
     return std::make_shared<const CandidateSet>(std::move(fresh));
@@ -101,6 +132,7 @@ Result<MatchRunStats> QueryEngine::RunQuery(
   // chunks finish. Chunk subtasks pick the workspace of whichever pool
   // worker executes them, so they reuse the same per-worker state as
   // whole-query tasks without locking.
+  RLQVO_FAILPOINT("engine.enumerate");
   ParallelEnumResources resources;
   resources.pool = &pool_;
   resources.worker_workspaces = &worker_workspaces_;
@@ -121,6 +153,22 @@ Result<BatchResult> QueryEngine::MatchBatch(const std::vector<Graph>& queries,
         std::to_string(queries.size()) + " queries");
   }
 
+  // Batch-level admission: shed instead of queueing unboundedly behind the
+  // batch serialisation lock. Checked *before* blocking on batch_mu_ so an
+  // overloaded engine answers immediately with a retryable status.
+  {
+    MutexLock lock(&counters_mu_);
+    if (options_.max_pending_batches != 0 &&
+        pending_batches_ >= options_.max_pending_batches) {
+      ++batches_shed_;
+      return Status::ResourceExhausted(
+          "engine overloaded: " + std::to_string(pending_batches_) +
+          " batches already pending (max_pending_batches=" +
+          std::to_string(options_.max_pending_batches) + ")");
+    }
+    ++pending_batches_;
+  }
+
   // Batches are serialized against each other so the pool and the per-batch
   // cache counters are never shared between two in-flight batches; all
   // parallelism is across the queries *within* a batch.
@@ -132,16 +180,37 @@ Result<BatchResult> QueryEngine::MatchBatch(const std::vector<Graph>& queries,
   BatchResult batch;
   batch.per_query.resize(queries.size());
   batch.statuses.assign(queries.size(), Status::OK());
+  uint64_t shed = 0;
   for (size_t i = 0; i < queries.size(); ++i) {
+    // Per-query admission: cap how much of one batch the pool accepts (so
+    // an oversized batch degrades to partial service, not starvation), and
+    // let chaos shed arbitrary queries through the same door.
+    if (options_.max_batch_queries != 0 && i >= options_.max_batch_queries) {
+      batch.statuses[i] = Status::ResourceExhausted(
+          "query shed: batch exceeds max_batch_queries=" +
+          std::to_string(options_.max_batch_queries));
+      ++shed;
+      continue;
+    }
+    if (RLQVO_FAILPOINT_FIRED("engine.admit")) {
+      batch.statuses[i] = failpoint::InjectedStatus("engine.admit");
+      ++shed;
+      continue;
+    }
     pool_.Submit([this, &queries, &options, &batch, i] {
+      // worker == -1 means this task was degraded to inline execution on
+      // the submitting thread (see ThreadPool::Submit); it then uses the
+      // engine's dedicated inline ordering/workspace slots.
       const int worker = ThreadPool::CurrentWorkerIndex();
+      Ordering* ordering = worker >= 0 ? worker_orderings_[worker].get()
+                                       : inline_ordering_.get();
+      EnumeratorWorkspace* workspace =
+          worker >= 0 ? &worker_workspaces_[worker] : &inline_workspace_;
       const EnumerateOptions& enum_options = options.per_query.empty()
                                                  ? config_.enum_options
                                                  : options.per_query[i];
-      Result<MatchRunStats> result =
-          RunQuery(queries[i], enum_options, options.skip_cache,
-                   worker_orderings_[worker].get(),
-                   &worker_workspaces_[worker]);
+      Result<MatchRunStats> result = RunQuery(
+          queries[i], enum_options, options.skip_cache, ordering, workspace);
       if (result.ok()) {
         batch.per_query[i] = std::move(result).ValueOrDie();
       } else {
@@ -180,8 +249,10 @@ Result<BatchResult> QueryEngine::MatchBatch(const std::vector<Graph>& queries,
 
   {
     MutexLock lock(&counters_mu_);
-    queries_served_ += queries.size();
+    queries_served_ += queries.size() - shed;
+    queries_shed_ += shed;
     ++batches_served_;
+    --pending_batches_;
   }
   return batch;
 }
@@ -198,6 +269,8 @@ EngineCounters QueryEngine::counters() const {
     MutexLock lock(&counters_mu_);
     counters.queries_served = queries_served_;
     counters.batches_served = batches_served_;
+    counters.queries_shed = queries_shed_;
+    counters.batches_shed = batches_shed_;
   }
   counters.cache = candidate_cache_.counters();
   counters.order_cache = order_cache_.counters();

@@ -26,6 +26,16 @@ struct EngineOptions {
   /// (see Ordering::deterministic); repeated query shapes then skip phase 2
   /// entirely.
   size_t order_cache_capacity = 256;
+  /// Admission control, per query: the most queries one MatchBatch call may
+  /// admit. Queries beyond the cap are *shed* — their statuses[i] is
+  /// kResourceExhausted (IsRetryable) and no work runs for them — so one
+  /// oversized batch cannot monopolise the pool. 0 = unlimited.
+  size_t max_batch_queries = 0;
+  /// Admission control, per batch: the most MatchBatch calls allowed in
+  /// flight at once (running or queued behind the batch serialisation
+  /// lock). A call arriving beyond the cap is shed whole with a
+  /// kResourceExhausted batch-level status. 0 = unlimited.
+  size_t max_pending_batches = 0;
 };
 
 /// \brief What a QueryEngine serves: a shared data graph plus the
@@ -112,6 +122,12 @@ struct BatchResult {
 struct EngineCounters {
   uint64_t queries_served = 0;
   uint64_t batches_served = 0;
+  /// Load shed by admission control (EngineOptions::max_batch_queries /
+  /// max_pending_batches, plus the `engine.admit` failpoint): queries
+  /// rejected with kResourceExhausted before any pipeline work ran, and
+  /// whole batches rejected at the MatchBatch door.
+  uint64_t queries_shed = 0;
+  uint64_t batches_shed = 0;
   CandidateCache::Counters cache;
   OrderCache::Counters order_cache;
 };
@@ -213,6 +229,7 @@ class QueryEngine {
       MatchRunStats* stats);
 
   EngineConfig config_;
+  EngineOptions options_;
   CandidateCache candidate_cache_;
   OrderCache order_cache_;
   Status init_status_;  // non-OK iff ordering_factory failed at construction
@@ -228,6 +245,13 @@ class QueryEngine {
   // worker_orderings_ by CurrentWorkerIndex), so steady-state batch serving
   // never pays the O(|V(q)|·|V(G)|) per-query setup the seed enumerator had.
   std::vector<EnumeratorWorkspace> worker_workspaces_;
+  // Fallback slots for batch tasks degraded to inline execution (the
+  // `pool.submit` failpoint models a full queue: ThreadPool::Submit runs
+  // the task on the submitting thread, where CurrentWorkerIndex() is -1).
+  // Safe without a lock: inline tasks run sequentially on the one thread
+  // holding batch_mu_, and batches are serialized against each other.
+  std::shared_ptr<Ordering> inline_ordering_;
+  EnumeratorWorkspace inline_workspace_;
 
   /// Serializes MatchBatch calls against each other: the pool and the
   /// per-batch cache-counter deltas are never shared between two in-flight
@@ -237,6 +261,12 @@ class QueryEngine {
   mutable Mutex counters_mu_;
   uint64_t queries_served_ GUARDED_BY(counters_mu_) = 0;
   uint64_t batches_served_ GUARDED_BY(counters_mu_) = 0;
+  uint64_t queries_shed_ GUARDED_BY(counters_mu_) = 0;
+  uint64_t batches_shed_ GUARDED_BY(counters_mu_) = 0;
+  // Batches running or queued behind batch_mu_ right now; admission
+  // compares it against options_.max_pending_batches *before* blocking on
+  // batch_mu_, so overload is shed instead of queueing unboundedly.
+  uint64_t pending_batches_ GUARDED_BY(counters_mu_) = 0;
 
   // Declared last so ~QueryEngine joins the workers before any state they
   // touch (orderings, cache, mutexes) is destroyed.

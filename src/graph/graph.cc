@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cstdio>
 #include <numeric>
+#include <utility>
+
+#include "common/failpoint.h"
 
 namespace rlqvo {
 
@@ -145,38 +148,60 @@ Graph GraphBuilder::Build() {
 
   // Bitmap sidecar: one |V|-bit membership bitmap per dense slice (see
   // SliceQualifiesForBitmap). Built here — the Graph is immutable after
-  // Build, so the sidecar can never go stale.
+  // Build, so the sidecar can never go stale. The sidecar is a pure
+  // accelerator, so it is also a degradation point: its full footprint is
+  // charged to the process memory budget up front, and a denied charge (or
+  // the `graph.bitmap_sidecar` failpoint) skips the build entirely —
+  // intersections then use the merge kernels, results unchanged.
   if (build_slice_bitmaps_ && n > 0) {
     const size_t words = (static_cast<size_t>(n) + 63) / 64;
-    uint32_t slots = 0;
-    // A slice entry's end is the next entry's begin within the same vertex,
+    // Pre-count qualifying slices so the whole sidecar is one charge. A
+    // slice entry's end is the next entry's begin within the same vertex,
     // or offsets_[v+1] for the vertex's last slice — walk vertices exactly
     // like the index build above.
-    g.slice_bitmap_slot_.assign(g.slice_labels_.size(), Graph::kNoBitmapSlot);
+    auto slice_size = [&g](uint32_t v, uint64_t e) -> size_t {
+      const uint64_t begin = g.slice_begins_[e];
+      const uint64_t slice_end = e + 1 < g.slice_offsets_[v + 1]
+                                     ? g.slice_begins_[e + 1]
+                                     : g.offsets_[v + 1];
+      return static_cast<size_t>(slice_end - begin);
+    };
+    size_t qualifying = 0;
     for (uint32_t v = 0; v < n; ++v) {
       for (uint64_t e = g.slice_offsets_[v]; e < g.slice_offsets_[v + 1];
            ++e) {
-        const uint64_t begin = g.slice_begins_[e];
-        const uint64_t slice_end = e + 1 < g.slice_offsets_[v + 1]
-                                       ? g.slice_begins_[e + 1]
-                                       : g.offsets_[v + 1];
-        const size_t size = static_cast<size_t>(slice_end - begin);
-        if (!Graph::SliceQualifiesForBitmap(size, n)) continue;
-        g.slice_bitmap_slot_[e] = slots++;
-        const size_t base = g.slice_bitmap_words_.size();
-        g.slice_bitmap_words_.resize(base + words, 0);
-        uint64_t* w = g.slice_bitmap_words_.data() + base;
-        for (uint64_t i = begin; i < slice_end; ++i) {
-          const VertexId id = g.adj_[i];
-          w[id >> 6] |= uint64_t{1} << (id & 63);
-        }
+        if (Graph::SliceQualifiesForBitmap(slice_size(v, e), n)) ++qualifying;
       }
     }
-    if (slots == 0) {
-      g.slice_bitmap_slot_.clear();
-      g.slice_bitmap_slot_.shrink_to_fit();
-    } else {
-      g.bitmap_words_ = words;
+    if (qualifying > 0) {
+      MemoryCharge charge = MemoryBudget::Global().TryCharge(
+          qualifying * words * sizeof(uint64_t));
+      if (!charge.empty() &&
+          !RLQVO_FAILPOINT_FIRED("graph.bitmap_sidecar")) {
+        g.bitmap_charge_ =
+            std::make_shared<const MemoryCharge>(std::move(charge));
+        uint32_t slots = 0;
+        g.slice_bitmap_slot_.assign(g.slice_labels_.size(),
+                                    Graph::kNoBitmapSlot);
+        g.slice_bitmap_words_.reserve(qualifying * words);
+        for (uint32_t v = 0; v < n; ++v) {
+          for (uint64_t e = g.slice_offsets_[v]; e < g.slice_offsets_[v + 1];
+               ++e) {
+            const size_t size = slice_size(v, e);
+            if (!Graph::SliceQualifiesForBitmap(size, n)) continue;
+            const uint64_t begin = g.slice_begins_[e];
+            g.slice_bitmap_slot_[e] = slots++;
+            const size_t base = g.slice_bitmap_words_.size();
+            g.slice_bitmap_words_.resize(base + words, 0);
+            uint64_t* w = g.slice_bitmap_words_.data() + base;
+            for (uint64_t i = begin; i < begin + size; ++i) {
+              const VertexId id = g.adj_[i];
+              w[id >> 6] |= uint64_t{1} << (id & 63);
+            }
+          }
+        }
+        g.bitmap_words_ = words;
+      }
     }
   }
 

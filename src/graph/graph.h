@@ -1,11 +1,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "common/check.h"
+#include "common/memory_budget.h"
 
 namespace rlqvo {
 
@@ -211,6 +213,14 @@ class Graph {
   std::vector<uint32_t> slice_bitmap_slot_;
   std::vector<uint64_t> slice_bitmap_words_;
   size_t bitmap_words_ = 0;
+  // Budget charge for the sidecar words. shared_ptr so Graph keeps its
+  // default copy/move: copies share the one accounting token (the sidecar
+  // bytes are counted once per Build, not once per copy), and the charge
+  // releases when the last copy dies. Null when no sidecar was built —
+  // including when Build *skipped* the sidecar because the budget denied
+  // the charge or the `graph.bitmap_sidecar` failpoint fired; the graph is
+  // then fully functional, intersections just use the merge kernels.
+  std::shared_ptr<const MemoryCharge> bitmap_charge_;
 };
 
 /// \brief Incremental builder for Graph.

@@ -1,9 +1,11 @@
 #include "graph/graph_io.h"
 
+#include <cctype>
 #include <cerrno>
 #include <fstream>
 #include <sstream>
 
+#include "common/failpoint.h"
 #include "common/string_util.h"
 
 namespace rlqvo {
@@ -13,6 +15,9 @@ namespace {
 /// Parses a non-negative integer; false on any non-numeric content.
 bool ParseUint64(const std::string& token, uint64_t* out) {
   if (token.empty()) return false;
+  // strtoull accepts a leading '-' (wrapping the value) and '+'; a graph
+  // file with "e 0 -1" must be rejected, not wrapped to 2^64-1.
+  if (!std::isdigit(static_cast<unsigned char>(token[0]))) return false;
   errno = 0;
   char* end = nullptr;
   const unsigned long long value = std::strtoull(token.c_str(), &end, 10);
@@ -24,6 +29,7 @@ bool ParseUint64(const std::string& token, uint64_t* out) {
 }  // namespace
 
 Result<Graph> ParseGraphText(const std::string& text) {
+  RLQVO_FAILPOINT("graph_io.parse");
   std::istringstream in(text);
   std::string line;
   GraphBuilder builder;
@@ -48,6 +54,12 @@ Result<Graph> ParseGraphText(const std::string& text) {
       if (!ParseUint64(tok[1], &vertices) ||
           !ParseUint64(tok[2], &declared_edges)) {
         return error("non-numeric header field");
+      }
+      // VertexId is 32-bit; a larger declared count would silently
+      // truncate below and then "mismatch" confusingly (or, worse, match a
+      // wrapped value). Reject the oversized header outright.
+      if (vertices > UINT32_MAX) {
+        return error("header vertex count exceeds 2^32-1");
       }
       saw_header = true;
       declared_vertices = static_cast<uint32_t>(vertices);
@@ -102,8 +114,12 @@ Result<Graph> LoadGraphFromFile(const std::string& path) {
     return Status::IOError("cannot open '" + path + "': " +
                            ErrnoMessage(errno));
   }
+  RLQVO_FAILPOINT("graph_io.load");
   std::ostringstream buf;
   buf << in.rdbuf();
+  if (in.bad()) {
+    return Status::IOError("read from '" + path + "' failed mid-stream");
+  }
   return ParseGraphText(buf.str());
 }
 

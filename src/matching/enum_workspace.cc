@@ -1,6 +1,9 @@
 #include "matching/enum_workspace.h"
 
 #include <algorithm>
+#include <utility>
+
+#include "common/failpoint.h"
 
 namespace rlqvo {
 
@@ -81,12 +84,30 @@ Status EnumeratorWorkspace::Prepare(const Graph& query, const Graph& data,
   }
 
   nv_ = nv;
-  if (dense_) {
-    if (cand_stamp_.size() < stamp_bytes) {
+  if (dense_ && cand_stamp_.size() < stamp_bytes) {
+    // Growth is the one allocation that scales with nq·|V(G)|, so it is
+    // the degradation point: charge the *whole* new footprint (replacing
+    // the previous footprint's charge) and, when the budget or the
+    // `workspace.grow` failpoint denies it, fall back to binary-search
+    // membership — identical results, slower membership check. Only a
+    // caller that explicitly pinned kForceStamped gets an error instead.
+    MemoryCharge charge = MemoryBudget::Global().TryCharge(stamp_bytes);
+    if (charge.empty() || RLQVO_FAILPOINT_FIRED("workspace.grow")) {
+      if (mode_ == MembershipMode::kForceStamped) {
+        return Status::ResourceExhausted(
+            "stamp-array growth denied (" + std::to_string(stamp_bytes) +
+            " bytes) with membership pinned to kForceStamped");
+      }
+      dense_ = false;
+      ++stats_.sparse_fallbacks;
+    } else {
+      stamp_charge_ = std::move(charge);
       cand_stamp_.resize(stamp_bytes, 0);
       ++stats_.stamp_grows;
       stats_.stamp_bytes = cand_stamp_.size();
     }
+  }
+  if (dense_) {
     for (VertexId u = 0; u < nq; ++u) {
       uint8_t* row = cand_stamp_.data() + static_cast<size_t>(u) * nv;
       for (VertexId v : candidates.candidates(u)) row[v] = epoch_;

@@ -4,6 +4,7 @@
 #include <span>
 #include <vector>
 
+#include "common/memory_budget.h"
 #include "common/status.h"
 #include "matching/candidate_set.h"
 
@@ -56,6 +57,11 @@ class EnumeratorWorkspace {
     uint64_t dense_prepares = 0;  ///< prepares that used the stamped path
     uint64_t epoch_resets = 0;    ///< full zero-fills from uint8 epoch wrap
     uint64_t stamp_grows = 0;     ///< stamp-array reallocations
+    /// kAuto prepares that wanted the dense path but degraded to binary
+    /// search because the memory budget (or the `workspace.grow`
+    /// failpoint) denied the stamp-array growth. Results are identical
+    /// either way; only the membership check gets slower.
+    uint64_t sparse_fallbacks = 0;
     size_t stamp_bytes = 0;       ///< current stamp-array allocation
     bool last_dense = false;      ///< membership mode of the last prepare
   };
@@ -157,6 +163,7 @@ class EnumeratorWorkspace {
   // Stamps equal to epoch_ mean "member"/"visited"; anything else (older
   // epochs, or 0 from the wrap-around clear and from unmarking) means "no".
   std::vector<uint8_t> cand_stamp_;     // row-major nq x |V(G)| when dense
+  MemoryCharge stamp_charge_;           // budget charge for cand_stamp_
   std::vector<uint8_t> visited_stamp_;  // |V(G)|
   std::vector<VertexId> mapping_;
   std::vector<std::vector<VertexId>> backward_;

@@ -1,10 +1,14 @@
 #include "nn/serialize.h"
 
+#include <cctype>
 #include <cerrno>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
+#include "common/failpoint.h"
 #include "common/string_util.h"
 
 namespace rlqvo {
@@ -12,7 +16,30 @@ namespace nn {
 
 namespace {
 constexpr char kMagic[] = "RLQVO-MODEL v1";
+
+// A corrupt header must not drive allocation: the largest real RLQVO
+// checkpoint in this repo is a few hundred thousand floats, so one matrix
+// claiming more than 2^28 elements (2 GiB of doubles) is garbage, not a
+// model. Rejecting it keeps a flipped byte from turning into a
+// std::bad_alloc abort.
+constexpr size_t kMaxMatrixElements = size_t{1} << 28;
+
+// std::stoull THROWS on non-numeric/overflowing input, which would escape
+// a Status-based loader as an uncaught exception. Parse defensively.
+bool ParseSize(const std::string& token, size_t* out) {
+  if (token.empty() ||
+      !std::isdigit(static_cast<unsigned char>(token[0]))) {
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(token.c_str(), &end, 10);
+  if (end != token.c_str() + token.size() || errno == ERANGE) return false;
+  *out = static_cast<size_t>(value);
+  return true;
 }
+
+}  // namespace
 
 Status SaveParameters(const std::vector<Var>& parameters,
                       const std::map<std::string, std::string>& metadata,
@@ -51,6 +78,7 @@ Result<Checkpoint> LoadCheckpoint(const std::string& path) {
     return Status::IOError("cannot open '" + path + "': " +
                            ErrnoMessage(errno));
   }
+  RLQVO_FAILPOINT("nn.checkpoint_load");
   std::string line;
   if (!std::getline(in, line) || line != kMagic) {
     return Status::InvalidArgument("'" + path + "' is not an RLQVO model file");
@@ -66,7 +94,10 @@ Result<Checkpoint> LoadCheckpoint(const std::string& path) {
       }
       ckpt.metadata[rest.substr(0, space)] = rest.substr(space + 1);
     } else if (line.rfind("params ", 0) == 0) {
-      num_params = std::stoull(line.substr(7));
+      if (!ParseSize(line.substr(7), &num_params)) {
+        return Status::InvalidArgument("malformed params line: '" + line +
+                                       "'");
+      }
       break;
     } else if (!line.empty()) {
       return Status::InvalidArgument("unexpected line: '" + line + "'");
@@ -78,6 +109,11 @@ Result<Checkpoint> LoadCheckpoint(const std::string& path) {
       return Status::InvalidArgument("truncated checkpoint (header of matrix " +
                                      std::to_string(i) + ")");
     }
+    if (rows != 0 && (cols > kMaxMatrixElements / rows)) {
+      return Status::InvalidArgument(
+          "implausible matrix header " + std::to_string(rows) + "x" +
+          std::to_string(cols) + " in matrix " + std::to_string(i));
+    }
     Matrix m(rows, cols);
     for (size_t k = 0; k < rows * cols; ++k) {
       std::string tok;
@@ -87,11 +123,16 @@ Result<Checkpoint> LoadCheckpoint(const std::string& path) {
       }
       errno = 0;
       char* end = nullptr;
-      m.values()[k] = std::strtod(tok.c_str(), &end);
-      if (end == tok.c_str() || errno == ERANGE) {
+      const double value = std::strtod(tok.c_str(), &end);
+      // Reject NaN/inf: a non-finite weight silently poisons every policy
+      // score downstream (the RI fallback would mask it at serve time, but
+      // a corrupt checkpoint should fail loudly at load time).
+      if (end == tok.c_str() || *end != '\0' || errno == ERANGE ||
+          !std::isfinite(value)) {
         return Status::InvalidArgument("bad value '" + tok + "' in matrix " +
                                        std::to_string(i));
       }
+      m.values()[k] = value;
     }
     ckpt.matrices.push_back(std::move(m));
   }

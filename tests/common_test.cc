@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 
+#include "common/failpoint.h"
+#include "common/memory_budget.h"
 #include "common/result.h"
 #include "common/rng.h"
 #include "common/status.h"
@@ -38,9 +41,26 @@ TEST(StatusTest, EqualityComparesCodeAndMessage) {
 }
 
 TEST(StatusTest, EveryCodeHasAName) {
-  for (int code = 0; code <= 8; ++code) {
+  for (int code = 0; code <= 9; ++code) {
     EXPECT_STRNE(StatusCodeToString(static_cast<StatusCode>(code)), "Unknown");
   }
+}
+
+TEST(StatusTest, ResourceExhaustedFactoryAndPredicate) {
+  Status s = Status::ResourceExhausted("shed");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsResourceExhausted());
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(s.ToString(), "Resource exhausted: shed");
+}
+
+TEST(StatusTest, IsRetryableCoversTransientCodesOnly) {
+  EXPECT_TRUE(IsRetryable(Status::ResourceExhausted("x")));
+  EXPECT_TRUE(IsRetryable(Status::TimedOut("x")));
+  EXPECT_FALSE(IsRetryable(Status::OK()));
+  EXPECT_FALSE(IsRetryable(Status::InvalidArgument("x")));
+  EXPECT_FALSE(IsRetryable(Status::Internal("x")));
+  EXPECT_FALSE(IsRetryable(Status::IOError("x")));
 }
 
 Result<int> ParsePositive(int x) {
@@ -218,6 +238,124 @@ TEST(TimerTest, DeadlineExpires) {
   volatile double sink = 0.0;
   for (int i = 0; i < 100000; ++i) sink = sink + i;
   EXPECT_TRUE(d.Expired());
+}
+
+// Failpoint registry state is process-global; each test cleans up after
+// itself so the suite order doesn't matter.
+class FailpointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { failpoint::DeactivateAll(); }
+};
+
+Status GuardedOperation() {
+  RLQVO_FAILPOINT("graph_io.load");
+  return Status::OK();
+}
+
+TEST_F(FailpointTest, InactiveSitesAreTransparent) {
+  EXPECT_FALSE(failpoint::AnyActive());
+  EXPECT_TRUE(GuardedOperation().ok());
+  EXPECT_FALSE(RLQVO_FAILPOINT_FIRED("cache.put"));
+}
+
+TEST_F(FailpointTest, ErrorModeInjectsCataloguedStatus) {
+  ASSERT_TRUE(failpoint::Activate("graph_io.load", "error").ok());
+  EXPECT_TRUE(failpoint::AnyActive());
+  const uint64_t before = failpoint::FireCount("graph_io.load");
+  Status s = GuardedOperation();
+  EXPECT_TRUE(s.IsIOError());
+  EXPECT_NE(s.message().find("graph_io.load"), std::string::npos);
+  EXPECT_EQ(failpoint::FireCount("graph_io.load"), before + 1);
+  failpoint::Deactivate("graph_io.load");
+  EXPECT_FALSE(failpoint::AnyActive());
+  EXPECT_TRUE(GuardedOperation().ok());
+}
+
+TEST_F(FailpointTest, DelayModeSleepsButSucceeds) {
+  ASSERT_TRUE(failpoint::Activate("graph_io.load", "delay:5").ok());
+  Stopwatch watch;
+  EXPECT_TRUE(GuardedOperation().ok());
+  EXPECT_GE(watch.ElapsedSeconds(), 0.004);
+}
+
+TEST_F(FailpointTest, ProbModeEndpointsAreDeterministic) {
+  ASSERT_TRUE(failpoint::Activate("graph_io.load", "prob:0").ok());
+  for (int i = 0; i < 50; ++i) EXPECT_TRUE(GuardedOperation().ok());
+  ASSERT_TRUE(failpoint::Activate("graph_io.load", "prob:1").ok());
+  for (int i = 0; i < 50; ++i) EXPECT_FALSE(GuardedOperation().ok());
+}
+
+TEST_F(FailpointTest, SpecGrammarAndValidation) {
+  EXPECT_TRUE(
+      failpoint::ActivateFromSpec("graph_io.load=error,cache.put=prob:0.5")
+          .ok());
+  EXPECT_TRUE(failpoint::AnyActive());
+  EXPECT_FALSE(failpoint::Activate("not.registered", "error").ok());
+  EXPECT_FALSE(failpoint::Activate("graph_io.load", "explode").ok());
+  EXPECT_FALSE(failpoint::Activate("graph_io.load", "prob:2").ok());
+  EXPECT_FALSE(failpoint::Activate("graph_io.load", "delay:-1").ok());
+  EXPECT_FALSE(failpoint::ActivateFromSpec("missing-equals").ok());
+}
+
+TEST_F(FailpointTest, CatalogIsNonEmptySortedAndWellNamed) {
+  const std::vector<std::string_view> sites = failpoint::AllSites();
+  ASSERT_FALSE(sites.empty());
+  for (size_t i = 0; i + 1 < sites.size(); ++i) {
+    EXPECT_LT(sites[i], sites[i + 1]) << "catalog must be sorted, no dups";
+  }
+  for (std::string_view site : sites) {
+    EXPECT_EQ(std::count(site.begin(), site.end(), '.'), 1)
+        << "site '" << site << "' must be <layer>.<event>";
+  }
+}
+
+TEST(MemoryChargeTest, ReleasesOnDestructionAndMove) {
+  MemoryBudget budget;
+  {
+    MemoryCharge a = budget.TryCharge(100);
+    ASSERT_FALSE(a.empty());
+    EXPECT_EQ(budget.used_bytes(), 100u);
+    MemoryCharge b = std::move(a);
+    EXPECT_TRUE(a.empty());  // NOLINT(bugprone-use-after-move)
+    EXPECT_EQ(budget.used_bytes(), 100u);  // moved, not double-counted
+    b = MemoryCharge();
+    EXPECT_EQ(budget.used_bytes(), 0u);
+  }
+  EXPECT_EQ(budget.used_bytes(), 0u);
+}
+
+TEST(MemoryBudgetTest, DeniesBeyondLimitAndRecoversOnRelease) {
+  MemoryBudget budget;
+  budget.set_limit_bytes(1000);
+  MemoryCharge a = budget.TryCharge(800);
+  ASSERT_FALSE(a.empty());
+  MemoryCharge denied = budget.TryCharge(300);
+  EXPECT_TRUE(denied.empty());
+  EXPECT_EQ(budget.denials(), 1u);
+  EXPECT_EQ(budget.used_bytes(), 800u);  // failed charge fully rolled back
+  a.Reset();
+  MemoryCharge retry = budget.TryCharge(300);
+  EXPECT_FALSE(retry.empty());
+  EXPECT_EQ(budget.peak_bytes(), 800u);
+}
+
+TEST(MemoryBudgetTest, ZeroLimitIsUnlimitedButTracked) {
+  MemoryBudget budget;
+  MemoryCharge a = budget.TryCharge(size_t{1} << 40);
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(budget.used_bytes(), size_t{1} << 40);
+  EXPECT_EQ(budget.denials(), 0u);
+}
+
+TEST(MemoryBudgetTest, ChargeFailpointForcesDenial) {
+  MemoryBudget budget;
+  ASSERT_TRUE(failpoint::Activate("budget.charge", "error").ok());
+  MemoryCharge denied = budget.TryCharge(64);
+  EXPECT_TRUE(denied.empty());
+  EXPECT_EQ(budget.denials(), 1u);
+  EXPECT_EQ(budget.used_bytes(), 0u);
+  failpoint::DeactivateAll();
+  EXPECT_FALSE(budget.TryCharge(64).empty());
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <memory>
 #include <string>
@@ -121,6 +122,89 @@ TEST(SingleFlightCacheTest, ErrorsAreNotCached) {
         return Str("recovered");
       });
   ASSERT_TRUE(ok.ok());
+}
+
+// Leader-failure contract: the leader returns its own error immediately
+// (never cached); followers that inherited the error *retry* — re-consult
+// the cache, compete to lead a fresh flight — instead of failing or
+// re-stampeding. A transient fault (fails once, then recovers) is
+// therefore absorbed: only the original leader surfaces the error.
+TEST(SingleFlightCacheTest, FollowersRetryAfterLeaderFailure) {
+  StringCache cache(8);
+  constexpr int kThreads = 4;
+  std::atomic<int> computes{0};
+  std::atomic<int> arrived{0};
+  auto compute = [&]() -> Result<std::shared_ptr<const std::string>> {
+    if (computes.fetch_add(1) == 0) {
+      // Leader: hold the flight open until every thread has arrived (so
+      // the others join as followers), then fail.
+      while (arrived.load() < kThreads) std::this_thread::yield();
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      return Status::Internal("leader died");
+    }
+    return Str("recovered");
+  };
+  std::vector<Status> statuses(kThreads);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      arrived.fetch_add(1);
+      auto result = cache.GetOrCompute(1, /*bypass=*/false, compute);
+      statuses[i] = result.ok() ? Status::OK() : result.status();
+      if (result.ok()) {
+        EXPECT_EQ(*result.ValueOrDie(), "recovered");
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  int failed = 0;
+  for (const Status& s : statuses) {
+    if (!s.ok()) {
+      ++failed;
+      EXPECT_NE(s.message().find("leader died"), std::string::npos);
+    }
+  }
+  // Exactly the original leader fails; every follower retried to success.
+  EXPECT_EQ(failed, 1);
+  // The error was never cached: the recovered value is what lives there.
+  auto cached = cache.GetOrCompute(
+      1, false, [&]() -> Result<std::shared_ptr<const std::string>> {
+        ADD_FAILURE() << "value should have been cached";
+        return Status::Internal("unreachable");
+      });
+  ASSERT_TRUE(cached.ok());
+  EXPECT_EQ(*cached.ValueOrDie(), "recovered");
+  // Accounting stays balanced across the retries (each retry is its own
+  // counted lookup).
+  const auto c = cache.counters();
+  EXPECT_EQ(c.hits + c.misses, c.lookups);
+}
+
+// A *deterministic* failure must still surface: follower retries are
+// bounded, so concurrent callers of a compute that always fails all
+// return the error instead of hanging or looping forever.
+TEST(SingleFlightCacheTest, BoundedRetriesSurfaceDeterministicFailure) {
+  StringCache cache(8);
+  std::atomic<int> computes{0};
+  auto compute = [&]() -> Result<std::shared_ptr<const std::string>> {
+    computes.fetch_add(1);
+    return Status::InvalidArgument("always fails");
+  };
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&] {
+      auto result = cache.GetOrCompute(2, /*bypass=*/false, compute);
+      EXPECT_FALSE(result.ok());
+      EXPECT_TRUE(result.status().IsInvalidArgument());
+    });
+  }
+  for (auto& t : threads) t.join();
+  // Bounded work: at most one compute per caller per attempt round.
+  EXPECT_LE(computes.load(), kThreads * 3);
+  const auto c = cache.counters();
+  EXPECT_EQ(c.hits + c.misses, c.lookups);
+  EXPECT_EQ(c.entries, 0u);  // errors never cached
 }
 
 // --- Engine order cache ---

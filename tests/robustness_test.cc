@@ -3,10 +3,12 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <string>
 
 #include "core/rlqvo.h"
 #include "graph/graph_io.h"
 #include "matching/enumerator.h"
+#include "nn/serialize.h"
 #include "test_util.h"
 
 namespace rlqvo {
@@ -131,6 +133,67 @@ TEST(RobustnessTest, SaveToUnwritablePathFails) {
   EXPECT_FALSE(model.Save("/nonexistent_dir/deep/model.ckpt").ok());
   Graph g = RandomData(607);
   EXPECT_FALSE(SaveGraphToFile(g, "/nonexistent_dir/deep/g.graph").ok());
+}
+
+// --- Table-driven corrupt-input coverage: every case writes the bytes to
+// a real file and must come back as a non-OK Status — never a crash, a
+// throw, or a silently wrong graph/model. ---
+
+struct CorruptFileCase {
+  const char* name;
+  std::string contents;
+};
+
+TEST(RobustnessTest, CorruptGraphFilesReturnStatusNeverCrash) {
+  const CorruptFileCase kCases[] = {
+      {"empty", ""},
+      {"truncated_header", "t 5"},
+      {"truncated_after_header", "t 3 2\nv 0 0 1\nv 1 0"},
+      {"binary_garbage", std::string("\x7f\x45\x4c\x46\x02\x01\x01\x00"
+                                     "\x00\x00\xff\xfe\xfd",
+                                     13)},
+      {"oversized_vertex_count", "t 99999999999 0\n"},
+      {"vertex_count_wraps_uint32", "t 4294967297 0\nv 0 0 1\n"},
+      {"negative_vertex_id", "t 1 0\nv -1 0 1\n"},
+      {"negative_edge_endpoint", "t 2 1\nv 0 0 1\nv 1 0 1\ne 0 -1\n"},
+      {"edge_count_shortfall", "t 2 5\nv 0 0 1\nv 1 0 1\ne 0 1\n"},
+      {"huge_numeric_overflow", "t 999999999999999999999999999 0\n"},
+  };
+  for (const CorruptFileCase& c : kCases) {
+    const std::string path =
+        TempPath(std::string("rlqvo_corrupt_graph_") + c.name);
+    std::ofstream(path, std::ios::binary) << c.contents;
+    auto result = LoadGraphFromFile(path);
+    EXPECT_FALSE(result.ok()) << "accepted corrupt graph case: " << c.name;
+    std::remove(path.c_str());
+  }
+}
+
+TEST(RobustnessTest, CorruptCheckpointsReturnStatusNeverCrash) {
+  const std::string magic = "RLQVO-MODEL v1\n";
+  const CorruptFileCase kCases[] = {
+      {"empty", ""},
+      {"wrong_magic", "SOME-OTHER-FORMAT v9\n"},
+      {"garbage_params_count", magic + "params abc\n"},
+      {"negative_params_count", magic + "params -3\n"},
+      {"overflowing_params_count",
+       magic + "params 99999999999999999999999999\n"},
+      {"oversized_matrix_header", magic + "params 1\n99999999 99999999\n"},
+      {"short_read_matrix", magic + "params 1\n2 2\n1.0 2.0\n"},
+      {"nan_value", magic + "params 1\n1 2\n1.0 nan\n"},
+      {"inf_value", magic + "params 1\n1 2\ninf 1.0\n"},
+      {"non_numeric_value", magic + "params 1\n1 1\nhello\n"},
+  };
+  for (const CorruptFileCase& c : kCases) {
+    const std::string path =
+        TempPath(std::string("rlqvo_corrupt_ckpt_") + c.name);
+    std::ofstream(path, std::ios::binary) << c.contents;
+    auto direct = nn::LoadCheckpoint(path);
+    EXPECT_FALSE(direct.ok()) << "LoadCheckpoint accepted: " << c.name;
+    auto model = RLQVOModel::Load(path);
+    EXPECT_FALSE(model.ok()) << "RLQVOModel::Load accepted: " << c.name;
+    std::remove(path.c_str());
+  }
 }
 
 }  // namespace
