@@ -122,7 +122,10 @@ struct ProbeEnumerator {
   void Extend(size_t depth) {
     if (Done()) return;
     const VertexId u = (*order)[depth];
-    const std::vector<VertexId>& backward = ws->backward()[depth];
+    // This benchmark runs degenerate (undirected, single-edge-label)
+    // workloads only, so each backward constraint is just its query vertex.
+    const std::vector<EnumeratorWorkspace::BackwardConstraint>& backward =
+        ws->backward()[depth];
     if (backward.empty()) {
       for (VertexId v : candidates->candidates(u)) {
         if (ws->Visited(v)) continue;
@@ -133,8 +136,8 @@ struct ProbeEnumerator {
     }
     const std::vector<VertexId>& mapping = ws->mapping();
     VertexId pivot = kInvalidVertex;
-    for (VertexId ub : backward) {
-      const VertexId vb = mapping[ub];
+    for (const auto& b : backward) {
+      const VertexId vb = mapping[b.u];
       if (pivot == kInvalidVertex || data->degree(vb) < data->degree(pivot)) {
         pivot = vb;
       }
@@ -142,8 +145,8 @@ struct ProbeEnumerator {
     for (VertexId v : data->neighbors(pivot)) {
       if (ws->Visited(v) || !ws->InCandidates(*candidates, u, v)) continue;
       bool adjacent_to_all = true;
-      for (VertexId ub : backward) {
-        const VertexId vb = mapping[ub];
+      for (const auto& b : backward) {
+        const VertexId vb = mapping[b.u];
         if (vb == pivot) continue;
         if (!data->HasEdge(vb, v)) {
           adjacent_to_all = false;
@@ -336,11 +339,27 @@ std::vector<std::pair<Graph::SliceView, Graph::SliceView>> HarvestHubPairs(
   for (size_t i = 0; i < hubs; ++i) {
     for (size_t j = i + 1; j < hubs; ++j) {
       const VertexId u = by_degree[i], v = by_degree[j];
-      for (Label l : g.NeighborLabels(u)) {
-        const Graph::SliceView a = g.NeighborsWithLabelView(u, l);
-        const Graph::SliceView b = g.NeighborsWithLabelView(v, l);
-        if (a.ids.empty() || b.ids.empty()) continue;
-        pairs.push_back({a, b});
+      if (g.degenerate()) {
+        for (Label l : g.NeighborLabels(u)) {
+          const Graph::SliceView a = g.NeighborsWithLabelView(u, l);
+          const Graph::SliceView b = g.NeighborsWithLabelView(v, l);
+          if (a.ids.empty() || b.ids.empty()) continue;
+          pairs.push_back({a, b});
+        }
+      } else {
+        // Directed / edge-labeled graphs: align on the full (edge label,
+        // vertex label) slice key, out-direction — what a directed Extend
+        // intersects when two placed vertices constrain the same target.
+        const size_t slices = g.NumLabeledSlices(u, EdgeDir::kOut);
+        for (size_t s = 0; s < slices; ++s) {
+          const Graph::LabeledSlice ls = g.LabeledSliceAt(u, EdgeDir::kOut, s);
+          const Graph::SliceView a =
+              g.NeighborsWithView(u, EdgeDir::kOut, ls.elabel, ls.vlabel);
+          const Graph::SliceView b =
+              g.NeighborsWithView(v, EdgeDir::kOut, ls.elabel, ls.vlabel);
+          if (a.ids.empty() || b.ids.empty()) continue;
+          pairs.push_back({a, b});
+        }
       }
     }
   }
@@ -358,16 +377,23 @@ void KernelMicrobench(std::vector<std::pair<std::string, double>>* metrics,
     std::string name;
     bool power_law;
     double avg_degree;
+    uint32_t num_labels = 32;
+    uint32_t num_edge_labels = 1;
+    bool directed = false;
   };
   // The acceptance configurations: zipf-skewed labels over d=32 hubs
   // (dense, often bitmap-qualifying slices — the shapes the SIMD and
   // bitmap kernels target) and the d=16 power-law hub case PR 3 measured.
   // Uniform-ish small slices (where every kernel is overhead-bound and
   // dispatch falls back to scalar) are covered by the Part 2 enumeration
-  // table, not repeated here.
+  // table, not repeated here. The directed case runs the same dispatch on
+  // (direction, edge label, vertex label) slices — fewer vertex labels so
+  // the finer slice key still yields dense, bitmap-qualifying slices.
   const std::vector<KernelConfig> configs = {
       {"skewed", true, 32.0},
       {"powerlaw", true, 16.0},
+      {"directed", true, 32.0, /*num_labels=*/8, /*num_edge_labels=*/4,
+       /*directed=*/true},
   };
   std::printf("\n-- forced-kernel dispatch on hub-slice pairs (ns/op) --\n");
   std::printf("%10s %14s %12s %10s %10s\n", "config", "kernel", "ns/op",
@@ -375,8 +401,10 @@ void KernelMicrobench(std::vector<std::pair<std::string, double>>* metrics,
   for (const KernelConfig& cfg : configs) {
     const uint32_t n = smoke ? 4000 : 32768;
     LabelConfig labels;
-    labels.num_labels = 32;
+    labels.num_labels = cfg.num_labels;
     labels.zipf_exponent = 1.2;
+    labels.num_edge_labels = cfg.num_edge_labels;
+    labels.directed = cfg.directed;
     Graph data =
         cfg.power_law
             ? MustOk(GeneratePowerLaw(n, cfg.avg_degree, 2.2, labels,
@@ -458,7 +486,10 @@ void KernelMicrobench(std::vector<std::pair<std::string, double>>* metrics,
       metrics->emplace_back(
           "kernel_speedup_" + cfg.name + "_" + IntersectKernelName(kernel),
           vs_scalar);
-      if (kernel == IntersectKernel::kAuto) {
+      // The ISSUE 6 bar covers the two degenerate acceptance configs; the
+      // directed config is informational (its finer slice key thins every
+      // slice, so the kernels are overhead-bound at smoke scale).
+      if (kernel == IntersectKernel::kAuto && !cfg.directed) {
         std::printf("%10s auto >= 2x scalar: %s\n", cfg.name.c_str(),
                     vs_scalar >= 2.0 ? "PASS" : "below bar");
       }
@@ -534,6 +565,20 @@ int main(int argc, char** argv) {
                                          : "(below 2x bar)");
 
   KernelMicrobench(&metrics, opts, smoke);
+
+  // The auto-kernel cost-model policy in force for this run: SIMD merge
+  // elements retired per probe unit (bitmap word probed/ANDed) and the
+  // merge/gallop crossover. Recorded so a run's numbers can always be read
+  // against the dispatch policy that produced them.
+  metrics.emplace_back("auto_policy_avx2_merge_elems_per_probe",
+                       static_cast<double>(kAvx2MergeElemsPerProbe));
+  metrics.emplace_back("auto_policy_sse_merge_elems_per_probe",
+                       static_cast<double>(kSseMergeElemsPerProbe));
+  metrics.emplace_back("auto_policy_bitmap_and_probes_per_word",
+                       static_cast<double>(kBitmapAndProbesPerWord));
+  metrics.emplace_back("auto_policy_gallop_ratio",
+                       static_cast<double>(kGallopRatio));
+
   WriteBenchJson("intersection", opts, metrics);
   return 0;
 }

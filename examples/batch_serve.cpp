@@ -4,6 +4,7 @@
 // front-end.
 //
 //   ./build/examples/batch_serve [num_threads]
+//   ./build/examples/batch_serve --pattern '(a:0)--(b:1), (b)--(c:0)'
 //   ./build/examples/batch_serve --list-failpoints
 //
 // Wave 1 is all cache misses (every query is filtered); wave 2 repeats the
@@ -18,16 +19,22 @@
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "common/failpoint.h"
 #include "core/rlqvo.h"
 #include "datasets/datasets.h"
 #include "graph/query_sampler.h"
+#include "query/pattern.h"
 
 using namespace rlqvo;
 
 int main(int argc, char** argv) {
   uint32_t num_threads = 4;
+  // Text pattern served as a final wave (overridable with --pattern).
+  std::string pattern_text =
+      "(a:ProteinA)--(b:ProteinB), (b)--(c:ProteinA)";
   if (argc > 1) {
     if (std::strcmp(argv[1], "--list-failpoints") == 0) {
       for (std::string_view site : failpoint::AllSites()) {
@@ -35,13 +42,22 @@ int main(int argc, char** argv) {
       }
       return 0;
     }
-    const int parsed = std::atoi(argv[1]);
-    if (parsed < 1) {
-      std::fprintf(stderr,
-                   "usage: batch_serve [num_threads >= 1 | --list-failpoints]\n");
-      return 2;
+    if (std::strcmp(argv[1], "--pattern") == 0) {
+      if (argc < 3) {
+        std::fprintf(stderr, "usage: batch_serve --pattern '<pattern>'\n");
+        return 2;
+      }
+      pattern_text = argv[2];
+    } else {
+      const int parsed = std::atoi(argv[1]);
+      if (parsed < 1) {
+        std::fprintf(stderr,
+                     "usage: batch_serve [num_threads >= 1 | --pattern "
+                     "'<pattern>' | --list-failpoints]\n");
+        return 2;
+      }
+      num_threads = static_cast<uint32_t>(parsed);
     }
-    num_threads = static_cast<uint32_t>(parsed);
   }
 
   // --- The shared data graph: the emulated yeast PPI network. ---
@@ -96,6 +112,25 @@ int main(int argc, char** argv) {
               "%u of %zu unsolved\n",
               batch.per_query[0].solved ? "SOLVED?!" : "timed out",
               batch.unsolved, queries.size());
+
+  // --- Text pattern front end: the same engine serves parsed patterns. ---
+  PatternOptions pattern_options;
+  pattern_options.vertex_labels = {{"ProteinA", 0}, {"ProteinB", 1}};
+  pattern_options.edge_labels = {{"BINDS", 0}};
+  auto parsed = ParsePattern(pattern_text, pattern_options);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "pattern: %s\n", parsed.status().ToString().c_str());
+    return 1;
+  }
+  const ParsedPattern& pattern = parsed.ValueOrDie();
+  std::vector<Graph> pattern_queries;
+  pattern_queries.push_back(pattern.query);
+  BatchResult pattern_batch = engine->MatchBatch(pattern_queries).ValueOrDie();
+  std::printf("\npattern wave: \"%s\"\n", pattern_text.c_str());
+  std::printf("        %zu query vertices, %llu matches in %.3f s\n",
+              static_cast<size_t>(pattern.query.num_vertices()),
+              static_cast<unsigned long long>(pattern_batch.total_matches),
+              pattern_batch.wall_seconds);
 
   const EngineCounters counters = engine->counters();
   std::printf("\nlifetime: %llu queries over %llu batches "

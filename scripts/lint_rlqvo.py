@@ -28,6 +28,16 @@ library — they are not part of the annotated serving stack):
    `component.operation` (lowercase [a-z0-9_], exactly one dot), and the
    catalog must be duplicate-free.
 
+5. **Skeleton iteration in src/matching/ must be annotated.**
+   `Graph::neighbors(v)` is the symmetric skeleton view: per-slice sorted
+   only, and blind to direction and edge labels. Inside src/matching/ a
+   raw `neighbors(` call must carry a `// neighbors-ok: <reason>`
+   annotation on the same or the preceding line, recording the audited
+   reason it is safe on directed / edge-labeled graphs (connectivity and
+   degree heuristics, or labeled constraints re-checked per edge).
+   Candidate generation must go through the slice API
+   (NeighborsWith / NeighborsWithLabel / EdgesBetween) instead.
+
 Exit status 0 = clean, 1 = violations (printed as file:line: message),
 2 = usage/environment error.
 """
@@ -124,6 +134,41 @@ def check_banned_patterns():
                 if pattern.search(line):
                     violations.append(
                         f"{rel}:{lineno}: {what} — {RNG_BAN_MSG}")
+    return violations
+
+
+MATCHING_DIR = os.path.join(SRC_DIR, "matching")
+NEIGHBORS_CALL_RE = re.compile(r"\bneighbors\s*\(")
+NEIGHBORS_OK_RE = re.compile(r"//\s*neighbors-ok:\s*\S")
+
+
+def check_neighbors_annotated():
+    """Raw skeleton iteration in src/matching/ needs a `// neighbors-ok:`
+    audit annotation (the call is matched on comment-stripped text so
+    mentions in comments don't fire; the annotation is matched on raw text
+    because it lives in a comment)."""
+    violations = []
+    for path in source_files():
+        if os.path.commonpath([path, MATCHING_DIR]) != MATCHING_DIR:
+            continue
+        rel = os.path.relpath(path, REPO_ROOT)
+        with open(path, encoding="utf-8") as f:
+            raw = f.read()
+        raw_lines = raw.splitlines()
+        for lineno, line in enumerate(
+                strip_comments_and_strings(raw).splitlines(), start=1):
+            if not NEIGHBORS_CALL_RE.search(line):
+                continue
+            same = raw_lines[lineno - 1] if lineno <= len(raw_lines) else ""
+            prev = raw_lines[lineno - 2] if lineno >= 2 else ""
+            if NEIGHBORS_OK_RE.search(same) or NEIGHBORS_OK_RE.search(prev):
+                continue
+            violations.append(
+                f"{rel}:{lineno}: raw neighbors() iteration in src/matching/ "
+                "— the skeleton is direction- and edge-label-blind; use the "
+                "slice API (NeighborsWith/NeighborsWithLabel/EdgesBetween) "
+                "or annotate the audited use with "
+                "\"// neighbors-ok: <reason>\" on this or the previous line")
     return violations
 
 
@@ -225,6 +270,7 @@ def main() -> int:
         return 2
 
     violations = check_banned_patterns()
+    violations += check_neighbors_annotated()
     violations += check_failpoints()
     if not args.skip_header_check:
         violations += check_header_self_contained(args.cxx, args.jobs)

@@ -153,9 +153,25 @@ Result<std::vector<VertexId>> RLQVOOrdering::MakeOrder(
   return GreedyConnectedCompletion(*ctx.query, env.order());
 }
 
+namespace {
+
+/// The network input width is dictated by the feature config: the optional
+/// edge-label column widens it to 8, whatever the caller's PolicyConfig
+/// said (the two must agree or every forward would CHECK-fail).
+PolicyConfig AdjustedPolicyConfig(PolicyConfig config,
+                                  const FeatureConfig& features) {
+  if (features.edge_label_features) {
+    config.feature_dim = FeatureBuilder::kFeatureDim + 1;
+  }
+  return config;
+}
+
+}  // namespace
+
 RLQVOModel::RLQVOModel(const PolicyConfig& policy_config,
                        const FeatureConfig& feature_config)
-    : policy_(std::make_shared<PolicyNetwork>(policy_config)),
+    : policy_(std::make_shared<PolicyNetwork>(
+          AdjustedPolicyConfig(policy_config, feature_config))),
       feature_config_(feature_config) {}
 
 Result<TrainStats> RLQVOModel::Train(const std::vector<Graph>& queries,
@@ -228,6 +244,8 @@ Status RLQVOModel::Save(const std::string& path) const {
       std::string(feature_config_.random_features ? "1" : "0");
   metadata["feature_scale_ids"] =
       std::string(feature_config_.scale_ids ? "1" : "0");
+  metadata["feature_edge_labels"] =
+      std::string(feature_config_.edge_label_features ? "1" : "0");
   return nn::SaveParameters(policy_->Parameters(), metadata, path);
 }
 
@@ -248,6 +266,11 @@ Result<RLQVOModel> RLQVOModel::Load(const std::string& path) {
   if (it != ckpt.metadata.end()) features.random_features = it->second == "1";
   it = ckpt.metadata.find("feature_scale_ids");
   if (it != ckpt.metadata.end()) features.scale_ids = it->second == "1";
+  // Absent in pre-edge-label checkpoints: default off, widths unchanged.
+  it = ckpt.metadata.find("feature_edge_labels");
+  if (it != ckpt.metadata.end()) {
+    features.edge_label_features = it->second == "1";
+  }
 
   RLQVOModel model(network.config(), features);
   std::vector<nn::Var> params = model.policy_->Parameters();

@@ -11,6 +11,9 @@ Status ValidateLabels(const LabelConfig& labels) {
   if (labels.num_labels == 0) {
     return Status::InvalidArgument("num_labels must be positive");
   }
+  if (labels.num_edge_labels == 0) {
+    return Status::InvalidArgument("num_edge_labels must be positive");
+  }
   if (labels.zipf_exponent < 0.0) {
     return Status::InvalidArgument("zipf_exponent must be non-negative");
   }
@@ -34,6 +37,20 @@ void AssignLabels(GraphBuilder* builder, uint32_t n, const LabelConfig& config,
   }
 }
 
+/// Adds one sampled edge, drawing a uniform edge label only when the config
+/// asks for more than one — with the default single-label config no extra
+/// RNG draws happen, so seeded sequences predating the knob are
+/// byte-identical.
+void AddGeneratedEdge(GraphBuilder* builder, VertexId u, VertexId v,
+                      const LabelConfig& config, Rng* rng) {
+  if (config.num_edge_labels <= 1) {
+    builder->AddEdge(u, v);
+  } else {
+    builder->AddEdge(
+        u, v, static_cast<EdgeLabel>(rng->NextBounded(config.num_edge_labels)));
+  }
+}
+
 }  // namespace
 
 Label SampleLabel(const LabelConfig& config, Rng* rng) {
@@ -50,13 +67,14 @@ Result<Graph> GenerateErdosRenyi(uint32_t n, double avg_degree,
   RLQVO_RETURN_NOT_OK(ValidateLabels(labels));
   Rng rng(seed);
   GraphBuilder builder(n);
+  builder.set_directed(labels.directed);
   AssignLabels(&builder, n, labels, &rng);
   const uint64_t target_edges =
       static_cast<uint64_t>(avg_degree * n / 2.0 + 0.5);
   for (uint64_t e = 0; e < target_edges; ++e) {
     VertexId u = static_cast<VertexId>(rng.NextBounded(n));
     VertexId v = static_cast<VertexId>(rng.NextBounded(n));
-    if (u != v) builder.AddEdge(u, v);
+    if (u != v) AddGeneratedEdge(&builder, u, v, labels, &rng);
   }
   return builder.Build();
 }
@@ -73,6 +91,7 @@ Result<Graph> GeneratePowerLaw(uint32_t n, double avg_degree, double gamma,
   RLQVO_RETURN_NOT_OK(ValidateLabels(labels));
   Rng rng(seed);
   GraphBuilder builder(n);
+  builder.set_directed(labels.directed);
   AssignLabels(&builder, n, labels, &rng);
 
   // Chung-Lu: sample edge endpoints proportionally to expected degrees.
@@ -101,7 +120,7 @@ Result<Graph> GeneratePowerLaw(uint32_t n, double avg_degree, double gamma,
   for (uint64_t e = 0; e < target_edges; ++e) {
     VertexId u = sample_endpoint();
     VertexId v = sample_endpoint();
-    if (u != v) builder.AddEdge(u, v);
+    if (u != v) AddGeneratedEdge(&builder, u, v, labels, &rng);
   }
   return builder.Build();
 }
@@ -118,6 +137,7 @@ Result<Graph> GenerateBarabasiAlbert(uint32_t n, uint32_t edges_per_vertex,
   RLQVO_RETURN_NOT_OK(ValidateLabels(labels));
   Rng rng(seed);
   GraphBuilder builder(n);
+  builder.set_directed(labels.directed);
   AssignLabels(&builder, n, labels, &rng);
 
   // `targets` holds one entry per edge endpoint, so uniform sampling from it
@@ -127,7 +147,7 @@ Result<Graph> GenerateBarabasiAlbert(uint32_t n, uint32_t edges_per_vertex,
   // Seed clique over the first m+1 vertices.
   for (uint32_t u = 0; u <= edges_per_vertex; ++u) {
     for (uint32_t v = u + 1; v <= edges_per_vertex; ++v) {
-      builder.AddEdge(u, v);
+      AddGeneratedEdge(&builder, u, v, labels, &rng);
       targets.push_back(u);
       targets.push_back(v);
     }
@@ -136,7 +156,7 @@ Result<Graph> GenerateBarabasiAlbert(uint32_t n, uint32_t edges_per_vertex,
     for (uint32_t k = 0; k < edges_per_vertex; ++k) {
       VertexId t = targets[rng.NextBounded(targets.size())];
       if (t == v) continue;
-      builder.AddEdge(v, t);
+      AddGeneratedEdge(&builder, v, t, labels, &rng);
       targets.push_back(v);
       targets.push_back(t);
     }

@@ -8,7 +8,8 @@
 
 namespace rlqvo {
 
-/// \brief How labels are assigned to generated vertices.
+/// \brief How labels are assigned to generated vertices (and, optionally,
+/// edges) and which graph model the generator emits.
 struct LabelConfig {
   /// Number of distinct labels |L|.
   uint32_t num_labels = 4;
@@ -16,6 +17,14 @@ struct LabelConfig {
   /// (e.g. Citeseer's 6 classes, DBLP's venues) have skewed label histograms,
   /// which is what makes infrequent-label-first heuristics meaningful.
   double zipf_exponent = 0.8;
+  /// Number of distinct edge labels |Sigma|. The default 1 emits the classic
+  /// single-edge-label graph and performs no extra RNG draws, so seeded
+  /// generator sequences predating this knob are byte-identical; > 1 draws a
+  /// uniform edge label per sampled edge.
+  uint32_t num_edge_labels = 1;
+  /// Emit a directed graph: each sampled endpoint pair (u, v) becomes the
+  /// arc u -> v instead of an undirected edge.
+  bool directed = false;
 };
 
 /// \brief G(n, p)-style random graph with a target average degree.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <numeric>
+#include <tuple>
 #include <utility>
 
 #include "common/failpoint.h"
@@ -36,6 +37,114 @@ Graph::SliceView Graph::NeighborsWithLabelView(VertexId v, Label l) const {
   if (it == end || *it != l) return {};
   const size_t i = static_cast<size_t>(it - begin);
   return {NeighborSlice(v, i), SliceBitmap(v, i)};
+}
+
+size_t Graph::DirCsr::FindSlice(VertexId v, EdgeLabel elabel,
+                                Label vlabel) const {
+  const uint64_t begin = slice_offsets[v];
+  const uint64_t end = slice_offsets[v + 1];
+  uint64_t lo = begin, hi = end;
+  while (lo < hi) {
+    const uint64_t mid = lo + (hi - lo) / 2;
+    if (std::make_pair(slice_elabels[mid], slice_vlabels[mid]) <
+        std::make_pair(elabel, vlabel)) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo == end || slice_elabels[lo] != elabel || slice_vlabels[lo] != vlabel) {
+    return SIZE_MAX;
+  }
+  return static_cast<size_t>(lo);
+}
+
+std::span<const VertexId> Graph::DirCsr::Slice(VertexId v, size_t entry) const {
+  const uint64_t begin = slice_begins[entry];
+  const uint64_t end = entry + 1 < slice_offsets[v + 1] ? slice_begins[entry + 1]
+                                                        : offsets[v + 1];
+  return {adj.data() + begin, end - begin};
+}
+
+std::span<const VertexId> Graph::NeighborsWith(VertexId v, EdgeDir dir,
+                                               EdgeLabel elabel,
+                                               Label vlabel) const {
+  RLQVO_DCHECK_LT(v, num_vertices());
+  if (out_.empty()) {  // degenerate: forward to the identical skeleton slice
+    if (elabel != 0) return {};
+    return NeighborsWithLabel(v, vlabel);
+  }
+  const DirCsr& csr = DirAdj(dir);
+  const size_t entry = csr.FindSlice(v, elabel, vlabel);
+  if (entry == SIZE_MAX) return {};
+  return csr.Slice(v, entry);
+}
+
+Graph::SliceView Graph::NeighborsWithView(VertexId v, EdgeDir dir,
+                                          EdgeLabel elabel, Label vlabel) const {
+  RLQVO_DCHECK_LT(v, num_vertices());
+  if (out_.empty()) {
+    if (elabel != 0) return {};
+    return NeighborsWithLabelView(v, vlabel);
+  }
+  const DirCsr& csr = DirAdj(dir);
+  const size_t entry = csr.FindSlice(v, elabel, vlabel);
+  if (entry == SIZE_MAX) return {};
+  const uint64_t* bitmap = nullptr;
+  if (!csr.slice_bitmap_slot.empty()) {
+    const uint32_t slot = csr.slice_bitmap_slot[entry];
+    if (slot != kNoBitmapSlot) {
+      bitmap =
+          csr.slice_bitmap_words.data() + static_cast<size_t>(slot) * bitmap_words_;
+    }
+  }
+  return {csr.Slice(v, entry), bitmap};
+}
+
+bool Graph::HasEdge(VertexId u, VertexId v, EdgeDir dir, EdgeLabel elabel) const {
+  if (u >= num_vertices() || v >= num_vertices()) return false;
+  if (out_.empty()) return elabel == 0 && HasEdge(u, v);
+  // u -[dir]-> v is v -[reverse]-> u: anchor the search at the endpoint with
+  // the shorter labeled neighbor list.
+  if (DirDegree(dir, u) > DirDegree(Reverse(dir), v)) {
+    std::swap(u, v);
+    dir = Reverse(dir);
+  }
+  auto slice = NeighborsWith(u, dir, elabel, label(v));
+  return std::binary_search(slice.begin(), slice.end(), v);
+}
+
+size_t Graph::NumLabeledSlices(VertexId v, EdgeDir dir) const {
+  RLQVO_DCHECK_LT(v, num_vertices());
+  if (out_.empty()) return NeighborLabels(v).size();
+  const DirCsr& csr = DirAdj(dir);
+  return static_cast<size_t>(csr.slice_offsets[v + 1] - csr.slice_offsets[v]);
+}
+
+Graph::LabeledSlice Graph::LabeledSliceAt(VertexId v, EdgeDir dir,
+                                          size_t i) const {
+  RLQVO_DCHECK_LT(v, num_vertices());
+  if (out_.empty()) return {0, NeighborLabels(v)[i], NeighborSlice(v, i)};
+  const DirCsr& csr = DirAdj(dir);
+  const uint64_t entry = csr.slice_offsets[v] + i;
+  RLQVO_DCHECK_LT(entry, csr.slice_offsets[v + 1]);
+  return {csr.slice_elabels[entry], csr.slice_vlabels[entry],
+          csr.Slice(v, static_cast<size_t>(entry))};
+}
+
+void Graph::EdgesBetween(VertexId u, VertexId w,
+                         std::vector<std::pair<EdgeDir, EdgeLabel>>* out) const {
+  if (out_.empty()) {
+    if (HasEdge(u, w)) out->emplace_back(EdgeDir::kOut, EdgeLabel{0});
+    return;
+  }
+  for (EdgeLabel e = 0; e < num_edge_labels_; ++e) {
+    if (HasEdge(u, w, EdgeDir::kOut, e)) out->emplace_back(EdgeDir::kOut, e);
+  }
+  if (!directed_) return;  // undirected: every edge already reported as kOut
+  for (EdgeLabel e = 0; e < num_edge_labels_; ++e) {
+    if (HasEdge(u, w, EdgeDir::kIn, e)) out->emplace_back(EdgeDir::kIn, e);
+  }
 }
 
 std::span<const VertexId> Graph::VerticesWithLabel(Label l) const {
@@ -73,17 +182,41 @@ size_t Graph::MemoryFootprintBytes() const {
          slice_labels_.size() * sizeof(Label) +
          slice_begins_.size() * sizeof(uint64_t) +
          slice_bitmap_slot_.size() * sizeof(uint32_t) +
-         slice_bitmap_words_.size() * sizeof(uint64_t);
+         slice_bitmap_words_.size() * sizeof(uint64_t) + DirCsrBytes(out_) +
+         DirCsrBytes(in_) + edge_label_freq_.size() * sizeof(uint64_t);
+}
+
+size_t Graph::DirCsrBytes(const DirCsr& csr) {
+  return csr.offsets.size() * sizeof(uint64_t) +
+         csr.adj.size() * sizeof(VertexId) +
+         csr.slice_offsets.size() * sizeof(uint64_t) +
+         csr.slice_elabels.size() * sizeof(EdgeLabel) +
+         csr.slice_vlabels.size() * sizeof(Label) +
+         csr.slice_begins.size() * sizeof(uint64_t) +
+         csr.slice_bitmap_slot.size() * sizeof(uint32_t) +
+         csr.slice_bitmap_words.size() * sizeof(uint64_t);
 }
 
 std::string Graph::ToString() const {
-  char buf[128];
-  std::snprintf(buf, sizeof(buf),
-                "Graph(|V|=%u, |E|=%llu, |L|=%u, avg_d=%.2f)", num_vertices(),
-                static_cast<unsigned long long>(num_edges()), num_labels(),
-                num_vertices() ? 2.0 * static_cast<double>(num_edges()) /
-                                     num_vertices()
-                               : 0.0);
+  char buf[160];
+  if (degenerate()) {
+    std::snprintf(buf, sizeof(buf),
+                  "Graph(|V|=%u, |E|=%llu, |L|=%u, avg_d=%.2f)", num_vertices(),
+                  static_cast<unsigned long long>(num_edges()), num_labels(),
+                  num_vertices() ? 2.0 * static_cast<double>(num_edges()) /
+                                       num_vertices()
+                                 : 0.0);
+  } else {
+    std::snprintf(
+        buf, sizeof(buf),
+        "Graph(|V|=%u, |E|=%llu, |L|=%u, |Sigma|=%u, %s, avg_d=%.2f)",
+        num_vertices(), static_cast<unsigned long long>(num_edges()),
+        num_labels(), num_edge_labels(),
+        directed_ ? "directed" : "undirected",
+        num_vertices() ? (directed_ ? 1.0 : 2.0) *
+                             static_cast<double>(num_edges()) / num_vertices()
+                       : 0.0);
+  }
   return buf;
 }
 
@@ -99,10 +232,17 @@ VertexId GraphBuilder::AddVertex(Label label) {
 }
 
 bool GraphBuilder::AddEdge(VertexId u, VertexId v) {
+  return AddEdge(u, v, EdgeLabel{0});
+}
+
+bool GraphBuilder::AddEdge(VertexId u, VertexId v, EdgeLabel elabel) {
   if (u == v) return false;
   if (u >= labels_.size() || v >= labels_.size()) return false;
+  // The symmetric skeleton sees every edge regardless of direction/label.
   adjacency_[u].push_back(v);
   adjacency_[v].push_back(u);
+  edges_.push_back({u, v, elabel});
+  max_edge_label_ = std::max(max_edge_label_, elabel);
   return true;
 }
 
@@ -232,8 +372,143 @@ Graph GraphBuilder::Build() {
   }
   std::sort(g.sorted_degrees_.begin(), g.sorted_degrees_.end());
 
+  // ---- Directed, edge-labeled layer ----
+  // The degenerate case (undirected, single edge label) builds nothing here:
+  // the labeled API forwards to the skeleton slices above, keeping every
+  // pre-existing workload bit-identical. Otherwise build one labeled CSR per
+  // direction class, ordered by (elabel, label(w), w) per vertex.
+  g.directed_ = directed_;
+  g.num_edge_labels_ = max_edge_label_ + 1;
+  if (g.degenerate()) {
+    g.num_edges_ = g.adj_.size() / 2;
+    g.edge_label_freq_.assign(1, g.num_edges_);
+  } else {
+    using LabeledEnd = std::pair<EdgeLabel, VertexId>;
+    std::vector<std::vector<LabeledEnd>> out_lists(n);
+    std::vector<std::vector<LabeledEnd>> in_lists(directed_ ? n : 0);
+    for (const PendingEdge& e : edges_) {
+      out_lists[e.u].emplace_back(e.elabel, e.v);
+      (directed_ ? in_lists : out_lists)[e.v].emplace_back(e.elabel, e.u);
+    }
+    auto build_dir = [&g, n](std::vector<std::vector<LabeledEnd>>& lists,
+                             Graph::DirCsr& csr) {
+      uint64_t total = 0;
+      for (uint32_t v = 0; v < n; ++v) {
+        auto& ends = lists[v];
+        std::sort(ends.begin(), ends.end(),
+                  [&g](const LabeledEnd& a, const LabeledEnd& b) {
+                    return std::make_tuple(a.first, g.labels_[a.second],
+                                           a.second) <
+                           std::make_tuple(b.first, g.labels_[b.second],
+                                           b.second);
+                  });
+        ends.erase(std::unique(ends.begin(), ends.end()), ends.end());
+        total += ends.size();
+      }
+      csr.offsets.assign(n + 1, 0);
+      csr.adj.reserve(total);
+      for (uint32_t v = 0; v < n; ++v) {
+        csr.offsets[v] = csr.adj.size();
+        for (const LabeledEnd& e : lists[v]) csr.adj.push_back(e.second);
+      }
+      csr.offsets[n] = csr.adj.size();
+      // (elabel, vlabel)-slice index, mirroring the skeleton's label slices.
+      csr.slice_offsets.assign(n + 1, 0);
+      for (uint32_t v = 0; v < n; ++v) {
+        csr.slice_offsets[v] = csr.slice_elabels.size();
+        const auto& ends = lists[v];
+        for (size_t i = 0; i < ends.size(); ++i) {
+          const EdgeLabel el = ends[i].first;
+          const Label vl = g.labels_[ends[i].second];
+          if (i == 0 || el != csr.slice_elabels.back() ||
+              vl != csr.slice_vlabels.back()) {
+            csr.slice_elabels.push_back(el);
+            csr.slice_vlabels.push_back(vl);
+            csr.slice_begins.push_back(csr.offsets[v] + i);
+          }
+        }
+      }
+      csr.slice_offsets[n] = csr.slice_elabels.size();
+    };
+    build_dir(out_lists, g.out_);
+    if (directed_) build_dir(in_lists, g.in_);
+
+    g.num_edges_ = directed_ ? g.out_.adj.size() : g.out_.adj.size() / 2;
+    g.edge_label_freq_.assign(g.num_edge_labels_, 0);
+    for (uint32_t v = 0; v < n; ++v) {
+      for (uint64_t s = g.out_.slice_offsets[v];
+           s < g.out_.slice_offsets[v + 1]; ++s) {
+        const uint64_t begin = g.out_.slice_begins[s];
+        const uint64_t end = s + 1 < g.out_.slice_offsets[v + 1]
+                                 ? g.out_.slice_begins[s + 1]
+                                 : g.out_.offsets[v + 1];
+        g.edge_label_freq_[g.out_.slice_elabels[s]] += end - begin;
+      }
+    }
+    if (!directed_) {
+      // Undirected labeled edges appear once per endpoint in the out CSR.
+      for (uint64_t& f : g.edge_label_freq_) f /= 2;
+    }
+
+    // Bitmap sidecars for the labeled slices: same qualification rule and
+    // budget/failpoint degradation contract as the skeleton sidecar above.
+    if (build_slice_bitmaps_ && n > 0) {
+      const size_t words = (static_cast<size_t>(n) + 63) / 64;
+      auto for_each_slice = [n](const Graph::DirCsr& csr, auto&& fn) {
+        for (uint32_t v = 0; v < n; ++v) {
+          for (uint64_t s = csr.slice_offsets[v]; s < csr.slice_offsets[v + 1];
+               ++s) {
+            const uint64_t begin = csr.slice_begins[s];
+            const uint64_t end = s + 1 < csr.slice_offsets[v + 1]
+                                     ? csr.slice_begins[s + 1]
+                                     : csr.offsets[v + 1];
+            fn(s, begin, static_cast<size_t>(end - begin));
+          }
+        }
+      };
+      size_t qualifying = 0;
+      auto count_one = [&qualifying, n](uint64_t, uint64_t, size_t size) {
+        if (Graph::SliceQualifiesForBitmap(size, n)) ++qualifying;
+      };
+      for_each_slice(g.out_, count_one);
+      if (directed_) for_each_slice(g.in_, count_one);
+      if (qualifying > 0) {
+        MemoryCharge charge = MemoryBudget::Global().TryCharge(
+            qualifying * words * sizeof(uint64_t));
+        if (!charge.empty() &&
+            !RLQVO_FAILPOINT_FIRED("graph.bitmap_sidecar")) {
+          g.labeled_bitmap_charge_ =
+              std::make_shared<const MemoryCharge>(std::move(charge));
+          auto build_sidecar = [&](Graph::DirCsr& csr) {
+            uint32_t slots = 0;
+            csr.slice_bitmap_slot.assign(csr.slice_elabels.size(),
+                                         Graph::kNoBitmapSlot);
+            for_each_slice(csr, [&](uint64_t s, uint64_t begin, size_t size) {
+              if (!Graph::SliceQualifiesForBitmap(size, n)) return;
+              csr.slice_bitmap_slot[s] = slots++;
+              const size_t base = csr.slice_bitmap_words.size();
+              csr.slice_bitmap_words.resize(base + words, 0);
+              uint64_t* w = csr.slice_bitmap_words.data() + base;
+              for (uint64_t i = begin; i < begin + size; ++i) {
+                const VertexId id = csr.adj[i];
+                w[id >> 6] |= uint64_t{1} << (id & 63);
+              }
+            });
+            if (slots == 0) csr.slice_bitmap_slot.clear();
+          };
+          build_sidecar(g.out_);
+          if (directed_) build_sidecar(g.in_);
+          g.bitmap_words_ = words;
+        }
+      }
+    }
+  }
+
   labels_.clear();
   adjacency_.clear();
+  edges_.clear();
+  directed_ = false;
+  max_edge_label_ = 0;
   return g;
 }
 

@@ -43,17 +43,39 @@ Result<Graph> QuerySampler::SampleQuery(uint32_t num_vertices) {
     }
     if (chosen.size() < num_vertices) continue;  // stuck in a small component
 
-    // Induced subgraph over `chosen`, relabeling vertices to [0, k).
+    // Induced subgraph over `chosen`, relabeling vertices to [0, k). The
+    // induced query inherits the data graph's model — directedness and the
+    // edge labels of the copied edges — so the identity embedding stays a
+    // genuine match under the directed labeled semantics too.
     std::unordered_map<VertexId, VertexId> remap;
     GraphBuilder builder(num_vertices);
+    builder.set_directed(g.directed());
     for (VertexId v : chosen) {
       remap[v] = builder.AddVertex(g.label(v));
     }
-    for (VertexId v : chosen) {
-      for (VertexId w : g.neighbors(v)) {
-        auto it = remap.find(w);
-        if (it != remap.end() && v < w) {
-          builder.AddEdge(remap[v], it->second);
+    if (g.degenerate()) {
+      for (VertexId v : chosen) {
+        for (VertexId w : g.neighbors(v)) {
+          auto it = remap.find(w);
+          if (it != remap.end() && v < w) {
+            builder.AddEdge(remap[v], it->second);
+          }
+        }
+      }
+    } else {
+      for (VertexId v : chosen) {
+        const size_t slices = g.NumLabeledSlices(v, EdgeDir::kOut);
+        for (size_t i = 0; i < slices; ++i) {
+          const Graph::LabeledSlice slice =
+              g.LabeledSliceAt(v, EdgeDir::kOut, i);
+          for (VertexId w : slice.ids) {
+            auto it = remap.find(w);
+            if (it == remap.end()) continue;
+            // Undirected labeled graphs list each edge from both endpoints;
+            // copy it once.
+            if (!g.directed() && v >= w) continue;
+            builder.AddEdge(remap[v], it->second, slice.elabel);
+          }
         }
       }
     }

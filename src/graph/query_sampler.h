@@ -14,6 +14,11 @@ namespace rlqvo {
 /// Matches the workload construction of the paper (Sec IV-A, following
 /// Sun & Luo): a query is a randomly extracted connected subgraph of G, so
 /// every query is guaranteed to have at least one embedding (the identity).
+/// Directed and edge-labeled data graphs yield queries in the same model
+/// (direction and edge labels copied from the induced edges); the walk
+/// itself follows the symmetric skeleton, so seeded samples from classic
+/// undirected graphs are byte-identical to what they were before the
+/// directed model existed.
 class QuerySampler {
  public:
   /// \param data the data graph queries are extracted from (must outlive

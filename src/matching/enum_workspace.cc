@@ -13,6 +13,16 @@ Status EnumeratorWorkspace::Prepare(const Graph& query, const Graph& data,
   const uint32_t nq = query.num_vertices();
   const size_t nv = data.num_vertices();
 
+  // Directedness is part of the matching semantics (an undirected query
+  // edge means "one symmetric edge", a directed one means "this arc"), so a
+  // mixed pair has no well-defined answer — reject instead of guessing.
+  if (query.directed() != data.directed()) {
+    return Status::InvalidArgument(
+        "query/data directedness mismatch: query is " +
+        std::string(query.directed() ? "directed" : "undirected") +
+        ", data is " + std::string(data.directed() ? "directed" : "undirected"));
+  }
+
   // Any fresh Prepare invalidates a parallel run's "already prepared on
   // this worker" stamp (see parallel_run_token()).
   parallel_run_token_ = 0;
@@ -45,10 +55,25 @@ Status EnumeratorWorkspace::Prepare(const Graph& query, const Graph& data,
   if (backward_.size() < nq) backward_.resize(nq);
   if (local_.size() < nq) local_.resize(nq);
   placed_.assign(nq, 0);
+  const bool degenerate = query.degenerate();
   for (size_t i = 0; i < order.size(); ++i) {
     backward_[i].clear();
+    // neighbors-ok: endpoints only; labeled constraints come from EdgesBetween.
     for (VertexId w : query.neighbors(order[i])) {
-      if (placed_[w]) backward_[i].push_back(w);
+      if (!placed_[w]) continue;
+      if (degenerate) {
+        // Exactly one undirected label-0 edge per skeleton neighbor; skip
+        // the EdgesBetween lookup and keep the classic neighbor-list order.
+        backward_[i].push_back({w, EdgeDir::kOut, 0});
+        continue;
+      }
+      // One constraint per labeled query edge between w and order[i], from
+      // w's perspective (w is the placed endpoint the lookup anchors on).
+      edge_scratch_.clear();
+      query.EdgesBetween(w, order[i], &edge_scratch_);
+      for (const auto& [dir, elabel] : edge_scratch_) {
+        backward_[i].push_back({w, dir, elabel});
+      }
     }
     placed_[order[i]] = 1;
   }

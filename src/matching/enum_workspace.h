@@ -113,8 +113,22 @@ class EnumeratorWorkspace {
   /// mapping[u] = mapped data vertex (kInvalidVertex if unmapped).
   std::vector<VertexId>& mapping() { return mapping_; }
 
-  /// backward[i] = already-placed query neighbors of order[i].
-  const std::vector<std::vector<VertexId>>& backward() const {
+  /// One backward edge constraint of a query vertex being extended: the new
+  /// vertex's data image must lie in NeighborsWith(mapping[u], dir, elabel,
+  /// label(new)) — i.e. `dir`/`elabel` are from the *placed* endpoint u's
+  /// perspective (kOut: query edge u -> new; kIn: new -> u). The degenerate
+  /// case carries (kOut, 0) for every constraint, which the Graph forwards
+  /// to the plain label slice — bit-identical to the undirected path.
+  struct BackwardConstraint {
+    VertexId u;
+    EdgeDir dir;
+    EdgeLabel elabel;
+  };
+
+  /// backward[i] = constraints against already-placed query neighbors of
+  /// order[i], one entry per labeled query edge, in the (skeleton)
+  /// neighbor-list order of order[i] and (dir, elabel) order within a pair.
+  const std::vector<std::vector<BackwardConstraint>>& backward() const {
     return backward_;
   }
 
@@ -166,7 +180,8 @@ class EnumeratorWorkspace {
   MemoryCharge stamp_charge_;           // budget charge for cand_stamp_
   std::vector<uint8_t> visited_stamp_;  // |V(G)|
   std::vector<VertexId> mapping_;
-  std::vector<std::vector<VertexId>> backward_;
+  std::vector<std::vector<BackwardConstraint>> backward_;
+  std::vector<std::pair<EdgeDir, EdgeLabel>> edge_scratch_;  // backward build
   std::vector<LocalBuffers> local_;  // one pair per recursion depth
   std::vector<Graph::SliceView> slice_scratch_;
   std::vector<uint8_t> placed_;  // scratch for the backward build

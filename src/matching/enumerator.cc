@@ -151,7 +151,8 @@ struct EnumContext {
     ++work;
     if (CheckStop()) return;
     const VertexId u = (*order)[depth];
-    const std::vector<VertexId>& backward = ws->backward()[depth];
+    const std::vector<EnumeratorWorkspace::BackwardConstraint>& backward =
+        ws->backward()[depth];
 
     if (backward.empty()) {
       // No mapped backward neighbor (a component break in a disconnected
@@ -165,18 +166,23 @@ struct EnumContext {
     }
 
     // Local candidates = intersection of the backward neighbors' adjacency
-    // slices restricted to label(u). Every slice is sorted by id, so the
-    // intersection is an ordered merge/gallop (intersect.h) instead of the
-    // seed's per-candidate HasEdge probe per additional backward neighbor.
+    // slices restricted to label(u) — and, for directed/edge-labeled
+    // queries, to each backward edge's direction and edge label (the
+    // constraints were precomputed per order position by Prepare). Every
+    // slice is sorted by id, so the intersection is an ordered merge/gallop
+    // (intersect.h) instead of the seed's per-candidate HasEdge probe per
+    // additional backward neighbor. In the degenerate case every constraint
+    // is (kOut, 0) and NeighborsWith forwards to the skeleton label slice —
+    // same spans, same sidecars, bit-identical kernels and counters.
     const std::vector<VertexId>& mapping = ws->mapping();
     const Label ul = query->label(u);
     ++result.local_candidate_sets;
 
     if (backward.size() == 1) {
-      // One backward neighbor: its slice IS the local candidate set;
+      // One backward constraint: its slice IS the local candidate set;
       // iterate it in place without materializing.
-      const std::span<const VertexId> slice =
-          data->NeighborsWithLabel(mapping[backward[0]], ul);
+      const std::span<const VertexId> slice = data->NeighborsWith(
+          mapping[backward[0].u], backward[0].dir, backward[0].elabel, ul);
       result.local_candidates_total += slice.size();
       work += slice.size();
       for (VertexId v : slice) {
@@ -194,8 +200,9 @@ struct EnumContext {
     // while deeper calls run.
     std::vector<Graph::SliceView>& slices = ws->slice_scratch();
     slices.clear();
-    for (VertexId ub : backward) {
-      slices.push_back(data->NeighborsWithLabelView(mapping[ub], ul));
+    for (const EnumeratorWorkspace::BackwardConstraint& b : backward) {
+      slices.push_back(
+          data->NeighborsWithView(mapping[b.u], b.dir, b.elabel, ul));
     }
     std::sort(slices.begin(), slices.end(), [](const auto& a, const auto& b) {
       return a.ids.size() < b.ids.size();
@@ -503,14 +510,25 @@ void BruteForceExtend(const Graph& q, const Graph& g, uint64_t match_limit,
     return;
   }
   const VertexId u = static_cast<VertexId>(depth);
+  std::vector<std::pair<EdgeDir, EdgeLabel>> constraints;
   for (VertexId v = 0; v < g.num_vertices(); ++v) {
     if ((*visited)[v] || g.label(v) != q.label(u)) continue;
     bool consistent = true;
+    // neighbors-ok: endpoints only; labeled edges re-checked via HasEdge.
     for (VertexId w : q.neighbors(u)) {
-      if (w < u && !g.HasEdge((*mapping)[w], v)) {
-        consistent = false;
-        break;
+      if (w >= u) continue;
+      // Every labeled query edge between w and u must have a matching data
+      // edge between M(w) and v, same direction (from w's side) and same
+      // edge label. The degenerate case reduces to one symmetric HasEdge.
+      constraints.clear();
+      q.EdgesBetween(w, u, &constraints);
+      for (const auto& [dir, elabel] : constraints) {
+        if (!g.HasEdge((*mapping)[w], v, dir, elabel)) {
+          consistent = false;
+          break;
+        }
       }
+      if (!consistent) break;
     }
     if (!consistent) continue;
     (*mapping)[u] = v;

@@ -43,15 +43,60 @@ Status ValidateInputs(const Graph& query, const Graph& data) {
   if (data.num_vertices() == 0) {
     return Status::InvalidArgument("data graph is empty");
   }
+  if (query.directed() != data.directed()) {
+    return Status::InvalidArgument(
+        "query/data directedness mismatch in filter");
+  }
   return Status::OK();
+}
+
+/// Whether the (dir, elabel, vlabel)-aware dominance checks below apply.
+/// When both graphs are degenerate the labeled views coincide with the
+/// skeleton views, so the extra checks would re-test what the skeleton
+/// checks already decided — skip them to keep the classic path untouched.
+bool UseLabeledChecks(const Graph& query, const Graph& data) {
+  return !query.degenerate() || !data.degenerate();
+}
+
+/// Labeled degree dominance: an injective match maps u's distinct labeled
+/// out-edges (w, elabel) to distinct labeled out-edges of v, and likewise
+/// in-edges — so v needs at least u's labeled degree per direction class.
+bool LabeledDegreesDominate(const Graph& query, const Graph& data, VertexId u,
+                            VertexId v) {
+  return data.out_degree(v) >= query.out_degree(u) &&
+         data.in_degree(v) >= query.in_degree(u);
+}
+
+/// Per-(dir, elabel, vlabel) slice dominance, the directed generalization
+/// of the NLF histogram test: every labeled slice of the query vertex must
+/// fit inside the data vertex's same-keyed slice. Undirected labeled graphs
+/// have one direction class, so the kIn pass is skipped.
+bool LabeledSlicesDominate(const Graph& query, const Graph& data, VertexId u,
+                           VertexId v) {
+  const int num_dirs = query.directed() ? 2 : 1;
+  for (int d = 0; d < num_dirs; ++d) {
+    const EdgeDir dir = d == 0 ? EdgeDir::kOut : EdgeDir::kIn;
+    const size_t slices = query.NumLabeledSlices(u, dir);
+    for (size_t i = 0; i < slices; ++i) {
+      const Graph::LabeledSlice s = query.LabeledSliceAt(u, dir, i);
+      if (data.NeighborsWith(v, dir, s.elabel, s.vlabel).size() <
+          s.ids.size()) {
+        return false;
+      }
+    }
+  }
+  return true;
 }
 
 CandidateSet LdfCandidates(const Graph& query, const Graph& data) {
   CandidateSet result(query.num_vertices());
+  const bool labeled = UseLabeledChecks(query, data);
   for (VertexId u = 0; u < query.num_vertices(); ++u) {
     std::vector<VertexId> c;
     for (VertexId v : data.VerticesWithLabel(query.label(u))) {
-      if (data.degree(v) >= query.degree(u)) c.push_back(v);
+      if (data.degree(v) < query.degree(u)) continue;
+      if (labeled && !LabeledDegreesDominate(query, data, u, v)) continue;
+      c.push_back(v);
     }
     result.Set(u, std::move(c));
   }
@@ -60,12 +105,18 @@ CandidateSet LdfCandidates(const Graph& query, const Graph& data) {
 
 CandidateSet NlfCandidates(const Graph& query, const Graph& data) {
   CandidateSet result(query.num_vertices());
+  const bool labeled = UseLabeledChecks(query, data);
   for (VertexId u = 0; u < query.num_vertices(); ++u) {
     const LabelCounts u_counts = NeighborLabelCounts(query, u);
     std::vector<VertexId> c;
     for (VertexId v : data.VerticesWithLabel(query.label(u))) {
       if (data.degree(v) < query.degree(u)) continue;
-      if (DominatedBy(u_counts, data, v)) c.push_back(v);
+      if (!DominatedBy(u_counts, data, v)) continue;
+      if (labeled && (!LabeledDegreesDominate(query, data, u, v) ||
+                      !LabeledSlicesDominate(query, data, u, v))) {
+        continue;
+      }
+      c.push_back(v);
     }
     result.Set(u, std::move(c));
   }
@@ -150,7 +201,9 @@ class SemiPerfectMatcher {
  public:
   bool Covers(const Graph& query, const Graph& data,
               const CandidateMembership& bitmap, VertexId u, VertexId v) {
+    // neighbors-ok: relaxed necessary condition (skeleton adjacency).
     const auto left = query.neighbors(u);
+    // neighbors-ok: relaxed necessary condition (skeleton adjacency).
     const auto right = data.neighbors(v);
     if (right.size() < left.size()) return false;
     // right_match_[j] = left index matched to right slot j (or -1).
@@ -257,6 +310,7 @@ Result<CandidateSet> DagDpFilter::Filter(const Graph& query,
     VertexId u = queue.front();
     queue.pop_front();
     bfs_order.push_back(u);
+    // neighbors-ok: BFS levels; the DAG shape is direction-agnostic.
     for (VertexId w : query.neighbors(u)) {
       if (level[w] < 0) {
         level[w] = level[u] + 1;
@@ -276,21 +330,46 @@ Result<CandidateSet> DagDpFilter::Filter(const Graph& query,
     CandidateMembership& bitmap = ThreadLocalMembership();
     bitmap.Reset(cs, data.num_vertices());
     const auto& order = bfs_order;
+    // The labeled constraints between u and a relevant DAG neighbor are
+    // candidate-independent; gather them once per u, in neighbor-list order.
+    struct DagNeighbor {
+      VertexId w;
+      std::vector<std::pair<EdgeDir, EdgeLabel>> constraints;
+    };
+    std::vector<DagNeighbor> relevant;
     for (size_t idx = 0; idx < order.size(); ++idx) {
       const VertexId u = top_down ? order[idx] : order[order.size() - 1 - idx];
+      relevant.clear();
+      // neighbors-ok: endpoints only; constraints via EdgesBetween.
+      for (VertexId w : query.neighbors(u)) {
+        if (!(top_down ? is_parent(w, u) : is_parent(u, w))) continue;
+        DagNeighbor& dn = relevant.emplace_back();
+        dn.w = w;
+        query.EdgesBetween(u, w, &dn.constraints);
+      }
       std::vector<VertexId> kept;
       kept.reserve(cs.candidates(u).size());
       for (VertexId v : cs.candidates(u)) {
         bool ok = true;
-        for (VertexId w : query.neighbors(u)) {
-          const bool relevant =
-              top_down ? is_parent(w, u) : is_parent(u, w);
-          if (!relevant) continue;
-          // Only v's neighbors carrying w's label can be candidates of w:
-          // restrict the witness scan to that slice.
+        for (const DagNeighbor& dn : relevant) {
+          // Only v's neighbors under the first labeled constraint carrying
+          // w's label can be candidates of w: restrict the witness scan to
+          // that slice (the degenerate slice is the classic label slice),
+          // and hold witnesses to the remaining parallel-edge constraints.
           bool found = false;
-          for (VertexId x : data.NeighborsWithLabel(v, query.label(w))) {
-            if (bitmap.Test(w, x)) {
+          const auto& [dir0, elabel0] = dn.constraints.front();
+          for (VertexId x :
+               data.NeighborsWith(v, dir0, elabel0, query.label(dn.w))) {
+            if (!bitmap.Test(dn.w, x)) continue;
+            bool satisfies_all = true;
+            for (size_t k = 1; k < dn.constraints.size(); ++k) {
+              if (!data.HasEdge(v, x, dn.constraints[k].first,
+                                dn.constraints[k].second)) {
+                satisfies_all = false;
+                break;
+              }
+            }
+            if (satisfies_all) {
               found = true;
               break;
             }

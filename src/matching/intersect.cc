@@ -361,10 +361,31 @@ IntersectPath IntersectDispatch(const Graph::SliceView& a,
       // the smaller list costs |small| word tests, which beats both merge
       // (|small|+|large| steps) and SIMD on hub slices. The word-parallel
       // AND wins over even that when both sides are bitmap-dense enough
-      // that the overlap word count undercuts |small|.
+      // that the overlap word count undercuts |small|. Exception, from the
+      // measured cost model (kAvx2MergeElemsPerProbe et al.): on dense
+      // similar-size pairs the SIMD shuffle merge undercuts both bitmap
+      // paths, so compare predicted costs in probe units before committing.
       if (large.bitmap != nullptr) {
-        if (small.bitmap != nullptr &&
-            OverlapWords(small.ids, large.ids) <= small.ids.size()) {
+        const size_t probe_cost = small.ids.size();
+        const size_t and_cost =
+            small.bitmap != nullptr
+                ? OverlapWords(small.ids, large.ids) * kBitmapAndProbesPerWord
+                : SIZE_MAX;
+        const size_t bitmap_cost = std::min(probe_cost, and_cost);
+        const IntersectKernel merge_family = AutoSimdKernel();
+        if (merge_family != IntersectKernel::kScalar &&
+            large.ids.size() / small.ids.size() < kGallopRatio) {
+          const size_t per_probe = merge_family == IntersectKernel::kAvx2
+                                       ? kAvx2MergeElemsPerProbe
+                                       : kSseMergeElemsPerProbe;
+          const size_t total = small.ids.size() + large.ids.size();
+          const size_t merge_cost = (total + per_probe - 1) / per_probe;
+          if (merge_cost < bitmap_cost) {
+            return SimdAdaptivePath(merge_family, a.ids, b.ids, out,
+                                    comparisons);
+          }
+        }
+        if (and_cost <= probe_cost) {
           IntersectBitmapAnd(small.ids, small.bitmap, large.ids, large.bitmap,
                              out, comparisons);
           return IntersectPath::kBitmapAnd;

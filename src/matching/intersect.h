@@ -43,6 +43,29 @@ namespace rlqvo {
 /// EnumerateResult and the BENCH_*.json files.
 inline constexpr size_t kGallopRatio = 16;
 
+/// \name Measured auto-kernel cost model.
+///
+/// When both a bitmap path and a SIMD shuffle merge could serve an
+/// intersection, kAuto compares predicted costs in *probe units* — the cost
+/// of one bitmap word probed (bit-probe path) or ANDed (word-parallel
+/// path). The SIMD merges retire several elements per probe unit; the
+/// constants below are calibrated from bench_intersection part 3 on this
+/// container (docs/BENCHMARKS.md: on the densest similar-size hub pairs the
+/// AVX2 merge ran ~2x faster than the bitmap paths while touching ~2x the
+/// elements, the SSE merge ~30% slower), so on such pairs kAuto now picks
+/// the merge and only keeps the bitmap where the size skew makes |small|
+/// probes cheaper than a full merge walk. The constants in force are
+/// recorded in BENCH_intersection.json under auto_policy_* keys.
+/// @{
+inline constexpr size_t kAvx2MergeElemsPerProbe = 4;
+inline constexpr size_t kSseMergeElemsPerProbe = 2;
+/// The word-parallel AND costs more than one probe unit per word touched:
+/// besides the AND itself it decodes result bits (countr_zero + append per
+/// hit), which on the dense overlaps the AND targets roughly doubles the
+/// per-word cost (same part-3 calibration).
+inline constexpr size_t kBitmapAndProbesPerWord = 2;
+/// @}
+
 void IntersectLinear(std::span<const VertexId> a, std::span<const VertexId> b,
                      std::vector<VertexId>* out, uint64_t* comparisons);
 

@@ -47,6 +47,7 @@ struct SearchState {
       if (used[u]) continue;
       if (!prefix.empty()) {
         bool attached = false;
+        // neighbors-ok: connectivity check over the symmetric skeleton.
         for (VertexId w : query->neighbors(u)) {
           if (used[w]) {
             attached = true;

@@ -54,6 +54,7 @@ std::vector<uint32_t> ComputeNecClasses(const Graph& query) {
   std::vector<std::pair<uint64_t, VertexId>> keyed;
   for (VertexId u = 0; u < n; ++u) {
     if (query.degree(u) == 1) {
+      // neighbors-ok: ordering heuristic over the symmetric skeleton.
       const VertexId nbr = query.neighbors(u)[0];
       const uint64_t key =
           (static_cast<uint64_t>(query.label(u)) << 32) | nbr;
@@ -94,6 +95,7 @@ Result<std::vector<VertexId>> RIOrdering::MakeOrder(
       if (ordered[u]) continue;
       // |N(u) ∩ φ_t|
       int backward = 0;
+      // neighbors-ok: ordering heuristic over the symmetric skeleton.
       for (VertexId w : q.neighbors(u)) backward += ordered[w];
       if (backward == 0) continue;  // keep the order connected
       // |u_neig|: ordered vertices u' with an unordered neighbor u'' that is
@@ -101,6 +103,7 @@ Result<std::vector<VertexId>> RIOrdering::MakeOrder(
       int neig = 0;
       for (VertexId up : order) {
         bool found = false;
+        // neighbors-ok: ordering heuristic over the symmetric skeleton.
         for (VertexId upp : q.neighbors(up)) {
           if (!ordered[upp] && upp != u && q.HasEdge(u, upp)) {
             found = true;
@@ -112,9 +115,11 @@ Result<std::vector<VertexId>> RIOrdering::MakeOrder(
       // |u_unv|: neighbors of u that are unordered and not adjacent to any
       // ordered vertex.
       int unv = 0;
+      // neighbors-ok: ordering heuristic over the symmetric skeleton.
       for (VertexId w : q.neighbors(u)) {
         if (ordered[w]) continue;
         bool adjacent_to_ordered = false;
+        // neighbors-ok: ordering heuristic over the symmetric skeleton.
         for (VertexId x : q.neighbors(w)) {
           if (ordered[x]) {
             adjacent_to_ordered = true;
@@ -156,6 +161,7 @@ Result<std::vector<VertexId>> QSIOrdering::MakeOrder(
   VertexId seed_a = kInvalidVertex, seed_b = kInvalidVertex;
   uint64_t seed_w = std::numeric_limits<uint64_t>::max();
   for (VertexId a = 0; a < n; ++a) {
+    // neighbors-ok: ordering heuristic over the symmetric skeleton.
     for (VertexId b : q.neighbors(a)) {
       if (a >= b) continue;
       const uint64_t w = edge_weight(a, b);
@@ -181,6 +187,7 @@ Result<std::vector<VertexId>> QSIOrdering::MakeOrder(
     uint64_t best_w = std::numeric_limits<uint64_t>::max();
     for (VertexId u = 0; u < n; ++u) {
       if (ordered[u]) continue;
+      // neighbors-ok: ordering heuristic over the symmetric skeleton.
       for (VertexId w : q.neighbors(u)) {
         if (!ordered[w]) continue;
         const uint64_t weight = edge_weight(u, w);
@@ -222,6 +229,7 @@ Result<std::vector<VertexId>> VF2PPOrdering::MakeOrder(
   for (size_t li = 0; li < levels.size(); ++li) {
     std::vector<VertexId> next;
     for (VertexId u : levels[li]) {
+      // neighbors-ok: ordering heuristic over the symmetric skeleton.
       for (VertexId w : q.neighbors(u)) {
         if (level[w] < 0) {
           level[w] = static_cast<int>(li) + 1;
@@ -253,6 +261,7 @@ Result<std::vector<VertexId>> VF2PPOrdering::MakeOrder(
     for (VertexId u : order) {
       if (placed[u]) continue;
       bool attached = false;
+      // neighbors-ok: ordering heuristic over the symmetric skeleton.
       for (VertexId w : q.neighbors(u)) {
         if (placed[w]) {
           attached = true;
@@ -290,6 +299,7 @@ Result<std::vector<VertexId>> GQLOrdering::MakeOrder(
     for (VertexId u = 0; u < n; ++u) {
       if (ordered[u]) continue;
       bool attached = false;
+      // neighbors-ok: ordering heuristic over the symmetric skeleton.
       for (VertexId w : q.neighbors(u)) {
         if (ordered[w]) {
           attached = true;
@@ -352,6 +362,7 @@ Result<std::vector<VertexId>> VEQOrdering::MakeOrder(
     for (VertexId u = 0; u < n; ++u) {
       if (ordered[u]) continue;
       bool attached = false;
+      // neighbors-ok: ordering heuristic over the symmetric skeleton.
       for (VertexId w : q.neighbors(u)) {
         if (ordered[w]) {
           attached = true;
@@ -412,6 +423,7 @@ Result<std::vector<VertexId>> CFLOrdering::MakeOrder(
     for (VertexId u = 0; u < n; ++u) {
       if (ordered[u]) continue;
       bool attached = false;
+      // neighbors-ok: ordering heuristic over the symmetric skeleton.
       for (VertexId w : q.neighbors(u)) {
         if (ordered[w]) {
           attached = true;
@@ -449,6 +461,7 @@ Result<std::vector<VertexId>> RandomOrdering::MakeOrder(
     std::vector<VertexId> frontier;
     for (VertexId u = 0; u < n; ++u) {
       if (ordered[u]) continue;
+      // neighbors-ok: connectivity repair walks the symmetric skeleton.
       for (VertexId w : q.neighbors(u)) {
         if (ordered[w]) {
           frontier.push_back(u);

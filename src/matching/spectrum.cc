@@ -58,6 +58,7 @@ struct SpectrumSearch {
       if (used[u]) continue;
       if (!prefix.empty()) {
         bool attached = false;
+        // neighbors-ok: connectivity check over the symmetric skeleton.
         for (VertexId w : query->neighbors(u)) {
           if (used[w]) {
             attached = true;

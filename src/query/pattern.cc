@@ -1,0 +1,246 @@
+#include "query/pattern.h"
+
+#include <cctype>
+#include <utility>
+
+namespace rlqvo {
+
+VertexId ParsedPattern::VertexByName(const std::string& name) const {
+  if (name.empty()) return kInvalidVertex;
+  for (VertexId v = 0; v < vertex_names.size(); ++v) {
+    if (vertex_names[v] == name) return v;
+  }
+  return kInvalidVertex;
+}
+
+namespace {
+
+/// Recursive-descent scanner/parser over the pattern text. Errors carry the
+/// 1-based column of the offending character so a long pattern pinpoints
+/// its typo.
+class PatternParser {
+ public:
+  PatternParser(const std::string& text, const PatternOptions& options)
+      : text_(text), options_(options) {}
+
+  Result<ParsedPattern> Parse() {
+    for (;;) {
+      SkipSeparators();
+      if (AtEnd()) break;
+      RLQVO_RETURN_NOT_OK(ParsePath());
+    }
+    if (out_.vertex_names.empty()) {
+      return Status::InvalidArgument("empty pattern");
+    }
+    // One pattern is one graph model: all-directed or all-undirected.
+    if (saw_directed_ && saw_undirected_) {
+      return Status::InvalidArgument(
+          "pattern mixes directed and undirected edges");
+    }
+    GraphBuilder builder(static_cast<uint32_t>(labels_.size()));
+    builder.set_directed(saw_directed_);
+    for (Label l : labels_) builder.AddVertex(l);
+    for (const ParsedPattern::EdgeConstraint& e : out_.edges) {
+      if (!builder.AddEdge(e.src, e.dst, e.elabel)) {
+        return Status::InvalidArgument(
+            "pattern self-loop on '" + out_.vertex_names[e.src] + "'");
+      }
+    }
+    out_.query = builder.Build();
+    return std::move(out_);
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return AtEnd() ? '\0' : text_[pos_]; }
+
+  void SkipSpace() {
+    while (!AtEnd() && (text_[pos_] == ' ' || text_[pos_] == '\t')) ++pos_;
+  }
+  void SkipSeparators() {
+    while (!AtEnd()) {
+      const char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == ',' || c == ';' || c == '\n' ||
+          c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  Status ErrorHere(const std::string& what) const {
+    return Status::InvalidArgument("pattern column " +
+                                   std::to_string(pos_ + 1) + ": " + what);
+  }
+
+  bool Consume(char c) {
+    if (Peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  std::string ConsumeIdent() {
+    const size_t begin = pos_;
+    while (!AtEnd()) {
+      const char c = text_[pos_];
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    return text_.substr(begin, pos_ - begin);
+  }
+
+  /// Resolves a label name through `map`, falling back to a decimal
+  /// literal.
+  template <typename MapT>
+  Result<uint32_t> ResolveLabel(const std::string& name, const MapT& map,
+                                const char* kind) {
+    auto it = map.find(name);
+    if (it != map.end()) return static_cast<uint32_t>(it->second);
+    uint64_t value = 0;
+    for (char c : name) {
+      if (!std::isdigit(static_cast<unsigned char>(c))) {
+        return Status::InvalidArgument(
+            std::string("unknown ") + kind + " label '" + name +
+            "' (not in the label map and not a number)");
+      }
+      value = value * 10 + static_cast<uint64_t>(c - '0');
+      if (value > UINT32_MAX) {
+        return Status::InvalidArgument(std::string(kind) + " label '" + name +
+                                       "' exceeds 2^32-1");
+      }
+    }
+    return static_cast<uint32_t>(value);
+  }
+
+  /// vertex := '(' [name] [':' label] ')'
+  Result<VertexId> ParseVertex() {
+    SkipSpace();
+    if (!Consume('(')) return ErrorHere("expected '('");
+    SkipSpace();
+    const std::string name = ConsumeIdent();
+    SkipSpace();
+    bool has_label = false;
+    Label label = 0;
+    if (Consume(':')) {
+      SkipSpace();
+      const std::string label_name = ConsumeIdent();
+      if (label_name.empty()) return ErrorHere("expected a label after ':'");
+      RLQVO_ASSIGN_OR_RETURN(
+          label, ResolveLabel(label_name, options_.vertex_labels, "vertex"));
+      has_label = true;
+      SkipSpace();
+    }
+    if (!Consume(')')) return ErrorHere("expected ')'");
+
+    if (!name.empty()) {
+      const VertexId existing = out_.VertexByName(name);
+      if (existing != kInvalidVertex) {
+        if (has_label && labels_[existing] != label) {
+          return Status::InvalidArgument("vertex '" + name +
+                                         "' redeclared with a different label");
+        }
+        return existing;
+      }
+    }
+    if (!has_label) {
+      return Status::InvalidArgument(
+          "first mention of vertex '" + (name.empty() ? "(anonymous)" : name) +
+          "' needs a label, e.g. (" + name + ":Person)");
+    }
+    const VertexId id = static_cast<VertexId>(labels_.size());
+    labels_.push_back(label);
+    out_.vertex_names.push_back(name);
+    return id;
+  }
+
+  /// '[' [':' label] ']' — or nothing (label 0).
+  Result<EdgeLabel> ParseEdgeBody() {
+    if (!Consume('[')) return EdgeLabel{0};
+    SkipSpace();
+    EdgeLabel elabel = 0;
+    if (Consume(':')) {
+      SkipSpace();
+      const std::string name = ConsumeIdent();
+      if (name.empty()) return ErrorHere("expected an edge label after ':'");
+      RLQVO_ASSIGN_OR_RETURN(
+          elabel, ResolveLabel(name, options_.edge_labels, "edge"));
+      SkipSpace();
+    }
+    if (!Consume(']')) return ErrorHere("expected ']'");
+    return elabel;
+  }
+
+  struct EdgeShape {
+    EdgeLabel elabel = 0;
+    bool directed = false;
+    bool reversed = false;  // '<-[...]-': dst is the left vertex
+  };
+
+  /// edge := '-' body '-' ['>']  |  '<-' body '-'
+  Result<EdgeShape> ParseEdgeShape() {
+    SkipSpace();
+    EdgeShape shape;
+    if (Consume('<')) {
+      if (!Consume('-')) return ErrorHere("expected '-' after '<'");
+      SkipSpace();
+      RLQVO_ASSIGN_OR_RETURN(shape.elabel, ParseEdgeBody());
+      SkipSpace();
+      if (!Consume('-')) return ErrorHere("expected '-' to close the edge");
+      shape.directed = true;
+      shape.reversed = true;
+      return shape;
+    }
+    if (!Consume('-')) return ErrorHere("expected an edge ('-' or '<-')");
+    SkipSpace();
+    RLQVO_ASSIGN_OR_RETURN(shape.elabel, ParseEdgeBody());
+    SkipSpace();
+    if (!Consume('-')) return ErrorHere("expected '-' to close the edge");
+    shape.directed = Consume('>');
+    return shape;
+  }
+
+  Status ParsePath() {
+    RLQVO_ASSIGN_OR_RETURN(VertexId prev, ParseVertex());
+    for (;;) {
+      SkipSpace();
+      const char c = Peek();
+      if (c != '-' && c != '<') break;
+      RLQVO_ASSIGN_OR_RETURN(const EdgeShape shape, ParseEdgeShape());
+      RLQVO_ASSIGN_OR_RETURN(const VertexId next, ParseVertex());
+      ParsedPattern::EdgeConstraint e;
+      e.elabel = shape.elabel;
+      e.directed = shape.directed;
+      e.src = shape.reversed ? next : prev;
+      e.dst = shape.reversed ? prev : next;
+      out_.edges.push_back(e);
+      if (e.directed) {
+        saw_directed_ = true;
+      } else {
+        saw_undirected_ = true;
+      }
+      prev = next;
+    }
+    return Status::OK();
+  }
+
+  const std::string& text_;
+  const PatternOptions& options_;
+  size_t pos_ = 0;
+  ParsedPattern out_;
+  std::vector<Label> labels_;
+  bool saw_directed_ = false;
+  bool saw_undirected_ = false;
+};
+
+}  // namespace
+
+Result<ParsedPattern> ParsePattern(const std::string& text,
+                                   const PatternOptions& options) {
+  return PatternParser(text, options).Parse();
+}
+
+}  // namespace rlqvo

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace rlqvo {
+
+/// \brief Label resolution for ParsePattern.
+///
+/// A label name inside a pattern resolves through the matching map first;
+/// a name absent from the map must be a decimal literal (parsed as the raw
+/// label id) — anything else is an InvalidArgument naming the offender, so
+/// a typo'd label never silently matches nothing.
+struct PatternOptions {
+  std::map<std::string, Label> vertex_labels;
+  std::map<std::string, EdgeLabel> edge_labels;
+};
+
+/// \brief A parsed text pattern: the query graph plus the constraint table
+/// it was built from.
+struct ParsedPattern {
+  /// One row per pattern edge, in pattern order. `src -> dst` for directed
+  /// edges (already de-reversed: `(a)<-[:X]-(b)` stores src=b, dst=a);
+  /// unordered endpoints for undirected ones.
+  struct EdgeConstraint {
+    VertexId src;
+    VertexId dst;
+    EdgeLabel elabel;
+    bool directed;
+  };
+
+  /// The query graph: directed iff the pattern used directed edges, with
+  /// edge labels resolved. An all-undirected, all-default-label pattern
+  /// builds a degenerate graph — exactly what the classic matchers expect.
+  Graph query;
+  /// Pattern variable of each query vertex ("" for anonymous vertices).
+  std::vector<std::string> vertex_names;
+  std::vector<EdgeConstraint> edges;
+
+  /// Index of a named pattern vertex, or kInvalidVertex when unknown.
+  VertexId VertexByName(const std::string& name) const;
+};
+
+/// \brief Parses a cypher-flavoured text pattern into a query graph.
+///
+/// Grammar (whitespace-insensitive within a path):
+///
+///     pattern  := path ((',' | ';' | newline) path)*
+///     path     := vertex (edge vertex)*
+///     vertex   := '(' [name] [':' label] ')'
+///     edge     := '-' ['[' [':' label] ']'] '-' ['>']     -- undirected/out
+///               | '<-' ['[' [':' label] ']'] '-'          -- in
+///
+/// Examples: `(a:Person)-[:FOLLOWS]->(b:Person)`,
+/// `(a:0)--(b:1), (b)--(c:2)`, `(post:Post)<-[:AUTHORED]-(u:Person)`.
+///
+/// Rules:
+///   - A name's first mention must carry a label; later mentions may omit
+///     it (and must not contradict it). Anonymous vertices `(:L)` are
+///     always fresh.
+///   - An omitted edge label means edge label 0.
+///   - Directed and undirected edges cannot mix in one pattern (the graph
+///     model is one or the other).
+///   - Self-loops `(a)--(a)` are rejected.
+Result<ParsedPattern> ParsePattern(const std::string& text,
+                                   const PatternOptions& options = {});
+
+}  // namespace rlqvo

@@ -7,7 +7,7 @@ OrderingEnv::OrderingEnv(const Graph* query, const Graph* data,
     : query_(query),
       feature_builder_(query, data, feature_config),
       tensors_(BuildGraphTensors(*query)),
-      features_(query->num_vertices(), FeatureBuilder::kFeatureDim) {
+      features_(query->num_vertices(), feature_builder_.feature_dim()) {
   // The tensors and the static feature columns are per-query constants;
   // Reset (once per episode) and Step (once per ordering step) only touch
   // the order state and the step columns h(6..7).

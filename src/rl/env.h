@@ -42,8 +42,9 @@ class OrderingEnv {
   /// of Sec III-D); kInvalidVertex otherwise.
   VertexId SoleAction() const;
 
-  /// Copy of the current feature matrix H_t, (|V(q)|, 7). Training records
-  /// keep the copy; the serving path reads FeaturesView() instead.
+  /// Copy of the current feature matrix H_t, (|V(q)|, feature_dim).
+  /// Training records keep the copy; the serving path reads FeaturesView()
+  /// instead.
   nn::Matrix Features() const { return features_; }
 
   /// The env-owned feature matrix, maintained incrementally (static columns
@@ -67,7 +68,7 @@ class OrderingEnv {
   const Graph* query_;
   FeatureBuilder feature_builder_;
   nn::GraphTensors tensors_;  // built once per query, shared by all episodes
-  nn::Matrix features_;       // (|V(q)|, 7), maintained in place
+  nn::Matrix features_;  // (|V(q)|, feature_dim), maintained in place
   std::vector<VertexId> order_;
   std::vector<bool> ordered_;
   std::vector<bool> action_mask_;

@@ -1,10 +1,37 @@
 #include "rl/features.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/rng.h"
 
 namespace rlqvo {
+
+namespace {
+
+/// h(8): mean data-graph frequency fraction of the edge labels on u's
+/// incident query edges. 1.0 on a degenerate pair (one edge label), 0.0 for
+/// an isolated vertex.
+double EdgeLabelFrequencyFeature(const Graph& query, const Graph& data,
+                                 VertexId u) {
+  const double m = std::max<double>(1.0, static_cast<double>(data.num_edges()));
+  double sum = 0.0;
+  size_t incident = 0;
+  const int num_dirs = query.directed() ? 2 : 1;
+  for (int d = 0; d < num_dirs; ++d) {
+    const EdgeDir dir = d == 0 ? EdgeDir::kOut : EdgeDir::kIn;
+    const size_t slices = query.NumLabeledSlices(u, dir);
+    for (size_t i = 0; i < slices; ++i) {
+      const Graph::LabeledSlice slice = query.LabeledSliceAt(u, dir, i);
+      sum += static_cast<double>(slice.ids.size()) *
+             (static_cast<double>(data.EdgeLabelEdgeCount(slice.elabel)) / m);
+      incident += slice.ids.size();
+    }
+  }
+  return incident == 0 ? 0.0 : sum / static_cast<double>(incident);
+}
+
+}  // namespace
 
 FeatureBuilder::FeatureBuilder(const Graph* query, const Graph* data,
                                const FeatureConfig& config)
@@ -12,7 +39,8 @@ FeatureBuilder::FeatureBuilder(const Graph* query, const Graph* data,
   RLQVO_CHECK(query != nullptr);
   RLQVO_CHECK(data != nullptr);
   const uint32_t n = query->num_vertices();
-  static_features_ = nn::Matrix(n, 5);
+  const size_t num_static = config_.edge_label_features ? 6 : 5;
+  static_features_ = nn::Matrix(n, num_static);
   if (config_.random_features) {
     Rng rng(config_.random_feature_seed);
     for (double& v : static_features_.values()) v = rng.NextUniform(0.0, 1.0);
@@ -37,12 +65,15 @@ FeatureBuilder::FeatureBuilder(const Graph* query, const Graph* data,
     static_features_.At(u, 4) =
         static_cast<double>(data->LabelFrequency(query->label(u))) /
         (nv * config_.alpha_l);
+    if (config_.edge_label_features) {
+      static_features_.At(u, 5) = EdgeLabelFrequencyFeature(*query, *data, u);
+    }
   }
 }
 
 nn::Matrix FeatureBuilder::Build(const std::vector<bool>& ordered,
                                  size_t t) const {
-  nn::Matrix features(query_->num_vertices(), kFeatureDim);
+  nn::Matrix features(query_->num_vertices(), feature_dim());
   FillStatic(&features);
   UpdateStepFeatures(ordered, t, &features);
   return features;
@@ -51,10 +82,14 @@ nn::Matrix FeatureBuilder::Build(const std::vector<bool>& ordered,
 void FeatureBuilder::FillStatic(nn::Matrix* features) const {
   const uint32_t n = query_->num_vertices();
   RLQVO_CHECK_EQ(features->rows(), n);
-  RLQVO_CHECK_EQ(features->cols(), static_cast<size_t>(kFeatureDim));
+  RLQVO_CHECK_EQ(features->cols(), static_cast<size_t>(feature_dim()));
   for (VertexId u = 0; u < n; ++u) {
     for (int f = 0; f < 5; ++f) {
       features->At(u, f) = static_features_.At(u, f);
+    }
+    // h(8) sits after the step columns so h(1..7) keep their paper indices.
+    if (config_.edge_label_features) {
+      features->At(u, 7) = static_features_.At(u, 5);
     }
   }
 }

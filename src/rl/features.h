@@ -26,6 +26,13 @@ struct FeatureConfig {
   /// by default here (same "computation stability" rationale the paper
   /// gives for α_degree). Set false for the paper-literal features.
   bool scale_ids = true;
+  /// Append an 8th column h(8): the mean data-graph frequency fraction of
+  /// the edge labels on u's incident query edges (low = the vertex touches
+  /// rare edge labels, so placing it early prunes hard). Off by default —
+  /// the paper's graphs carry no edge labels, and the knob changes the
+  /// network input width, so existing checkpoints keep loading unchanged.
+  /// On a degenerate (single-edge-label) pair the column is the constant 1.
+  bool edge_label_features = false;
 };
 
 /// \brief Builds the 7-dimensional query-vertex features h(0)_u of the paper:
@@ -38,23 +45,35 @@ struct FeatureConfig {
 ///   h(6) = |V(q)| - t + 1                   (vertices left to order)
 ///   h(7) = 1(u already ordered)
 ///
-/// h(1..5) are static per (q, G) and precomputed; h(6..7) change every step.
+/// With FeatureConfig::edge_label_features an 8th column follows:
+///
+///   h(8) = mean over u's incident query edges of
+///          |{e in G : L_E(e) = L_E(incident edge)}| / |E(G)|
+///
+/// h(1..5) (and h(8)) are static per (q, G) and precomputed; h(6..7) change
+/// every step.
 class FeatureBuilder {
  public:
+  /// The paper's feature width. The per-instance width is feature_dim().
   static constexpr int kFeatureDim = 7;
 
   FeatureBuilder(const Graph* query, const Graph* data,
                  const FeatureConfig& config);
 
-  /// Feature matrix (|V(q)|, 7) for ordering step t (t = |φ_t|, so t=0
-  /// before the first selection) with `ordered` flags per query vertex.
-  /// Allocates a fresh matrix; the serving path uses FillStatic +
+  /// Columns this builder emits: 7, +1 with edge_label_features.
+  int feature_dim() const {
+    return kFeatureDim + (config_.edge_label_features ? 1 : 0);
+  }
+
+  /// Feature matrix (|V(q)|, feature_dim()) for ordering step t (t = |φ_t|,
+  /// so t=0 before the first selection) with `ordered` flags per query
+  /// vertex. Allocates a fresh matrix; the serving path uses FillStatic +
   /// UpdateStepFeatures on a reused buffer instead.
   nn::Matrix Build(const std::vector<bool>& ordered, size_t t) const;
 
-  /// Writes the five static columns h(1..5) into `features` (shaped
-  /// (|V(q)|, 7)). Called once per query; only the step columns change
-  /// between ordering steps.
+  /// Writes the static columns — h(1..5), plus h(8) when enabled — into
+  /// `features` (shaped (|V(q)|, feature_dim())). Called once per query;
+  /// only the step columns change between ordering steps.
   void FillStatic(nn::Matrix* features) const;
 
   /// Refreshes the two step-varying columns h(6..7) — vertices left to
@@ -67,7 +86,7 @@ class FeatureBuilder {
  private:
   const Graph* query_;
   FeatureConfig config_;
-  nn::Matrix static_features_;  // (n, 5)
+  nn::Matrix static_features_;  // (n, 5) — (n, 6) with edge_label_features
 };
 
 /// \brief Precomputes the constant graph matrices every GNN backbone needs

@@ -68,6 +68,106 @@ TEST(QueryFingerprintTest, IdenticalGraphsCollideDistinctOnesDoNot) {
   EXPECT_NE(QueryFingerprint(a.Build()), QueryFingerprint(b.Build()));
 }
 
+/// Replica of the pre-directed fingerprint algorithm, kept here as a pin:
+/// cached candidate sets for classic undirected workloads key by this exact
+/// value, so the degenerate path of QueryFingerprint must never drift from
+/// it (a drift would silently invalidate every warm cache across the
+/// directed-model refactor).
+uint64_t LegacyMix(uint64_t h, uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  uint64_t z = h;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t LegacyUndirectedFingerprint(const Graph& query) {
+  uint64_t h = 0x5192fe1e00d5b2a1ULL;
+  h = LegacyMix(h, query.num_vertices());
+  h = LegacyMix(h, query.num_edges());
+  for (VertexId u = 0; u < query.num_vertices(); ++u) {
+    h = LegacyMix(h, query.label(u));
+  }
+  for (VertexId u = 0; u < query.num_vertices(); ++u) {
+    for (VertexId v : query.neighbors(u)) {
+      if (u < v) h = LegacyMix(h, (static_cast<uint64_t>(u) << 32) | v);
+    }
+  }
+  return h;
+}
+
+TEST(QueryFingerprintTest, DegenerateFingerprintMatchesLegacyAlgorithm) {
+  Graph data = RandomData(13);
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    Graph q = RandomQuery(data, 700 + seed, 3 + seed % 4);
+    ASSERT_TRUE(q.degenerate());
+    EXPECT_EQ(QueryFingerprint(q), LegacyUndirectedFingerprint(q))
+        << "seed " << seed;
+  }
+}
+
+TEST(QueryFingerprintTest, ModelViewsOfOneSkeletonNeverAlias) {
+  // The same two-edge path 0-1-2 (labels 0,1,0) under five semantic views:
+  // undirected single-label, undirected with an edge label, directed
+  // forward, directed backward, directed with an edge label. All of these
+  // match different embedding sets, so all five fingerprints must differ.
+  auto build = [](bool directed, bool reverse, EdgeLabel e01, EdgeLabel e12) {
+    GraphBuilder b;
+    b.set_directed(directed);
+    b.AddVertex(0);
+    b.AddVertex(1);
+    b.AddVertex(0);
+    if (reverse) {
+      b.AddEdge(1, 0, e01);
+      b.AddEdge(2, 1, e12);
+    } else {
+      b.AddEdge(0, 1, e01);
+      b.AddEdge(1, 2, e12);
+    }
+    return b.Build();
+  };
+  const std::vector<uint64_t> prints = {
+      QueryFingerprint(build(false, false, 0, 0)),  // degenerate
+      QueryFingerprint(build(false, false, 0, 1)),  // undirected, labeled
+      QueryFingerprint(build(true, false, 0, 0)),   // directed forward
+      QueryFingerprint(build(true, true, 0, 0)),    // directed backward
+      QueryFingerprint(build(true, false, 0, 1)),   // directed, labeled
+  };
+  std::set<uint64_t> distinct(prints.begin(), prints.end());
+  EXPECT_EQ(distinct.size(), prints.size());
+
+  // Equal views key identically (the cache contract's other half).
+  EXPECT_EQ(QueryFingerprint(build(true, false, 0, 1)), prints[4]);
+}
+
+TEST(QueryFingerprintTest, DirectedQueriesKeyStablyInTheCache) {
+  // End-to-end through the engine: repeating a directed edge-labeled batch
+  // hits the candidate cache, and a reversed-arc variant does not.
+  LabelConfig cfg;
+  cfg.num_labels = 3;
+  cfg.zipf_exponent = 0.5;
+  cfg.num_edge_labels = 2;
+  cfg.directed = true;
+  Graph data = GenerateErdosRenyi(60, 4.0, cfg, 5).ValueOrDie();
+  QuerySampler sampler(&data, 9);
+  std::vector<Graph> queries;
+  for (int i = 0; i < 4; ++i) {
+    queries.push_back(sampler.SampleQuery(4).ValueOrDie());
+  }
+  EngineOptions engine_options;
+  engine_options.num_threads = 2;
+  auto engine = MakeEngineByName("Hybrid", std::make_shared<const Graph>(data),
+                                 engine_options)
+                    .ValueOrDie();
+  auto first = engine->MatchBatch(queries).ValueOrDie();
+  EXPECT_EQ(first.cache_hits, 0u);
+  auto second = engine->MatchBatch(queries).ValueOrDie();
+  EXPECT_EQ(second.cache_hits, queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(second.per_query[i].num_matches, first.per_query[i].num_matches);
+  }
+}
+
 // --- CandidateCache (the LRU layer under the single-flight wrapper) ---
 
 TEST(CandidateCacheTest, LruEvictionAndCounters) {

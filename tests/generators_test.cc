@@ -134,6 +134,83 @@ TEST(GraphStatsTest, MatchesHandComputation) {
   EXPECT_NE(stats.ToString().find("|V|=3"), std::string::npos);
 }
 
+// ---------------------------------------------------------------------------
+// Directed / edge-labeled generation knobs.
+// ---------------------------------------------------------------------------
+
+TEST(LabelConfigKnobsTest, DirectedEdgeLabeledGraphsAreWellFormed) {
+  LabelConfig cfg = Labels(5);
+  cfg.num_edge_labels = 4;
+  cfg.directed = true;
+  for (const Graph& g :
+       {GenerateErdosRenyi(800, 5.0, cfg, 3).ValueOrDie(),
+        GeneratePowerLaw(800, 5.0, 2.2, cfg, 3).ValueOrDie(),
+        GenerateBarabasiAlbert(800, 3, cfg, 3).ValueOrDie()}) {
+    EXPECT_TRUE(g.directed());
+    EXPECT_FALSE(g.degenerate());
+    EXPECT_LE(g.num_edge_labels(), 4u);
+    uint64_t streamed = 0;
+    g.ForEachLabeledEdge([&](VertexId u, VertexId v, EdgeLabel e) {
+      EXPECT_LT(e, 4u);
+      EXPECT_NE(u, v);
+      ++streamed;
+    });
+    EXPECT_EQ(streamed, g.num_edges());
+    // With 800 * 2.5 draws over 4 labels, every label must appear.
+    for (EdgeLabel e = 0; e < 4; ++e) {
+      EXPECT_GT(g.EdgeLabelEdgeCount(e), 0u) << "edge label " << e;
+    }
+  }
+}
+
+TEST(LabelConfigKnobsTest, KnobsLeaveVertexLabelSequencesUntouched) {
+  // Vertex labels are drawn before any edge sampling, so turning on the
+  // directed / edge-label knobs must not perturb them for a given seed —
+  // the seeded-workload compatibility half of the RNG-preservation
+  // contract (the no-extra-draws half holds because the default config
+  // takes the exact pre-knob code path).
+  LabelConfig classic = Labels(6);
+  LabelConfig knobs = Labels(6);
+  knobs.num_edge_labels = 5;
+  knobs.directed = true;
+  Graph a = GenerateErdosRenyi(500, 4.0, classic, 77).ValueOrDie();
+  Graph b = GenerateErdosRenyi(500, 4.0, knobs, 77).ValueOrDie();
+  ASSERT_TRUE(a.degenerate());
+  ASSERT_FALSE(b.degenerate());
+  for (VertexId v = 0; v < a.num_vertices(); ++v) {
+    ASSERT_EQ(a.label(v), b.label(v)) << "vertex " << v;
+  }
+}
+
+TEST(LabelConfigKnobsTest, DirectedAloneKeepsWholeEdgeSequence) {
+  // directed=true with a single edge label draws nothing extra, so the
+  // sampled arc sequence is exactly the classic edge sequence — every
+  // directed arc u -> v exists as an undirected edge in the classic twin.
+  LabelConfig classic = Labels(4);
+  LabelConfig directed = Labels(4);
+  directed.directed = true;
+  Graph a = GenerateErdosRenyi(400, 4.0, classic, 19).ValueOrDie();
+  Graph b = GenerateErdosRenyi(400, 4.0, directed, 19).ValueOrDie();
+  uint64_t arcs = 0;
+  b.ForEachLabeledEdge([&](VertexId u, VertexId v, EdgeLabel e) {
+    EXPECT_EQ(e, 0u);
+    EXPECT_TRUE(a.HasEdge(u, v)) << u << "->" << v;
+    ++arcs;
+  });
+  EXPECT_EQ(arcs, b.num_edges());
+  // The undirected twin merges antiparallel duplicates; the directed one
+  // keeps them, so it can only have at least as many edges.
+  EXPECT_GE(b.num_edges(), a.num_edges());
+}
+
+TEST(LabelConfigKnobsTest, ZeroEdgeLabelsRejected) {
+  LabelConfig cfg = Labels(3);
+  cfg.num_edge_labels = 0;
+  EXPECT_FALSE(GenerateErdosRenyi(100, 3.0, cfg, 1).ok());
+  EXPECT_FALSE(GeneratePowerLaw(100, 3.0, 2.5, cfg, 1).ok());
+  EXPECT_FALSE(GenerateBarabasiAlbert(100, 2, cfg, 1).ok());
+}
+
 TEST(SampleLabelTest, InRangeAndDeterministic) {
   Rng rng1(4), rng2(4);
   for (int i = 0; i < 100; ++i) {

@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <tuple>
+#include <utility>
+
 #include "graph/graph.h"
 
 namespace rlqvo {
@@ -313,6 +317,229 @@ TEST(BitmapSidecarTest, BuilderKnobAndInvariantsUnchanged) {
     for (VertexId w : {0u, 1u, 200u, 405u, 599u}) {
       EXPECT_EQ(with.HasEdge(v, w), without.HasEdge(v, w)) << v << "-" << w;
     }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Directed, edge-labeled model: invariants of the per-direction labeled
+// CSRs and the degenerate-case forwarding contract.
+// ---------------------------------------------------------------------------
+
+/// Directed diamond with labels and edge labels:
+///   0 -(e0)-> 1, 0 -(e1)-> 2, 1 -(e0)-> 3, 2 -(e0)-> 3, 3 -(e1)-> 0.
+/// Vertex labels: 0, 1, 1, 0.
+Graph MakeDirectedDiamond() {
+  GraphBuilder b;
+  b.set_directed(true);
+  b.AddVertex(0);
+  b.AddVertex(1);
+  b.AddVertex(1);
+  b.AddVertex(0);
+  b.AddEdge(0, 1, 0);
+  b.AddEdge(0, 2, 1);
+  b.AddEdge(1, 3, 0);
+  b.AddEdge(2, 3, 0);
+  b.AddEdge(3, 0, 1);
+  return b.Build();
+}
+
+TEST(DirectedGraphTest, BasicCountsAndDegrees) {
+  Graph g = MakeDirectedDiamond();
+  EXPECT_TRUE(g.directed());
+  EXPECT_FALSE(g.degenerate());
+  EXPECT_EQ(g.num_edges(), 5u);
+  EXPECT_EQ(g.num_edge_labels(), 2u);
+  EXPECT_EQ(g.EdgeLabelEdgeCount(0), 3u);
+  EXPECT_EQ(g.EdgeLabelEdgeCount(1), 2u);
+  EXPECT_EQ(g.EdgeLabelEdgeCount(7), 0u);
+  EXPECT_EQ(g.out_degree(0), 2u);
+  EXPECT_EQ(g.in_degree(0), 1u);
+  EXPECT_EQ(g.out_degree(3), 1u);
+  EXPECT_EQ(g.in_degree(3), 2u);
+  // The skeleton stays symmetric and direction-agnostic.
+  EXPECT_EQ(g.degree(0), 3u);
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_TRUE(g.HasEdge(0, 3));
+}
+
+TEST(DirectedGraphTest, HasEdgeRespectsDirectionAndEdgeLabel) {
+  Graph g = MakeDirectedDiamond();
+  EXPECT_TRUE(g.HasEdge(0, 1, EdgeDir::kOut, 0));
+  EXPECT_FALSE(g.HasEdge(0, 1, EdgeDir::kOut, 1));  // wrong edge label
+  EXPECT_FALSE(g.HasEdge(1, 0, EdgeDir::kOut, 0));  // wrong direction
+  EXPECT_TRUE(g.HasEdge(1, 0, EdgeDir::kIn, 0));    // 0 -> 1 seen from 1
+  EXPECT_TRUE(g.HasEdge(3, 0, EdgeDir::kOut, 1));
+  EXPECT_TRUE(g.HasEdge(0, 3, EdgeDir::kIn, 1));
+  EXPECT_FALSE(g.HasEdge(0, 3, EdgeDir::kOut, 0));  // only 3 -> 0 exists
+}
+
+TEST(DirectedGraphTest, NeighborsWithSlicesAreExactAndSorted) {
+  Graph g = MakeDirectedDiamond();
+  auto out0 = g.NeighborsWith(0, EdgeDir::kOut, 0, 1);
+  EXPECT_EQ(std::vector<VertexId>(out0.begin(), out0.end()),
+            (std::vector<VertexId>{1}));
+  auto out0e1 = g.NeighborsWith(0, EdgeDir::kOut, 1, 1);
+  EXPECT_EQ(std::vector<VertexId>(out0e1.begin(), out0e1.end()),
+            (std::vector<VertexId>{2}));
+  auto in3 = g.NeighborsWith(3, EdgeDir::kIn, 0, 1);
+  EXPECT_EQ(std::vector<VertexId>(in3.begin(), in3.end()),
+            (std::vector<VertexId>{1, 2}));
+  EXPECT_TRUE(g.NeighborsWith(3, EdgeDir::kIn, 1, 1).empty());
+  EXPECT_TRUE(g.NeighborsWith(0, EdgeDir::kOut, 0, 7).empty());
+}
+
+TEST(DirectedGraphTest, OutAndInViewsAreMutuallyConsistent) {
+  Graph g = MakeDirectedDiamond();
+  // w in NeighborsWith(v, kOut, e, label(w)) iff
+  // v in NeighborsWith(w, kIn, e, label(v)), and the LabeledSliceAt walk
+  // covers exactly out_degree/in_degree entries.
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (const EdgeDir dir : {EdgeDir::kOut, EdgeDir::kIn}) {
+      size_t total = 0;
+      const size_t slices = g.NumLabeledSlices(v, dir);
+      for (size_t i = 0; i < slices; ++i) {
+        const Graph::LabeledSlice s = g.LabeledSliceAt(v, dir, i);
+        total += s.ids.size();
+        for (VertexId w : s.ids) {
+          EXPECT_EQ(g.label(w), s.vlabel);
+          const auto mirror =
+              g.NeighborsWith(w, Reverse(dir), s.elabel, g.label(v));
+          EXPECT_TRUE(std::find(mirror.begin(), mirror.end(), v) !=
+                      mirror.end())
+              << "v=" << v << " w=" << w;
+        }
+      }
+      EXPECT_EQ(total, dir == EdgeDir::kOut ? g.out_degree(v)
+                                            : g.in_degree(v));
+    }
+  }
+}
+
+TEST(DirectedGraphTest, EdgesBetweenReportsEveryConstraint) {
+  Graph g = MakeDirectedDiamond();
+  std::vector<std::pair<EdgeDir, EdgeLabel>> edges;
+  g.EdgesBetween(0, 3, &edges);
+  // From 0's perspective: only the incoming 3 -(e1)-> 0 arc.
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_EQ(edges[0].first, EdgeDir::kIn);
+  EXPECT_EQ(edges[0].second, 1u);
+  edges.clear();
+  g.EdgesBetween(3, 0, &edges);
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_EQ(edges[0].first, EdgeDir::kOut);
+  edges.clear();
+  g.EdgesBetween(0, 1, &edges);
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_EQ(edges[0], (std::pair<EdgeDir, EdgeLabel>{EdgeDir::kOut, 0u}));
+  edges.clear();
+  g.EdgesBetween(1, 2, &edges);  // not adjacent
+  EXPECT_TRUE(edges.empty());
+}
+
+TEST(DirectedGraphTest, AntiparallelArcsAreDistinctEdges) {
+  GraphBuilder b;
+  b.set_directed(true);
+  b.AddVertex(0);
+  b.AddVertex(0);
+  b.AddEdge(0, 1, 0);
+  b.AddEdge(1, 0, 0);
+  b.AddEdge(0, 1, 0);  // exact duplicate: deduplicated
+  Graph g = b.Build();
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.degree(0), 1u);  // one skeleton neighbor
+  EXPECT_EQ(g.out_degree(0), 1u);
+  EXPECT_EQ(g.in_degree(0), 1u);
+  std::vector<std::pair<EdgeDir, EdgeLabel>> edges;
+  g.EdgesBetween(0, 1, &edges);
+  EXPECT_EQ(edges.size(), 2u);
+}
+
+TEST(DirectedGraphTest, UndirectedParallelEdgeLabelsShareOneSkeletonSlot) {
+  GraphBuilder b;
+  b.AddVertex(0);
+  b.AddVertex(1);
+  b.AddEdge(0, 1, 0);
+  b.AddEdge(0, 1, 2);
+  Graph g = b.Build();
+  EXPECT_FALSE(g.directed());
+  EXPECT_FALSE(g.degenerate());
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.num_edge_labels(), 3u);  // max label + 1
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.out_degree(0), 2u);  // one entry per labeled edge
+  // Undirected labeled lookups answer symmetrically in both direction
+  // classes, and forward kIn to the same slice storage as kOut.
+  for (const EdgeDir dir : {EdgeDir::kOut, EdgeDir::kIn}) {
+    EXPECT_TRUE(g.HasEdge(0, 1, dir, 0));
+    EXPECT_TRUE(g.HasEdge(1, 0, dir, 2));
+    EXPECT_FALSE(g.HasEdge(0, 1, dir, 1));
+    const auto out_slice = g.NeighborsWith(0, EdgeDir::kOut, 2, 1);
+    const auto dir_slice = g.NeighborsWith(0, dir, 2, 1);
+    EXPECT_EQ(dir_slice.data(), out_slice.data());
+    EXPECT_EQ(dir_slice.size(), out_slice.size());
+  }
+}
+
+TEST(DirectedGraphTest, DegenerateForwardingSharesSkeletonStorage) {
+  // The degenerate-case contract: an undirected single-edge-label graph
+  // serves NeighborsWith straight from the skeleton slices — the spans
+  // alias the same memory, so kernels and counters cannot drift.
+  Graph g = MakeTriangleWithTail();
+  ASSERT_TRUE(g.degenerate());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (Label l = 0; l < g.num_labels(); ++l) {
+      const auto skeleton = g.NeighborsWithLabel(v, l);
+      for (const EdgeDir dir : {EdgeDir::kOut, EdgeDir::kIn}) {
+        const auto labeled = g.NeighborsWith(v, dir, 0, l);
+        EXPECT_EQ(labeled.data(), skeleton.data());
+        EXPECT_EQ(labeled.size(), skeleton.size());
+        // Any non-zero edge label matches nothing.
+        EXPECT_TRUE(g.NeighborsWith(v, dir, 1, l).empty());
+      }
+    }
+    // The labeled slice walk visits exactly the skeleton slices.
+    EXPECT_EQ(g.NumLabeledSlices(v, EdgeDir::kOut),
+              g.NeighborLabels(v).size());
+  }
+  EXPECT_TRUE(g.HasEdge(0, 1, EdgeDir::kOut, 0));
+  EXPECT_TRUE(g.HasEdge(0, 1, EdgeDir::kIn, 0));
+  EXPECT_FALSE(g.HasEdge(0, 1, EdgeDir::kOut, 1));
+}
+
+TEST(DirectedGraphTest, DegenerateForwardingSharesBitmapSidecars) {
+  const Graph g = MakeHubGraph(/*with_bitmaps=*/true);
+  ASSERT_TRUE(g.degenerate());
+  ASSERT_EQ(g.num_bitmap_slices(), 1u);
+  const Graph::SliceView skeleton = g.NeighborsWithLabelView(0, 1);
+  ASSERT_NE(skeleton.bitmap, nullptr);
+  for (const EdgeDir dir : {EdgeDir::kOut, EdgeDir::kIn}) {
+    const Graph::SliceView labeled = g.NeighborsWithView(0, dir, 0, 1);
+    EXPECT_EQ(labeled.ids.data(), skeleton.ids.data());
+    EXPECT_EQ(labeled.ids.size(), skeleton.ids.size());
+    EXPECT_EQ(labeled.bitmap, skeleton.bitmap);
+  }
+}
+
+TEST(DirectedGraphTest, ForEachLabeledEdgeStreamsCanonically) {
+  Graph directed = MakeDirectedDiamond();
+  std::vector<std::tuple<VertexId, VertexId, EdgeLabel>> seen;
+  directed.ForEachLabeledEdge([&](VertexId u, VertexId v, EdgeLabel e) {
+    seen.push_back({u, v, e});
+  });
+  EXPECT_EQ(seen, (std::vector<std::tuple<VertexId, VertexId, EdgeLabel>>{
+                      {0, 1, 0}, {0, 2, 1}, {1, 3, 0}, {2, 3, 0}, {3, 0, 1}}));
+
+  // Undirected graphs stream each edge once with u < v — the degenerate
+  // stream is exactly the classic neighbor-scan edge list.
+  Graph undirected = MakeTriangleWithTail();
+  seen.clear();
+  undirected.ForEachLabeledEdge([&](VertexId u, VertexId v, EdgeLabel e) {
+    seen.push_back({u, v, e});
+  });
+  EXPECT_EQ(seen.size(), undirected.num_edges());
+  for (const auto& [u, v, e] : seen) {
+    EXPECT_LT(u, v);
+    EXPECT_EQ(e, 0u);
   }
 }
 

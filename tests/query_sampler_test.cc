@@ -83,6 +83,49 @@ TEST(QuerySamplerTest, RejectsZeroAndOversized) {
   EXPECT_FALSE(sampler.SampleQuery(data.num_vertices() + 1).ok());
 }
 
+TEST(QuerySamplerTest, DirectedLabeledDataYieldsQueriesInTheSameModel) {
+  LabelConfig labels;
+  labels.num_labels = 4;
+  labels.num_edge_labels = 3;
+  labels.directed = true;
+  Graph data = GenerateErdosRenyi(600, 5.0, labels, 23).ValueOrDie();
+  QuerySampler sampler(&data, 8);
+  for (int i = 0; i < 10; ++i) {
+    Graph q = sampler.SampleQuery(6).ValueOrDie();
+    EXPECT_TRUE(q.directed());
+    EXPECT_TRUE(IsConnected(q));  // the walk follows the symmetric skeleton
+    EXPECT_LE(q.num_edge_labels(), data.num_edge_labels());
+    EXPECT_GE(q.num_edges(), q.num_vertices() - 1);
+    q.ForEachLabeledEdge([&](VertexId, VertexId, EdgeLabel e) {
+      EXPECT_LT(e, data.num_edge_labels());
+    });
+  }
+}
+
+TEST(QuerySamplerTest, UndirectedLabeledQueriesCopyEachEdgeOnce) {
+  LabelConfig labels;
+  labels.num_labels = 3;
+  labels.num_edge_labels = 4;
+  Graph data = GenerateErdosRenyi(600, 5.0, labels, 29).ValueOrDie();
+  QuerySampler sampler(&data, 15);
+  int multi_label = 0;
+  for (int i = 0; i < 10; ++i) {
+    Graph q = sampler.SampleQuery(6).ValueOrDie();
+    EXPECT_FALSE(q.directed());
+    // A query whose induced edges all happen to carry label 0 collapses to
+    // the degenerate representation — that is correct, just count the rest.
+    if (!q.degenerate()) ++multi_label;
+    // Each undirected labeled edge streams once, endpoints canonical.
+    uint64_t streamed = 0;
+    q.ForEachLabeledEdge([&](VertexId u, VertexId v, EdgeLabel) {
+      EXPECT_LT(u, v);
+      ++streamed;
+    });
+    EXPECT_EQ(streamed, q.num_edges());
+  }
+  EXPECT_GT(multi_label, 0);
+}
+
 TEST(QuerySamplerTest, FailsGracefullyOnTinyComponents) {
   // A graph of isolated edges has no connected subgraph of size 3.
   GraphBuilder b;

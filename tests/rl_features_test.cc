@@ -163,6 +163,67 @@ TEST(GraphTensorsTest, DegreeDiagAndAttentionMask) {
   EXPECT_DOUBLE_EQ(t.attention_mask.At(0, 2), 0.0);
 }
 
+TEST(FeatureBuilderTest, EdgeLabelFeatureKnobAddsColumn) {
+  // Directed, edge-labeled query and data.
+  GraphBuilder qb(/*num_labels=*/1);
+  qb.set_directed(true);
+  qb.AddVertex(0);
+  qb.AddVertex(0);
+  qb.AddVertex(0);
+  qb.AddEdge(0, 1, 0);
+  qb.AddEdge(1, 2, 1);
+  Graph q = qb.Build();
+
+  GraphBuilder gb(/*num_labels=*/1);
+  gb.set_directed(true);
+  gb.AddVertex(0);
+  gb.AddVertex(0);
+  gb.AddVertex(0);
+  gb.AddVertex(0);
+  gb.AddEdge(0, 1, 0);
+  gb.AddEdge(1, 2, 0);
+  gb.AddEdge(2, 3, 0);
+  gb.AddEdge(3, 0, 1);
+  Graph g = gb.Build();  // edge-label counts: {3, 1} of 4
+
+  FeatureConfig config;
+  config.edge_label_features = true;
+  FeatureBuilder builder(&q, &g, config);
+  EXPECT_EQ(builder.feature_dim(), 8);
+  std::vector<bool> ordered(3, false);
+  nn::Matrix h = builder.Build(ordered, 0);
+  ASSERT_EQ(h.cols(), 8u);
+  // u0: one incident edge with label 0 -> 3/4.
+  EXPECT_DOUBLE_EQ(h.At(0, 7), 3.0 / 4.0);
+  // u1: incident labels {0, 1} -> (3/4 + 1/4) / 2.
+  EXPECT_DOUBLE_EQ(h.At(1, 7), 0.5);
+  // u2: one incident edge with label 1 -> 1/4.
+  EXPECT_DOUBLE_EQ(h.At(2, 7), 1.0 / 4.0);
+}
+
+TEST(FeatureBuilderTest, EdgeLabelFeatureIsConstantOnDegeneratePairs) {
+  Graph q = PathQuery();
+  Graph g = SmallData();
+  FeatureConfig config;
+  config.edge_label_features = true;
+  FeatureBuilder builder(&q, &g, config);
+  std::vector<bool> ordered(3, false);
+  nn::Matrix h = builder.Build(ordered, 0);
+  ASSERT_EQ(h.cols(), 8u);
+  for (VertexId u = 0; u < 3; ++u) {
+    EXPECT_DOUBLE_EQ(h.At(u, 7), 1.0);  // single edge label everywhere
+  }
+}
+
+TEST(FeatureBuilderTest, KnobOffKeepsSevenColumns) {
+  Graph q = PathQuery();
+  Graph g = SmallData();
+  FeatureBuilder builder(&q, &g, FeatureConfig{});
+  EXPECT_EQ(builder.feature_dim(), 7);
+  std::vector<bool> ordered(3, false);
+  EXPECT_EQ(builder.Build(ordered, 0).cols(), 7u);
+}
+
 TEST(GraphTensorsTest, AdjacencyMatchesGraph) {
   Graph g = RandomData(71, 20, 3.0, 2);
   nn::GraphTensors t = BuildGraphTensors(g);
