@@ -154,7 +154,9 @@ inline void AppendEnumWorkMetrics(
     const std::string& prefix, uint64_t intersections,
     uint64_t probe_comparisons, uint64_t local_candidates,
     uint64_t local_candidate_sets, uint64_t simd_intersections = 0,
-    uint64_t bitmap_intersections = 0) {
+    uint64_t bitmap_intersections = 0, uint64_t steals = 0,
+    uint64_t splits = 0, uint64_t max_segment_depth = 0,
+    uint64_t min_worker_work = 0, uint64_t max_worker_work = 0) {
   metrics->emplace_back(prefix + "_intersections",
                         static_cast<double>(intersections));
   metrics->emplace_back(prefix + "_probe_comparisons",
@@ -170,6 +172,17 @@ inline void AppendEnumWorkMetrics(
                         static_cast<double>(simd_intersections));
   metrics->emplace_back(prefix + "_bitmap_intersections",
                         static_cast<double>(bitmap_intersections));
+  // Work-stealing scheduler diagnostics (all zero for serial runs):
+  // cross-deque steals, lazy splits, deepest resumed segment and the
+  // per-worker work-unit spread the schedule achieved.
+  metrics->emplace_back(prefix + "_steals", static_cast<double>(steals));
+  metrics->emplace_back(prefix + "_splits", static_cast<double>(splits));
+  metrics->emplace_back(prefix + "_max_segment_depth",
+                        static_cast<double>(max_segment_depth));
+  metrics->emplace_back(prefix + "_min_worker_work",
+                        static_cast<double>(min_worker_work));
+  metrics->emplace_back(prefix + "_max_worker_work",
+                        static_cast<double>(max_worker_work));
 }
 
 /// \brief Appends the serving-side ordering metrics of a batch under
@@ -187,20 +200,22 @@ inline void AppendOrderingMetrics(
                         static_cast<double>(order_cache_misses));
 }
 
-/// \brief Writes the machine-readable results file `BENCH_<name>.json` in
-/// the current directory (schema documented in docs/BENCHMARKS.md):
+/// \brief Writes the machine-readable results file `BENCH_<name>.json`
+/// (schema documented in docs/BENCHMARKS.md):
 ///
 ///   {"bench": <name>, "schema_version": 1,
 ///    "options": {"scale": ..., "queries_per_set": ..., "seed": ...,
 ///                "match_limit": ..., "time_limit": ..., "full": ...},
 ///    "metrics": {<key>: <double>, ...}}
 ///
+/// The file lands in the current directory (usually build/) and, when the
+/// build defined RLQVO_REPO_ROOT, a copy lands at the repository root so
+/// committed bench trajectories track results without a manual copy step
+/// (the double write when CWD *is* the root is harmless — same bytes).
 /// A no-op when opts.json is false (--no-json).
-inline void WriteBenchJson(
-    const std::string& name, const BenchOptions& opts,
+inline void WriteBenchJsonTo(
+    const std::string& path, const std::string& name, const BenchOptions& opts,
     const std::vector<std::pair<std::string, double>>& metrics) {
-  if (!opts.json) return;
-  const std::string path = "BENCH_" + name + ".json";
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "WARN: cannot write %s\n", path.c_str());
@@ -224,6 +239,18 @@ inline void WriteBenchJson(
   std::fprintf(f, "}\n}\n");
   std::fclose(f);
   std::printf("wrote %s\n", path.c_str());
+}
+
+inline void WriteBenchJson(
+    const std::string& name, const BenchOptions& opts,
+    const std::vector<std::pair<std::string, double>>& metrics) {
+  if (!opts.json) return;
+  const std::string file = "BENCH_" + name + ".json";
+  WriteBenchJsonTo(file, name, opts, metrics);
+#ifdef RLQVO_REPO_ROOT
+  WriteBenchJsonTo(std::string(RLQVO_REPO_ROOT) + "/" + file, name, opts,
+                   metrics);
+#endif
 }
 
 }  // namespace bench

@@ -44,6 +44,10 @@ constexpr CatalogEntry kCatalog[] = {
      "per-query candidate filtering phase fails"},
     {"engine.order", StatusCode::kInternal,
      "per-query ordering phase fails"},
+    {"enumerate.split", StatusCode::kResourceExhausted,
+     "owner skips splitting a stealable segment; work stays on its deque"},
+    {"enumerate.steal", StatusCode::kResourceExhausted,
+     "a steal attempt fails; the hunter adopts orphaned seeds or re-waits"},
     {"graph.bitmap_sidecar", StatusCode::kResourceExhausted,
      "bitmap sidecar allocation fails; builder skips the sidecar"},
     {"graph_io.load", StatusCode::kIOError,

@@ -98,7 +98,11 @@ void ThreadPool::WorkerLoop(uint32_t index) {
     std::function<void()> task;
     {
       MutexLock lock(&mu_);
-      while (!shutdown_ && queue_.empty()) work_available_.Wait(&mu_);
+      if (!shutdown_ && queue_.empty()) {
+        idle_workers_.fetch_add(1, std::memory_order_relaxed);
+        while (!shutdown_ && queue_.empty()) work_available_.Wait(&mu_);
+        idle_workers_.fetch_sub(1, std::memory_order_relaxed);
+      }
       if (queue_.empty()) return;  // shutdown with a drained queue
       task = std::move(queue_.front().fn);
       queue_.pop_front();

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -11,8 +12,10 @@
 namespace rlqvo {
 
 /// \brief Fixed-size worker pool shared by the engine's cross-query fan-out
-/// (QueryEngine::MatchBatch) and the enumerator's intra-query chunk fan-out
-/// (Enumerator::RunParallel).
+/// (QueryEngine::MatchBatch) and the enumerator's intra-query worker-loop
+/// fan-out (Enumerator::RunParallel submits one long-lived segment-stealing
+/// loop per requested thread; idle batch workers that pop one keep donating
+/// work to that query until its run drains).
 ///
 /// Tasks are plain closures drained FIFO from a shared queue. Workers are
 /// spawned once at construction and joined at destruction; there is no
@@ -96,6 +99,15 @@ class ThreadPool {
   /// indexes are only meaningful within the pool that assigned them.
   static const ThreadPool* CurrentPool();
 
+  /// Advisory count of workers currently parked on an empty queue. Relaxed
+  /// on both sides: the value is a scheduling *hint* (Enumerator's split
+  /// trigger uses it to decide whether shedding a stealable segment could
+  /// find a taker), never a synchronization point — a stale read costs at
+  /// most one missed or one useless split, not correctness.
+  uint32_t ApproxIdleWorkers() const {
+    return idle_workers_.load(std::memory_order_relaxed);
+  }
+
  private:
   void WorkerLoop(uint32_t index);
 
@@ -113,6 +125,9 @@ class ThreadPool {
   std::deque<QueuedTask> queue_ GUARDED_BY(mu_);
   uint64_t pending_ GUARDED_BY(mu_) = 0;  // queued + currently executing
   bool shutdown_ GUARDED_BY(mu_) = false;
+  // Workers parked in WorkerLoop's empty-queue wait. Maintained while
+  // holding mu_ but read lock-free by ApproxIdleWorkers (advisory hint).
+  std::atomic<uint32_t> idle_workers_{0};
   // Written only in the constructor (before any concurrent access) and read
   // structurally immutably afterwards; joined in the destructor.
   std::vector<std::thread> workers_;

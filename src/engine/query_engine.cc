@@ -1,5 +1,6 @@
 #include "engine/query_engine.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/failpoint.h"
@@ -126,10 +127,12 @@ Result<MatchRunStats> QueryEngine::RunQuery(
 
   // Phase 3 shares SubgraphMatcher's implementation (per-worker workspace,
   // deadline budget = whatever the per-query limit has left). Intra-query
-  // parallel enumeration (enum_options.parallel_threads > 0) fans root
-  // chunks into the engine-wide pool: idle batch workers drain a straggler
-  // query's chunks, and this worker help-runs queued tasks while its own
-  // chunks finish. Chunk subtasks pick the workspace of whichever pool
+  // parallel enumeration (enum_options.parallel_threads > 0) seeds frontier
+  // segments into the engine-wide pool's work-stealing scheduler: idle batch
+  // workers steal a straggler query's segments (shallowest-first), busy
+  // workers split their deepest remaining frontier when the budget reports
+  // hungry peers, and this worker help-runs queued tasks while its own
+  // segments finish. Segment tasks pick the workspace of whichever pool
   // worker executes them, so they reuse the same per-worker state as
   // whole-query tasks without locking.
   RLQVO_FAILPOINT("engine.enumerate");
@@ -236,6 +239,19 @@ Result<BatchResult> QueryEngine::MatchBatch(const std::vector<Graph>& queries,
     batch.total_local_candidate_sets += stats.local_candidate_sets;
     batch.total_simd_intersections += stats.num_simd_intersections;
     batch.total_bitmap_intersections += stats.num_bitmap_intersections;
+    batch.total_steals += stats.num_steals;
+    batch.total_splits += stats.num_splits;
+    batch.max_segment_depth =
+        std::max(batch.max_segment_depth, stats.max_segment_depth);
+    batch.max_worker_work =
+        std::max(batch.max_worker_work, stats.max_worker_work);
+    // Min over queries that ran parallel segments: a serial query's zero
+    // would otherwise mask the real spread.
+    if (stats.max_worker_work > 0 &&
+        (batch.min_worker_work == 0 ||
+         stats.min_worker_work < batch.min_worker_work)) {
+      batch.min_worker_work = stats.min_worker_work;
+    }
     batch.total_order_seconds += stats.order_time_seconds;
     if (!stats.solved) ++batch.unsolved;
   }

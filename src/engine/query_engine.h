@@ -100,6 +100,17 @@ struct BatchResult {
   /// served (see EnumerateResult).
   uint64_t total_simd_intersections = 0;
   uint64_t total_bitmap_intersections = 0;
+  /// Work-stealing scheduler aggregates. Steals/splits are summed across
+  /// queries (zero for serial batches); max_segment_depth and
+  /// max_worker_work are batch maxima; min_worker_work is the minimum
+  /// over queries that did any enumeration work (serial queries report
+  /// min == max == their own work total). Schedule-dependent diagnostics,
+  /// not covered by the bit-identity contract.
+  uint64_t total_steals = 0;
+  uint64_t total_splits = 0;
+  size_t max_segment_depth = 0;
+  uint64_t min_worker_work = 0;
+  uint64_t max_worker_work = 0;
   /// Number of queries whose deadline fired before completion.
   uint32_t unsolved = 0;
   /// Candidate-cache hits/misses incurred by this batch.

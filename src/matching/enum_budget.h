@@ -100,11 +100,31 @@ class EnumBudget {
     return stop_.load(std::memory_order_relaxed);
   }
 
+  /// \name Hungry-worker signal (used by the work-stealing scheduler).
+  /// Count of this run's workers currently hunting for a segment to steal
+  /// (deque drained, none acquired yet). Busy workers poll it at their
+  /// split-quantum checkpoints: a nonzero count means a lazily-split
+  /// segment would find a taker. Relaxed on both sides, consistent with
+  /// the class protocol above — the counter only *counts*; it gates a
+  /// heuristic split decision, and a stale read costs at most one missed
+  /// or one useless split (the segment itself is handed over through the
+  /// scheduler's mutex, which provides the publication edge).
+  /// @{
+  void AddHungryWorker() { hungry_.fetch_add(1, std::memory_order_relaxed); }
+  void RemoveHungryWorker() {
+    hungry_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  bool HasHungryWorkers() const {
+    return hungry_.load(std::memory_order_relaxed) > 0;
+  }
+  /// @}
+
  private:
   const uint64_t limit_;
   const Deadline* deadline_;
   std::atomic<uint64_t> claimed_{0};
   std::atomic<bool> stop_{false};
+  std::atomic<uint32_t> hungry_{0};
 };
 
 }  // namespace rlqvo

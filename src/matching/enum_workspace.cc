@@ -145,4 +145,21 @@ Status EnumeratorWorkspace::Prepare(const Graph& query, const Graph& data,
   return Status::OK();
 }
 
+void EnumeratorWorkspace::InstallSegmentPrefix(
+    const std::vector<VertexId>& order, std::span<const VertexId> prefix) {
+  RLQVO_DCHECK_LE(prefix.size(), order.size());
+  for (size_t p = 0; p < prefix.size(); ++p) {
+    mapping_[order[p]] = prefix[p];
+    MarkVisited(prefix[p]);
+  }
+}
+
+void EnumeratorWorkspace::RemoveSegmentPrefix(
+    const std::vector<VertexId>& order, std::span<const VertexId> prefix) {
+  for (size_t p = 0; p < prefix.size(); ++p) {
+    UnmarkVisited(prefix[p]);
+    mapping_[order[p]] = kInvalidVertex;
+  }
+}
+
 }  // namespace rlqvo

@@ -113,6 +113,21 @@ class EnumeratorWorkspace {
   /// mapping[u] = mapped data vertex (kInvalidVertex if unmapped).
   std::vector<VertexId>& mapping() { return mapping_; }
 
+  /// \name Segment prefix install/remove (work-stealing enumeration).
+  /// A stolen frontier segment resumes the recursion mid-tree: positions
+  /// 0..prefix.size()-1 of `order` are already mapped (prefix[p] is the
+  /// data image of order[p]). Install writes those mappings and marks the
+  /// images visited, exactly as if the recursion had descended to that
+  /// frame on this workspace; Remove undoes it (kInvalidVertex + unmark),
+  /// restoring the all-unmapped state between segments. Must be called in
+  /// matched pairs on a Prepared workspace.
+  /// @{
+  void InstallSegmentPrefix(const std::vector<VertexId>& order,
+                            std::span<const VertexId> prefix);
+  void RemoveSegmentPrefix(const std::vector<VertexId>& order,
+                           std::span<const VertexId> prefix);
+  /// @}
+
   /// One backward edge constraint of a query vertex being extended: the new
   /// vertex's data image must lie in NeighborsWith(mapping[u], dir, elabel,
   /// label(new)) — i.e. `dir`/`elabel` are from the *placed* endpoint u's

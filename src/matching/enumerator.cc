@@ -2,8 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <deque>
+#include <limits>
+#include <memory>
+#include <span>
 #include <utility>
 
+#include "common/failpoint.h"
 #include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "graph/graph_algorithms.h"
@@ -26,18 +31,337 @@ namespace {
 /// overhead well under 1%.
 constexpr uint64_t kDeadlineCheckWorkQuantum = uint64_t{1} << 14;
 
-/// Root chunks per requested thread in RunParallel. More chunks than
-/// threads smooths load imbalance between root subtrees (a hub root can be
-/// orders of magnitude heavier than its neighbors); 4 is a standard
-/// granularity factor. The chunk count depends only on parallel_threads
-/// and |C(root)| — never on pool size or scheduling — so the chunk
-/// partition (and thus the stitched output) is deterministic.
-constexpr size_t kRootChunksPerThread = 4;
+/// Work units between two split-opportunity polls in the work-stealing
+/// path. Finer than the deadline quantum so a heavy subtree sheds work to
+/// a freshly-idle worker within ~2k units, but each poll is just two
+/// relaxed loads (hungry-worker count, own-deque size) on the no-split
+/// path, so the serial-equivalent overhead stays far below 1%. The serial
+/// recursion does not poll for splits at all — EnumContext<false> compiles
+/// this away, keeping the one-compare fast path of PR 4.
+constexpr uint64_t kSplitCheckWorkQuantum = uint64_t{1} << 11;
 
-/// Recursion state for one enumeration task (the whole query in the serial
-/// path, one root-candidate chunk in the parallel path). All per-query
-/// buffers live in the EnumeratorWorkspace; this carries the loop
-/// bookkeeping plus the work-metered stop checks against the shared budget.
+/// Minimum remaining-sibling-range width an owner will split off. Below
+/// this the stolen half cannot amortize the segment overhead (prefix copy,
+/// deque round-trip, per-segment result buffers), so tiny ranges always
+/// stay with their owner.
+constexpr size_t kMinSplitWidth = 4;
+
+/// A maximal run of consecutively-emitted embeddings, tagged with the
+/// *index path* of its first emission: for each order position, the
+/// candidate's index in the original (unsplit) frame of the loop instance
+/// it came from. Serial enumeration visits emissions in strictly
+/// increasing lexicographic index-path order, so sorting blocks by `path`
+/// reproduces the serial emission sequence exactly — the deterministic
+/// stitching of RunParallel. Two paths are only compared component-wise
+/// until they first differ, and equal components at every shallower level
+/// imply the *same* loop instance at the next level, so indices from
+/// different branches of the search tree are never compared against each
+/// other's frames.
+struct EmissionBlock {
+  std::vector<size_t> path;
+  std::vector<std::vector<VertexId>> embeddings;
+};
+
+/// One stealable unit of enumeration work: resume the candidate loop at
+/// order position `depth` over the remaining sub-range `cands`, with
+/// positions 0..depth-1 already mapped as recorded in `prefix`.
+///
+/// **Emission blocks.** A segment's output is a list of EmissionBlocks
+/// rather than one stream: whenever the segment pops a loop level that a
+/// split carved a tail from, its subsequent emissions come *after* the
+/// carved interval in serial order, so the current block is closed there
+/// and the next emission opens a new one (see EnumContext::EmitMatch and
+/// RunLevel). Block paths then interleave parent and child output
+/// correctly under the global sort no matter how deep the split was.
+struct FrontierSegment {
+  /// Order position of the resumed loop; prefix.size() == depth.
+  size_t depth = 0;
+  /// prefix[p] = data image of order[p] for p < depth.
+  std::vector<VertexId> prefix;
+  /// path_prefix[p] = original-frame candidate index behind prefix[p] —
+  /// the first `depth` components of every index path this segment emits.
+  std::vector<size_t> path_prefix;
+  /// Original-frame index of cands[0] within the loop instance this
+  /// segment resumes (splits hand the tail to the child, so the child's
+  /// storage starts mid-frame).
+  size_t base = 0;
+  /// Backing storage for `cands` when the parent's range lived in a
+  /// worker-local intersection buffer (mutated after the parent's frame
+  /// exits); empty when `cands` points into stable storage (candidate
+  /// lists, graph adjacency, or an ancestor segment's owned_cands — all
+  /// immutable for the run, segments are kept alive until stitching).
+  std::vector<VertexId> owned_cands;
+  std::span<const VertexId> cands;
+  /// Segment-local counters (embeddings live in `blocks`), published to
+  /// the coordinator through the completion rendezvous.
+  EnumerateResult result;
+  std::vector<EmissionBlock> blocks;
+};
+
+/// Per-run work-stealing scheduler: one deque of queued segments per
+/// worker slot. Owners push splits to and pop work from their own deque
+/// LIFO (bottom), so an owner keeps depth-first locality; a drained worker
+/// steals FIFO (top) from the victim whose oldest queued segment is
+/// shallowest — shallow segments bound the largest remaining subtrees.
+///
+/// **Locking.** One mutex guards every deque and the lifecycle counters;
+/// all segment handoffs (push, own-pop, steal) happen under it, which is
+/// the release/acquire edge that publishes a segment's prefix/cands to the
+/// thief. Segment *results* are not published here — workers write them
+/// while executing and the coordinator reads them only after the
+/// completion rendezvous in RunParallel. The lock-free members are
+/// advisory scheduling hints only (see ShouldSplit).
+class SegmentScheduler {
+ public:
+  SegmentScheduler(size_t num_slots, EnumBudget* budget,
+                   const ThreadPool* pool)
+      : budget_(budget),
+        pool_(pool),
+        deques_(num_slots),
+        worker_work_(num_slots, 0),
+        worker_participated_(num_slots, false),
+        own_queued_(new std::atomic<uint32_t>[num_slots]),
+        unclaimed_slots_(static_cast<uint32_t>(num_slots)) {
+    for (size_t s = 0; s < num_slots; ++s) {
+      own_queued_[s].store(0, std::memory_order_relaxed);
+    }
+  }
+
+  /// Assigns the calling worker loop its slot. Each of the run's
+  /// num_slots loop tasks claims exactly one.
+  int ClaimSlot() {
+    const uint32_t slot = next_slot_.fetch_add(1, std::memory_order_relaxed);
+    unclaimed_slots_.fetch_sub(1, std::memory_order_relaxed);
+    return static_cast<int>(slot);
+  }
+
+  /// Enqueues one static root seed before the loop tasks start. Not
+  /// counted as a split.
+  void Seed(int slot, std::unique_ptr<FrontierSegment> seg) EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    EnqueueLocked(slot, std::move(seg));
+  }
+
+  /// Publishes a freshly split child on the owner's deque and wakes
+  /// hungry workers.
+  void Push(int slot, std::unique_ptr<FrontierSegment> seg) EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    EnqueueLocked(slot, std::move(seg));
+    ++splits_;
+    ++version_;
+    cv_.NotifyAll();
+  }
+
+  /// Blocks until a segment is available (own deque LIFO first, then a
+  /// cross-deque FIFO steal) or the run is drained (returns nullptr).
+  /// The returned segment is owned by the scheduler's master list; the
+  /// caller must pair every non-null return with FinishSegment().
+  FrontierSegment* Acquire(int slot) EXCLUDES(mu_) {
+    bool hungry = false;
+    auto resolve = [&](FrontierSegment* seg) {
+      if (hungry) budget_->RemoveHungryWorker();
+      return seg;
+    };
+    for (;;) {
+      uint64_t version_seen = 0;
+      {
+        MutexLock lock(&mu_);
+        for (;;) {
+          if (!deques_[slot].empty()) {
+            FrontierSegment* seg = deques_[slot].back();
+            deques_[slot].pop_back();
+            own_queued_[slot].store(
+                static_cast<uint32_t>(deques_[slot].size()),
+                std::memory_order_relaxed);
+            --queued_;
+            ++executing_;
+            return resolve(seg);
+          }
+          if (done_ || (queued_ == 0 && executing_ == 0)) {
+            done_ = true;
+            cv_.NotifyAll();
+            return resolve(nullptr);
+          }
+          if (!hungry) {
+            // Signal busy workers that a lazily-split segment would find
+            // a taker (polled at their split-quantum checkpoints).
+            budget_->AddHungryWorker();
+            hungry = true;
+          }
+          if (queued_ > 0) {
+            version_seen = version_;
+            break;  // to the steal attempt below
+          }
+          cv_.Wait(&mu_);
+        }
+      }
+      // Steal attempt. The failpoint fires outside the scheduler mutex so
+      // its delay mode skews the schedule without stalling other workers;
+      // a *failed* (error-injected) attempt waits for the scheduler state
+      // to change instead of hot-spinning on the same queued segment.
+      if (RLQVO_FAILPOINT_FIRED("enumerate.steal")) {
+        MutexLock lock(&mu_);
+        // Deadlock-freedom under injected steal failure: a non-empty
+        // deque whose loop task has not started yet has no owner to
+        // drain it, and on a saturated pool none may ever arrive (the
+        // coordinator inlining this loop is the thread that would have
+        // run it). Waiting for a state change would then wait on
+        // progress only this worker could make. Adopt such orphaned
+        // seeds owner-style instead — a back pop that is not counted as
+        // a steal and not subject to the steal fault.
+        for (size_t d = next_slot_.load(std::memory_order_relaxed);
+             d < deques_.size(); ++d) {
+          if (deques_[d].empty()) continue;
+          FrontierSegment* seg = deques_[d].back();
+          deques_[d].pop_back();
+          own_queued_[d].store(static_cast<uint32_t>(deques_[d].size()),
+                               std::memory_order_relaxed);
+          --queued_;
+          ++executing_;
+          return resolve(seg);
+        }
+        while (version_ == version_seen && !done_ && deques_[slot].empty() &&
+               !(queued_ == 0 && executing_ == 0)) {
+          cv_.Wait(&mu_);
+        }
+        continue;
+      }
+      {
+        MutexLock lock(&mu_);
+        int victim = -1;
+        size_t best_depth = std::numeric_limits<size_t>::max();
+        for (size_t d = 0; d < deques_.size(); ++d) {
+          if (deques_[d].empty()) continue;
+          if (deques_[d].front()->depth < best_depth) {
+            best_depth = deques_[d].front()->depth;
+            victim = static_cast<int>(d);
+          }
+        }
+        if (victim < 0) continue;  // raced with another thief; re-wait
+        FrontierSegment* seg = deques_[victim].front();
+        deques_[victim].pop_front();
+        own_queued_[victim].store(
+            static_cast<uint32_t>(deques_[victim].size()),
+            std::memory_order_relaxed);
+        --queued_;
+        ++executing_;
+        ++steals_;
+        return resolve(seg);
+      }
+    }
+  }
+
+  /// Marks the segment returned by the last Acquire as finished; the last
+  /// finish with an empty queue completes the run and wakes everyone.
+  void FinishSegment() EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    --executing_;
+    ++version_;
+    if (executing_ == 0 && queued_ == 0) done_ = true;
+    cv_.NotifyAll();
+  }
+
+  /// The owner-side split trigger, polled every kSplitCheckWorkQuantum
+  /// work units. Pure hints (relaxed loads): a stale answer costs one
+  /// missed or one useless split, never correctness. A worker with queued
+  /// segments of its own never splits — thieves can take those directly.
+  bool ShouldSplit(int slot) const {
+    if (own_queued_[slot].load(std::memory_order_relaxed) != 0) return false;
+    if (budget_->HasHungryWorkers()) return true;
+    // Startup window: loop tasks still queued on the pool have claimed no
+    // slot yet, but an idle pool worker will start one as soon as work
+    // exists for it to find.
+    return unclaimed_slots_.load(std::memory_order_relaxed) > 0 &&
+           pool_ != nullptr && pool_->ApproxIdleWorkers() > 0;
+  }
+
+  /// Records a worker loop's cumulative charged work on exit.
+  void RecordWorker(int slot, uint64_t work, bool participated)
+      EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    worker_work_[slot] = work;
+    worker_participated_[slot] = participated;
+  }
+
+  /// \name Post-run accessors (coordinator only, after the completion
+  /// rendezvous guarantees every loop task has exited).
+  /// @{
+  uint64_t steals() EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return steals_;
+  }
+  uint64_t splits() EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return splits_;
+  }
+  std::vector<std::unique_ptr<FrontierSegment>> TakeSegments() EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return std::move(all_);
+  }
+  std::pair<uint64_t, uint64_t> WorkerWorkMinMax() EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    uint64_t mn = 0, mx = 0;
+    bool any = false;
+    for (size_t s = 0; s < worker_work_.size(); ++s) {
+      if (!worker_participated_[s]) continue;
+      if (!any) {
+        mn = mx = worker_work_[s];
+        any = true;
+      } else {
+        mn = std::min(mn, worker_work_[s]);
+        mx = std::max(mx, worker_work_[s]);
+      }
+    }
+    return {mn, mx};
+  }
+  /// @}
+
+ private:
+  void EnqueueLocked(int slot, std::unique_ptr<FrontierSegment> seg)
+      REQUIRES(mu_) {
+    FrontierSegment* raw = seg.get();
+    all_.push_back(std::move(seg));
+    deques_[slot].push_back(raw);
+    own_queued_[slot].store(static_cast<uint32_t>(deques_[slot].size()),
+                            std::memory_order_relaxed);
+    ++queued_;
+  }
+
+  EnumBudget* const budget_;
+  const ThreadPool* const pool_;
+
+  Mutex mu_;
+  CondVar cv_;  // signaled on push, finish, and run completion
+  std::vector<std::deque<FrontierSegment*>> deques_ GUARDED_BY(mu_);
+  /// Master list: owns every segment for the whole run, so a child's
+  /// `cands` span into an ancestor's owned_cands stays valid until the
+  /// coordinator stitches.
+  std::vector<std::unique_ptr<FrontierSegment>> all_ GUARDED_BY(mu_);
+  size_t queued_ GUARDED_BY(mu_) = 0;
+  size_t executing_ GUARDED_BY(mu_) = 0;
+  bool done_ GUARDED_BY(mu_) = false;
+  /// Bumped on every push/finish; lets an error-injected steal attempt
+  /// wait for *change* instead of hot-spinning.
+  uint64_t version_ GUARDED_BY(mu_) = 0;
+  uint64_t steals_ GUARDED_BY(mu_) = 0;
+  uint64_t splits_ GUARDED_BY(mu_) = 0;
+  std::vector<uint64_t> worker_work_ GUARDED_BY(mu_);
+  std::vector<bool> worker_participated_ GUARDED_BY(mu_);
+
+  // Advisory hints, read lock-free by ShouldSplit (see class comment).
+  std::unique_ptr<std::atomic<uint32_t>[]> own_queued_;
+  std::atomic<uint32_t> next_slot_{0};
+  std::atomic<uint32_t> unclaimed_slots_;
+};
+
+/// Recursion state for one enumeration worker (the whole query in the
+/// serial path, a sequence of frontier segments in the work-stealing
+/// path). All per-query buffers live in the EnumeratorWorkspace; this
+/// carries the loop bookkeeping plus the work-metered stop checks against
+/// the shared budget. `kStealable == false` compiles to exactly PR 4's
+/// serial recursion — no spine bookkeeping, no split polling, the same
+/// single compare on the hot path.
+template <bool kStealable>
 struct EnumContext {
   EnumContext(const Graph& q, const Graph& g, const CandidateSet& c,
               const std::vector<VertexId>& o, const EnumerateOptions& opts,
@@ -48,7 +372,12 @@ struct EnumContext {
         order(&o),
         options(&opts),
         ws(workspace),
-        budget(shared_budget) {}
+        budget(shared_budget) {
+    if constexpr (kStealable) {
+      spine_.resize(order->size());
+      next_check = std::min(next_deadline_check, next_split_check);
+    }
+  }
 
   const Graph* query;
   const Graph* data;
@@ -61,14 +390,51 @@ struct EnumContext {
   EnumerateResult result;
   uint64_t work = 0;  // charged work units (calls, comparisons, scans)
   uint64_t next_deadline_check = kDeadlineCheckWorkQuantum;
+  uint64_t next_split_check = kSplitCheckWorkQuantum;  // stealable only
+  uint64_t next_check = kDeadlineCheckWorkQuantum;     // min of the above
   bool stopped = false;
 
+  // Work-stealing state (set by RunParallel's worker loop; unused and
+  // empty in the serial instantiation).
+  SegmentScheduler* scheduler = nullptr;
+  int slot = -1;
+  FrontierSegment* seg = nullptr;
+
+  /// One live candidate loop of the current segment. The spine is the
+  /// single source of truth for the loop ranges: TrySplit shrinks
+  /// `end` (same thread — a split happens inside a CheckStop poll of a
+  /// deeper frame) and the loop in RunLevel re-reads it every iteration.
+  struct SpineLevel {
+    const VertexId* cands = nullptr;
+    size_t next = 0;
+    size_t end = 0;
+    /// Original-frame index of cands[0]: storage position i corresponds
+    /// to index base + i of the loop instance as it existed before any
+    /// split shrank or re-based it. Index paths are built from these so
+    /// split-off children and their parents stay comparable.
+    size_t base = 0;
+    /// Whether `cands` outlives this frame unmutated (candidate list,
+    /// graph adjacency slice, or this segment's own cands span). A split
+    /// of an unstable level must copy its half out (see TrySplit).
+    bool stable = false;
+    bool active = false;
+    /// Set by TrySplit when a tail of this level was carved off: the
+    /// loop's exit is then a serial-order discontinuity, so it closes the
+    /// segment's current emission block (see RunLevel).
+    bool carved = false;
+  };
+
   /// The per-iteration stop test: one compare on the fast path. Once the
-  /// charged work crosses the next quantum boundary it re-checks the shared
-  /// deadline and the budget's stop broadcast (another chunk hitting the
-  /// limit or the deadline first).
+  /// charged work crosses the next quantum boundary it re-checks the
+  /// shared deadline / stop broadcast and (stealable only, on a finer
+  /// quantum) the split trigger.
   bool CheckStop() {
     if (stopped) return true;
+    if (work >= next_check) Poll();
+    return stopped;
+  }
+
+  void Poll() {
     if (work >= next_deadline_check) {
       next_deadline_check = work + kDeadlineCheckWorkQuantum;
       if (budget->deadline().Expired()) {
@@ -79,22 +445,101 @@ struct EnumContext {
         stopped = true;
       }
     }
-    return stopped;
+    if constexpr (kStealable) {
+      if (!stopped && work >= next_split_check) {
+        next_split_check = work + kSplitCheckWorkQuantum;
+        if (scheduler->ShouldSplit(slot)) TrySplit();
+      }
+      next_check = std::min(next_deadline_check, next_split_check);
+    } else {
+      next_check = next_deadline_check;
+    }
+  }
+
+  /// Original-frame candidate index currently selected at order position
+  /// `p` — the component every index path records for that level. `next`
+  /// was already advanced past the current candidate, hence the -1.
+  size_t PathComponent(size_t p) const {
+    static_assert(kStealable);
+    if (p < seg->depth) return seg->path_prefix[p];
+    return spine_[p].base + spine_[p].next - 1;
+  }
+
+  /// Splits the shallowest active level with enough remaining iterations:
+  /// the *tail half* of its untouched sub-range becomes a stealable child
+  /// segment. The child records the original-frame index path down to its
+  /// level, so the stitching sort puts its emissions exactly where the
+  /// carved interval sat in serial order; the owner marks the level
+  /// carved so its own stream breaks a block there (see RunLevel).
+  /// One split per poll; the prefix copy is the only O(depth) cost.
+  void TrySplit() {
+    static_assert(kStealable);
+    for (size_t d = seg->depth; d < order->size(); ++d) {
+      SpineLevel& lvl = spine_[d];
+      if (!lvl.active) return;  // active frames are a contiguous prefix
+      const size_t remaining = lvl.end - lvl.next;
+      if (remaining < kMinSplitWidth) continue;
+      // Injected skip: the owner keeps the whole range on its own stack
+      // (a thief then simply waits for other work); delay mode stalls the
+      // split long enough to skew the schedule.
+      if (RLQVO_FAILPOINT_FIRED("enumerate.split")) return;
+      const size_t give = remaining / 2;
+      const size_t mid = lvl.end - give;
+      auto child = std::make_unique<FrontierSegment>();
+      child->depth = d;
+      child->prefix.resize(d);
+      child->path_prefix.resize(d);
+      for (size_t p = 0; p < d; ++p) {
+        child->prefix[p] = ws->mapping()[(*order)[p]];
+        child->path_prefix[p] = PathComponent(p);
+      }
+      child->base = lvl.base + mid;
+      if (lvl.stable) {
+        child->cands = std::span<const VertexId>(lvl.cands + mid, give);
+      } else {
+        // The range lives in this worker's per-depth intersection buffer,
+        // which is overwritten the next time this depth intersects: copy
+        // the stolen half out. The child's own copy *is* stable, so its
+        // sub-splits take spans again.
+        child->owned_cands.assign(lvl.cands + mid, lvl.cands + lvl.end);
+        child->cands = std::span<const VertexId>(child->owned_cands);
+      }
+      lvl.end = mid;
+      lvl.carved = true;
+      scheduler->Push(slot, std::move(child));
+      return;
+    }
   }
 
   void EmitMatch() {
     if (!budget->TryClaimMatch()) {
       // Global match budget exhausted. Serially this cannot happen (the
       // claim that reaches the limit stops the run below); in parallel,
-      // another chunk claimed the final slot first. Either way this match
-      // is not emitted, so the total stays exactly at the limit.
+      // another segment claimed the final slot first. Either way this
+      // match is not emitted, so the total stays exactly at the limit.
       stopped = true;
       return;
     }
     ++result.num_matches;
     ++work;
     if (options->store_embeddings) {
-      result.embeddings.push_back(ws->mapping());
+      if constexpr (kStealable) {
+        // Consecutive emissions extend the current block; the first one —
+        // and the first after crossing a carved-off interval — opens a new
+        // block stamped with this emission's index path.
+        if (seg->blocks.empty() || pending_block_break_) {
+          seg->blocks.emplace_back();
+          EmissionBlock& block = seg->blocks.back();
+          block.path.resize(order->size());
+          for (size_t p = 0; p < order->size(); ++p) {
+            block.path[p] = PathComponent(p);
+          }
+          pending_block_break_ = false;
+        }
+        seg->blocks.back().embeddings.push_back(ws->mapping());
+      } else {
+        result.embeddings.push_back(ws->mapping());
+      }
     }
     if (budget->LimitReached()) {
       result.hit_match_limit = true;
@@ -121,27 +566,106 @@ struct EnumContext {
     }
   }
 
-  /// The root level of Algorithm 2 over candidate indexes [begin, end) of
-  /// C(order[0]) — the first order vertex never has mapped backward
-  /// neighbors, so the root is always the full-candidate-list branch. The
-  /// serial path passes the whole range; parallel chunks pass their slice.
-  /// `charge_root_call` keeps num_enumerations identical to the serial
-  /// count: the root is ONE recursive call no matter how many chunks
-  /// partition its loop, so chunks leave it uncharged and the merge adds
-  /// it back once.
-  void RunRoot(size_t begin, size_t end, bool charge_root_call) {
-    if (charge_root_call) ++result.num_enumerations;
+  /// The candidate loop at order position `depth` over cands[begin, end),
+  /// whose storage index 0 sits at original-frame index `base` (nonzero
+  /// only for resumed segments — fresh loops own their whole frame).
+  /// `membership` is false only for full-candidate-list levels (the root
+  /// and component breaks), whose vertices are members by construction.
+  /// In the stealable instantiation the loop bounds live in the spine so
+  /// TrySplit can shed the tail; `stable` records whether the storage
+  /// outlives the frame (see SpineLevel).
+  void RunLevel(size_t depth, const VertexId* cands, size_t begin, size_t end,
+                size_t base, bool stable, bool membership) {
+    const VertexId u = (*order)[depth];
+    if constexpr (kStealable) {
+      SpineLevel& lvl = spine_[depth];
+      lvl.cands = cands;
+      lvl.next = begin;
+      lvl.end = end;
+      lvl.base = base;
+      lvl.stable = stable;
+      lvl.active = true;
+      lvl.carved = false;
+      while (lvl.next < lvl.end) {
+        const VertexId v = lvl.cands[lvl.next++];
+        if (ws->Visited(v)) continue;
+        if (membership && !ws->InCandidates(*candidates, u, v)) continue;
+        Descend(depth, u, v);
+        if (CheckStop()) break;
+      }
+      lvl.active = false;
+      if (lvl.carved) {
+        // A split took this level's tail: everything this segment emits
+        // from here on comes *after* the carved interval in serial order,
+        // so the current emission block ends at this boundary.
+        lvl.carved = false;
+        pending_block_break_ = true;
+      }
+    } else {
+      (void)base;
+      (void)stable;
+      for (size_t i = begin; i < end; ++i) {
+        const VertexId v = cands[i];
+        if (ws->Visited(v)) continue;
+        if (membership && !ws->InCandidates(*candidates, u, v)) continue;
+        Descend(depth, u, v);
+        if (CheckStop()) return;
+      }
+    }
+  }
+
+  /// The serial entry point: the root level of Algorithm 2 over the whole
+  /// of C(order[0]) — the first order vertex never has mapped backward
+  /// neighbors, so the root is always the full-candidate-list branch.
+  void RunWholeQuery() {
+    ++result.num_enumerations;
     ++work;
     if (CheckStop()) return;
-    const VertexId u = (*order)[0];
     RLQVO_DCHECK(ws->backward()[0].empty());
-    const std::vector<VertexId>& roots = candidates->candidates(u);
-    for (size_t i = begin; i < end; ++i) {
-      const VertexId v = roots[i];
-      if (ws->Visited(v)) continue;
-      Descend(0, u, v);
-      if (CheckStop()) return;
+    const std::vector<VertexId>& roots = candidates->candidates((*order)[0]);
+    RunLevel(0, roots.data(), 0, roots.size(), /*base=*/0, /*stable=*/true,
+             /*membership=*/false);
+  }
+
+  /// The work-stealing entry point: resumes one frontier segment on this
+  /// worker's workspace. The segment does NOT re-charge the recursive
+  /// call that opened its level — that call was charged exactly once, by
+  /// whichever Extend (or the merge's root `+1`) created the loop this
+  /// segment is a piece of; that is what makes the counter sums
+  /// schedule-independent.
+  void RunSegment(FrontierSegment* segment) {
+    static_assert(kStealable);
+    seg = segment;
+    result = EnumerateResult();
+    stopped = false;
+    pending_block_break_ = false;
+    // Re-arm the polling quanta on handoff: a stolen segment must not
+    // inherit the victim's partially-burned quantum (stale-quantum
+    // deadline overshoot), and the immediate check below catches a
+    // deadline that expired while the segment sat queued.
+    next_deadline_check = work + kDeadlineCheckWorkQuantum;
+    next_split_check = work + kSplitCheckWorkQuantum;
+    next_check = std::min(next_deadline_check, next_split_check);
+    if (budget->deadline().Expired()) {
+      result.timed_out = true;
+      budget->RequestStop();
+      stopped = true;
+    } else if (budget->StopRequested()) {
+      stopped = true;
     }
+    if (!stopped) {
+      const std::span<const VertexId> prefix(segment->prefix);
+      ws->InstallSegmentPrefix(*order, prefix);
+      // Same membership rule the level's original loop used: full
+      // candidate lists (root, component breaks) skip the test.
+      const bool membership = !ws->backward()[segment->depth].empty();
+      RunLevel(segment->depth, segment->cands.data(), 0,
+               segment->cands.size(), segment->base, /*stable=*/true,
+               membership);
+      ws->RemoveSegmentPrefix(*order, prefix);
+    }
+    segment->result = std::move(result);
+    seg = nullptr;
   }
 
   // Algorithm 2: extend the partial mapping at position `depth` (>= 1) of
@@ -157,11 +681,9 @@ struct EnumContext {
     if (backward.empty()) {
       // No mapped backward neighbor (a component break in a disconnected
       // query/order): iterate C(u).
-      for (VertexId v : candidates->candidates(u)) {
-        if (ws->Visited(v)) continue;
-        Descend(depth, u, v);
-        if (CheckStop()) return;
-      }
+      const std::vector<VertexId>& c = candidates->candidates(u);
+      RunLevel(depth, c.data(), 0, c.size(), /*base=*/0, /*stable=*/true,
+               /*membership=*/false);
       return;
     }
 
@@ -185,11 +707,8 @@ struct EnumContext {
           mapping[backward[0].u], backward[0].dir, backward[0].elabel, ul);
       result.local_candidates_total += slice.size();
       work += slice.size();
-      for (VertexId v : slice) {
-        if (ws->Visited(v) || !ws->InCandidates(*candidates, u, v)) continue;
-        Descend(depth, u, v);
-        if (CheckStop()) return;
-      }
+      RunLevel(depth, slice.data(), 0, slice.size(), /*base=*/0,
+               /*stable=*/true, /*membership=*/true);
       return;
     }
 
@@ -227,11 +746,10 @@ struct EnumContext {
     // polling stays proportional to effort whatever the slice widths are.
     work += result.num_probe_comparisons - comparisons_before;
     work += bufs.result.size();
-    for (VertexId v : bufs.result) {
-      if (ws->Visited(v) || !ws->InCandidates(*candidates, u, v)) continue;
-      Descend(depth, u, v);
-      if (CheckStop()) return;
-    }
+    // The intersection output is this worker's per-depth buffer: NOT
+    // stable across frames, so a split of this level copies its half.
+    RunLevel(depth, bufs.result.data(), 0, bufs.result.size(), /*base=*/0,
+             /*stable=*/false, /*membership=*/true);
   }
 
   void Descend(size_t depth, VertexId u, VertexId v) {
@@ -247,6 +765,12 @@ struct EnumContext {
     ws->UnmarkVisited(v);
     ws->mapping()[u] = kInvalidVertex;
   }
+
+ private:
+  std::vector<SpineLevel> spine_;  // sized |order| in the stealable path
+  /// Stealable only: the next emission must open a fresh EmissionBlock
+  /// because a carved-off interval lies between it and the previous one.
+  bool pending_block_break_ = false;
 };
 
 /// True iff `order` is a permutation of [0, n). Connectivity is not
@@ -285,14 +809,14 @@ Status ValidateEnumerationInputs(const Graph& query,
 /// pool's per-worker handoff).
 std::atomic<uint64_t> g_parallel_run_counter{0};
 
-/// The reusable workspace a chunk subtask may use on the thread it happens
+/// The reusable workspace a worker loop may use on the thread it happens
 /// to execute on, or nullptr when only a throwaway will do. Pool workers of
 /// *this run's* pool get their per-worker slot; the coordinating caller
-/// (which help-runs chunks while waiting) gets the caller workspace. A
+/// (which help-runs loops while waiting) gets the caller workspace. A
 /// worker of some other pool that wandered in as a coordinator must not
 /// index this pool's slots — its index belongs to a different worker set
 /// whose slot may be in concurrent use.
-EnumeratorWorkspace* PickChunkWorkspace(const ParallelEnumResources& res) {
+EnumeratorWorkspace* PickWorkerWorkspace(const ParallelEnumResources& res) {
   const int worker = ThreadPool::CurrentWorkerIndex();
   if (worker >= 0 && ThreadPool::CurrentPool() == res.pool) {
     if (res.worker_workspaces != nullptr &&
@@ -300,7 +824,7 @@ EnumeratorWorkspace* PickChunkWorkspace(const ParallelEnumResources& res) {
       return &(*res.worker_workspaces)[worker];
     }
     // No per-worker slot: a throwaway, NOT the caller workspace — several
-    // pool workers (plus the help-waiting coordinator) can run chunks
+    // pool workers (plus the help-waiting coordinator) can run loops
     // concurrently, and the caller workspace belongs to the coordinator.
     return nullptr;
   }
@@ -339,14 +863,17 @@ Result<EnumerateResult> Enumerator::Run(const Graph& query, const Graph& data,
   // emission claims are what make match_limit exact (see EnumBudget), and
   // with match_limit == 0 the claim path never touches the atomic.
   EnumBudget budget(options.match_limit, deadline);
-  EnumContext ctx(query, data, candidates, order, options, workspace,
-                  &budget);
+  EnumContext<false> ctx(query, data, candidates, order, options, workspace,
+                         &budget);
   if (deadline->Expired()) {
     ctx.result.timed_out = true;
   } else if (!candidates.AnyEmpty()) {
-    ctx.RunRoot(0, candidates.candidates(order[0]).size(),
-                /*charge_root_call=*/true);
+    ctx.RunWholeQuery();
   }
+  // Serial scheduler diagnostics: no steals/splits/segments, and the one
+  // "worker" did all the work.
+  ctx.result.min_worker_work = ctx.work;
+  ctx.result.max_worker_work = ctx.work;
   ctx.result.enum_time_seconds = watch.ElapsedSeconds();
   return std::move(ctx.result);
 }
@@ -380,106 +907,140 @@ Result<EnumerateResult> Enumerator::RunParallel(
     return merged;
   }
 
-  // Partition the root candidate list into contiguous chunks. The count is
-  // a pure function of (parallel_threads, |C(root)|), so the partition —
-  // and therefore the chunk-order stitching below — is deterministic.
   const std::vector<VertexId>& roots = candidates.candidates(order[0]);
-  const size_t num_chunks = std::min(
-      roots.size(),
-      static_cast<size_t>(options.parallel_threads) * kRootChunksPerThread);
+  const uint32_t num_workers = options.parallel_threads;
 
   EnumBudget budget(options.match_limit, deadline);
   const uint64_t run_token =
       g_parallel_run_counter.fetch_add(1, std::memory_order_relaxed) + 1;
 
-  struct ChunkOutcome {
-    Status status = Status::OK();
-    EnumerateResult result;
-  };
-  std::vector<ChunkOutcome> outcomes(num_chunks);
-  // Completion rendezvous between the chunk subtasks and the coordinator.
-  // A named struct (rather than loose locals) so the GUARDED_BY contract is
-  // visible to Clang's thread-safety analysis: `done` may only be touched
-  // under `mu`. Each outcomes[chunk] slot is written by exactly one subtask
-  // before its ++done, and read by the coordinator only after done ==
-  // num_chunks under mu — that release/acquire pair publishes the slots.
+  // Seed the scheduler with up to num_workers contiguous root pieces, one
+  // per worker deque, so every loop starts with local work. Each piece
+  // records its absolute offset into the root candidate list (`base`), so
+  // the index paths its emissions carry line up with every other piece's
+  // under the stitching sort below.
+  SegmentScheduler scheduler(num_workers, &budget, resources.pool);
+  const size_t num_seeds =
+      std::min(roots.size(), static_cast<size_t>(num_workers));
+  for (size_t k = 0; k < num_seeds; ++k) {
+    const size_t begin = k * roots.size() / num_seeds;
+    const size_t end = (k + 1) * roots.size() / num_seeds;
+    auto seed = std::make_unique<FrontierSegment>();
+    seed->depth = 0;
+    seed->base = begin;
+    seed->cands = std::span<const VertexId>(roots.data() + begin, end - begin);
+    scheduler.Seed(static_cast<int>(k), std::move(seed));
+  }
+
+  std::vector<Status> worker_status(num_workers);
+  // Completion rendezvous between the worker-loop subtasks and the
+  // coordinator. A named struct (rather than loose locals) so the
+  // GUARDED_BY contract is visible to Clang's thread-safety analysis:
+  // `done` may only be touched under `mu`. Each worker_status slot and
+  // segment result is written by its loop before the ++done, and read by
+  // the coordinator only after done == num_workers under mu — that
+  // release/acquire pair publishes them. Waiting for *all* loops (not
+  // just for the work to drain) also keeps this frame's scheduler/budget
+  // alive until the last late-starting loop task has exited.
   struct Completion {
     Mutex mu;
     CondVar cv;
     size_t done GUARDED_BY(mu) = 0;
   } completion;
 
-  auto run_chunk = [&](size_t chunk) {
-    if (budget.StopRequested()) return;  // budget already exhausted
-    ChunkOutcome& out = outcomes[chunk];
-    const size_t begin = chunk * roots.size() / num_chunks;
-    const size_t end = (chunk + 1) * roots.size() / num_chunks;
+  auto worker_loop = [&] {
+    const int slot = scheduler.ClaimSlot();
     EnumeratorWorkspace throwaway;
-    EnumeratorWorkspace* ws = PickChunkWorkspace(resources);
+    EnumeratorWorkspace* ws = PickWorkerWorkspace(resources);
     if (ws == nullptr) ws = &throwaway;
-    // Prepare once per (run, workspace): consecutive chunks of this run on
-    // the same worker reuse the prepared state; any interleaved use for
-    // another query resets the token and forces a fresh Prepare.
+    // Prepare once per (run, workspace): consecutive loop tasks of this
+    // run on the same worker reuse the prepared state; any interleaved
+    // use for another query resets the token and forces a fresh Prepare.
+    bool usable = true;
     if (ws->parallel_run_token() != run_token) {
       Status prepared = ws->Prepare(query, data, candidates, order);
       if (!prepared.ok()) {
-        out.status = std::move(prepared);
-        // The run is doomed; stop sibling chunks at their next checkpoint
-        // instead of letting them finish subtrees the coordinator will
-        // discard.
+        worker_status[slot] = std::move(prepared);
+        // The run is doomed; stop sibling workers at their next
+        // checkpoint and drain the queue without executing.
         budget.RequestStop();
-        return;
+        usable = false;
+      } else {
+        ws->set_parallel_run_token(run_token);
       }
-      ws->set_parallel_run_token(run_token);
     }
-    EnumContext ctx(query, data, candidates, order, options, ws, &budget);
-    ctx.RunRoot(begin, end, /*charge_root_call=*/false);
-    out.result = std::move(ctx.result);
+    EnumContext<true> ctx(query, data, candidates, order, options, ws,
+                          &budget);
+    ctx.scheduler = &scheduler;
+    ctx.slot = slot;
+    bool participated = false;
+    while (FrontierSegment* seg = scheduler.Acquire(slot)) {
+      if (usable) {
+        ctx.RunSegment(seg);
+        participated = true;
+      }
+      scheduler.FinishSegment();
+    }
+    scheduler.RecordWorker(slot, ctx.work, participated);
   };
 
-  // Chunks are tagged with this run's budget address so the coordinator
-  // can help-run exactly its own subtasks below. (Idle pool *workers* pop
-  // anything from the shared queue, so donation across queries still
-  // happens — only the coordinator's inline help is restricted.)
+  // Loop tasks are tagged with this run's budget address so the
+  // coordinator can help-run exactly its own subtasks below. (Idle pool
+  // *workers* pop anything from the shared queue, so donation across
+  // queries still happens — an idle batch worker that pops one of these
+  // loops keeps stealing this query's segments until the run drains.)
   const void* run_group = &budget;
-  for (size_t chunk = 0; chunk < num_chunks; ++chunk) {
+  for (uint32_t t = 0; t < num_workers; ++t) {
     resources.pool->Submit(
-        [&, chunk] {
-          run_chunk(chunk);
+        [&] {
+          worker_loop();
           MutexLock lock(&completion.mu);
-          if (++completion.done == num_chunks) completion.cv.NotifyAll();
+          if (++completion.done == num_workers) completion.cv.NotifyAll();
         },
         run_group);
   }
 
-  // Help-while-waiting: drain this run's queued chunks instead of blocking
-  // a thread they may need. Restricting the help to the run's own group
-  // keeps unrelated queued work (e.g. other whole-query tasks on the
-  // engine's shared pool) off this stack — inlining those would nest
-  // arbitrary pipelines recursively and delay this query's completion.
-  // Once no chunk of this run is queued, every remaining one is executing
-  // on some live worker (chunk tasks never block), so waiting on the
-  // completion signal is deadlock-free (see ThreadPool's nested-submission
-  // contract).
+  // Help-while-waiting: run this query's queued worker loops inline
+  // instead of blocking a thread they may need. Restricting the help to
+  // the run's own group keeps unrelated queued work (e.g. other
+  // whole-query tasks on the engine's shared pool) off this stack.
+  // Deadlock-freedom: a started loop blocks only in Acquire, and only
+  // while another *live* loop is executing a segment (Acquire waits
+  // require executing_ > 0) — never on a queued-but-unstarted task; the
+  // executing loop finishes or splits, either of which signals the
+  // waiter. On a fully-busy pool the coordinator inlines every loop task
+  // itself and the run completes serially.
   for (;;) {
     {
       MutexLock lock(&completion.mu);
-      if (completion.done == num_chunks) break;
+      if (completion.done == num_workers) break;
     }
     if (!resources.pool->TryRunOneTask(run_group)) {
       MutexLock lock(&completion.mu);
-      while (completion.done < num_chunks) completion.cv.Wait(&completion.mu);
+      while (completion.done < num_workers) completion.cv.Wait(&completion.mu);
       break;
     }
   }
 
-  // Stitch in chunk index order: chunk c holds the matches of root
-  // candidates [c*n/nc, (c+1)*n/nc) in serial DFS order, so concatenation
-  // reproduces the serial emission order exactly.
+  for (uint32_t t = 0; t < num_workers; ++t) {
+    if (!worker_status[t].ok()) return worker_status[t];
+  }
+
+  // Stitch. Counters sum in any order: every loop iteration (and the
+  // Extend call that opened each level) ran exactly once, in exactly one
+  // segment. Embeddings are ordered by their blocks' index paths —
+  // serial enumeration emits in strictly increasing lexicographic
+  // index-path order, each block is a maximal consecutive run with no
+  // other segment's emission inside its interval (segments break blocks
+  // exactly where splits carved their stream, see EmissionBlock), so the
+  // sorted concatenation *is* the serial emission sequence — for any
+  // thread count, steal schedule and split timing.
+  std::vector<std::unique_ptr<FrontierSegment>> segments =
+      scheduler.TakeSegments();
   merged.num_enumerations = 1;  // the root recursive call, charged once
-  for (size_t chunk = 0; chunk < num_chunks; ++chunk) {
-    if (!outcomes[chunk].status.ok()) return outcomes[chunk].status;
-    EnumerateResult& r = outcomes[chunk].result;
+  std::vector<EmissionBlock*> blocks;
+  for (std::unique_ptr<FrontierSegment>& sp : segments) {
+    EnumerateResult& r = sp->result;
     merged.num_matches += r.num_matches;
     merged.num_enumerations += r.num_enumerations;
     merged.num_intersections += r.num_intersections;
@@ -489,10 +1050,23 @@ Result<EnumerateResult> Enumerator::RunParallel(
     merged.num_simd_intersections += r.num_simd_intersections;
     merged.num_bitmap_intersections += r.num_bitmap_intersections;
     merged.timed_out |= r.timed_out;
-    for (std::vector<VertexId>& embedding : r.embeddings) {
+    merged.max_segment_depth = std::max(merged.max_segment_depth, sp->depth);
+    for (EmissionBlock& block : sp->blocks) blocks.push_back(&block);
+  }
+  std::sort(blocks.begin(), blocks.end(),
+            [](const EmissionBlock* a, const EmissionBlock* b) {
+              return a->path < b->path;
+            });
+  for (EmissionBlock* block : blocks) {
+    for (std::vector<VertexId>& embedding : block->embeddings) {
       merged.embeddings.push_back(std::move(embedding));
     }
   }
+  merged.num_steals = scheduler.steals();
+  merged.num_splits = scheduler.splits();
+  const std::pair<uint64_t, uint64_t> spread = scheduler.WorkerWorkMinMax();
+  merged.min_worker_work = spread.first;
+  merged.max_worker_work = spread.second;
   merged.hit_match_limit = budget.LimitReached();
   merged.enum_time_seconds = watch.ElapsedSeconds();
   return merged;

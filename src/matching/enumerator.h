@@ -35,13 +35,16 @@ struct EnumerateOptions {
   /// counts are tracked).
   bool store_embeddings = false;
   /// Intra-query enumeration parallelism. 0 (default) runs the classic
-  /// serial recursion. N >= 1 partitions the search tree at the first order
-  /// vertex's candidate set into contiguous chunks (about 4 per thread) and
-  /// fans them across a ThreadPool; match_limit and time_limit_seconds stay
-  /// *global* across chunks via a shared EnumBudget. See
-  /// Enumerator::RunParallel for the determinism contract. Serial callers
-  /// (Enumerator::Run) ignore this field; SubgraphMatcher and QueryEngine
-  /// honor it.
+  /// serial recursion. N >= 1 runs the work-stealing scheduler: the search
+  /// tree is seeded as up to N frontier segments over C(order[0]) and N
+  /// worker loops are fanned across a ThreadPool; a worker that drains its
+  /// own deque steals the shallowest segment available, and a worker deep
+  /// in a heavy subtree lazily splits its remaining sibling range into a
+  /// stealable segment when idle workers are observed. match_limit and
+  /// time_limit_seconds stay *global* across segments via a shared
+  /// EnumBudget. See Enumerator::RunParallel for the determinism contract.
+  /// Serial callers (Enumerator::Run) ignore this field; SubgraphMatcher
+  /// and QueryEngine honor it.
   uint32_t parallel_threads = 0;
 };
 
@@ -90,6 +93,30 @@ struct EnumerateResult {
   uint64_t num_bitmap_intersections = 0;
   /// @}
 
+  /// \name Work-stealing scheduler diagnostics (parallel runs only).
+  /// Unlike the work counters above, these describe the *schedule*, not the
+  /// search: they vary with thread count, timing and steal order, and are
+  /// deliberately excluded from the bit-identity contract. Serial runs
+  /// report zero steals/splits/max_segment_depth and min == max == the
+  /// run's own work-unit total.
+  /// @{
+  /// Cross-deque segment steals (a drained worker taking another worker's
+  /// queued segment). Zero means static seeding alone balanced the load.
+  uint64_t num_steals = 0;
+  /// Lazy splits performed (an owner shedding the tail half of a live
+  /// sibling range into a stealable segment). Counts runtime splits only,
+  /// not the initial root seeding.
+  uint64_t num_splits = 0;
+  /// Deepest order position any executed segment resumed at (0 = all work
+  /// stayed in root-level segments).
+  size_t max_segment_depth = 0;
+  /// Minimum / maximum per-worker charged work units across the workers
+  /// that participated in the run — the load-balance spread the scheduler
+  /// achieved (equal values = perfectly even).
+  uint64_t min_worker_work = 0;
+  uint64_t max_worker_work = 0;
+  /// @}
+
   /// Embeddings as query-vertex-indexed data-vertex vectors, if requested.
   std::vector<std::vector<VertexId>> embeddings;
 };
@@ -97,24 +124,25 @@ struct EnumerateResult {
 /// \brief Execution resources for Enumerator::RunParallel.
 ///
 /// The pool is shared infrastructure: QueryEngine hands every query the
-/// engine-wide pool (so idle batch workers drain a straggler query's chunk
-/// subtasks), while SubgraphMatcher lazily owns a private one. Chunk
-/// subtasks pick their scratch workspace by the executing thread:
+/// engine-wide pool (so idle batch workers pick up a straggler query's
+/// worker-loop tasks and keep donating — stealing segments — until the run
+/// drains), while SubgraphMatcher lazily owns a private one. Worker loops
+/// pick their scratch workspace by the executing thread:
 /// `(*worker_workspaces)[ThreadPool::CurrentWorkerIndex()]` on pool workers
 /// and `caller_workspace` on the coordinating external thread (which donates
-/// itself to the chunk queue while it waits). Each workspace is touched by
+/// itself as one of the loops while it waits). Each workspace is touched by
 /// at most one running task at a time — pool workers execute one task at a
-/// time and the coordinator only runs chunks between, never during, its own
+/// time and the coordinator only runs loops between, never during, its own
 /// workspace use.
 struct ParallelEnumResources {
-  /// Executor for chunk subtasks. nullptr degrades RunParallel to Run.
+  /// Executor for worker-loop subtasks. nullptr degrades RunParallel to Run.
   ThreadPool* pool = nullptr;
   /// One workspace per pool worker (size >= pool->size()); may be nullptr,
-  /// in which case chunks on pool workers fall back to throwaway
+  /// in which case loops on pool workers fall back to throwaway
   /// workspaces.
   std::vector<EnumeratorWorkspace>* worker_workspaces = nullptr;
-  /// Workspace for chunks the calling thread runs while help-waiting; also
-  /// the serial-fallback workspace. May be nullptr (throwaway).
+  /// Workspace for the loop the calling thread runs while help-waiting;
+  /// also the serial-fallback workspace. May be nullptr (throwaway).
   EnumeratorWorkspace* caller_workspace = nullptr;
 };
 
@@ -162,28 +190,43 @@ class Enumerator {
                               EnumeratorWorkspace* workspace,
                               const Deadline* deadline = nullptr) const;
 
-  /// Parallel enumeration of one query: partitions C(order[0]) into
-  /// contiguous chunks (~4 per options.parallel_threads, capped by the
-  /// candidate count), fans the chunks across resources.pool, and
-  /// coordinates every subtask through one shared EnumBudget, so
-  /// match_limit and the deadline are global per-query limits — exactly the
-  /// serial semantics, just executed concurrently. The calling thread
-  /// donates itself to the pool's queue while waiting (TryRunOneTask), so
-  /// nested fan-out from a pool worker cannot deadlock.
+  /// Parallel enumeration of one query via work stealing. The search tree
+  /// is seeded as up to options.parallel_threads *frontier segments* —
+  /// (prefix mapping, depth, remaining candidate sub-range) — partitioning
+  /// C(order[0]); one worker loop per requested thread is fanned across
+  /// resources.pool. Owners pop their own deque LIFO; a drained worker
+  /// steals the shallowest queued segment FIFO from another deque; an owner
+  /// deep in a heavy subtree lazily splits the tail half of a live sibling
+  /// range into a stealable segment when the shared EnumBudget observes
+  /// hungry workers (only above a minimum sub-range width, so tiny ranges
+  /// never pay the prefix-copy cost). Every segment runs against one shared
+  /// EnumBudget, so match_limit and the deadline are global per-query
+  /// limits — exactly the serial semantics, just executed elastically. The
+  /// calling thread donates itself as one of the loops while waiting
+  /// (TryRunOneTask), so nested fan-out from a pool worker cannot deadlock.
   ///
-  /// **Determinism contract.** Chunk subtasks traverse disjoint subtrees of
-  /// the identical serial recursion tree, each buffering its own results;
-  /// the chunks are stitched back in chunk index order. A run that is not
-  /// truncated (no limit fired, no deadline expired) is therefore
-  /// bit-identical to the serial path: same embeddings in the same order,
-  /// and every work counter (num_enumerations, num_intersections, ...) sums
-  /// to exactly the serial value, independent of thread count, pool size
-  /// and scheduling. When a finite match_limit fires, the run still emits
-  /// *exactly* match_limit matches (the budget claim is atomic and capped),
-  /// but which valid embeddings fill the quota depends on chunk scheduling
-  /// — same count, possibly different members than serial. Deadline cuts
-  /// are timing-dependent in serial mode already; the parallel path keeps
-  /// that (weaker) semantics and reports timed_out if any chunk was cut.
+  /// **Determinism contract.** Serial enumeration emits embeddings in
+  /// strictly increasing lexicographic order of their *index paths* — the
+  /// candidate's position, per order level, within the original frame of
+  /// the loop instance it came from. Each segment buffers its emissions as
+  /// index-path-tagged blocks, breaking a block exactly where a split
+  /// carved an interval out of its stream, so blocks are maximal
+  /// consecutive runs of the serial sequence; stitching sorts all blocks
+  /// by path and concatenates — serial order, even for splits carved deep
+  /// below a segment's base level. A run that is not truncated (no
+  /// limit fired, no deadline expired) is therefore bit-identical to the
+  /// serial path: same embeddings in the same order, and every work
+  /// counter (num_enumerations, num_intersections, ...) sums to exactly
+  /// the serial value, independent of thread count, steal schedule,
+  /// split timing and intersection kernel. (The scheduler diagnostics —
+  /// num_steals, num_splits, max_segment_depth, per-worker min/max — are
+  /// schedule descriptions and excluded from that contract.) When a finite
+  /// match_limit fires, the run still emits *exactly* match_limit matches
+  /// (the budget claim is atomic and capped), but which valid embeddings
+  /// fill the quota depends on the schedule — same count, possibly
+  /// different members than serial. Deadline cuts are timing-dependent in
+  /// serial mode already; the parallel path keeps that (weaker) semantics
+  /// and reports timed_out if any segment was cut.
   ///
   /// Falls back to the serial Run (on resources.caller_workspace) when
   /// resources.pool is null or options.parallel_threads == 0.

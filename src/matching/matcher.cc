@@ -119,6 +119,11 @@ Result<MatchRunStats> RunOrderedEnumeration(
   stats.local_candidate_sets = enum_result.local_candidate_sets;
   stats.num_simd_intersections = enum_result.num_simd_intersections;
   stats.num_bitmap_intersections = enum_result.num_bitmap_intersections;
+  stats.num_steals = enum_result.num_steals;
+  stats.num_splits = enum_result.num_splits;
+  stats.max_segment_depth = enum_result.max_segment_depth;
+  stats.min_worker_work = enum_result.min_worker_work;
+  stats.max_worker_work = enum_result.max_worker_work;
   stats.solved = !enum_result.timed_out;
   stats.hit_match_limit = enum_result.hit_match_limit;
   stats.embeddings = std::move(enum_result.embeddings);

@@ -44,6 +44,14 @@ struct MatchRunStats {
   /// served (see EnumerateResult).
   uint64_t num_simd_intersections = 0;
   uint64_t num_bitmap_intersections = 0;
+  /// Work-stealing scheduler diagnostics (see EnumerateResult): segment
+  /// steals/splits, deepest resumed segment, per-worker work spread.
+  /// Schedule-dependent — excluded from the bit-identity contract.
+  uint64_t num_steals = 0;
+  uint64_t num_splits = 0;
+  size_t max_segment_depth = 0;
+  uint64_t min_worker_work = 0;
+  uint64_t max_worker_work = 0;
   /// Query finished within the time limit ("solved", Sec IV-A).
   bool solved = true;
   /// The matching order was served from the engine's order cache (or a

@@ -121,6 +121,45 @@ TEST_F(ChaosTest, EveryFailpointEveryModeNoCrashAndIsolation) {
             baseline);
 }
 
+// The work-stealing scheduler's failpoints only evaluate under intra-query
+// parallelism (the capstone sweep above runs them against a serial-enum
+// engine, where they are dormant). Against an engine that fans segments
+// into its pool, both sites are pure degradations — `enumerate.split`
+// keeps work on the owner's deque, `enumerate.steal` sends the hunter back
+// to waiting — so no mode may crash, fail a query, or change an answer:
+// untruncated results are bit-determined regardless of the schedule.
+TEST_F(ChaosTest, WorkStealingFailpointsDegradeWithoutChangingAnswers) {
+  EnumerateOptions enum_options;
+  enum_options.parallel_threads = 3;
+  EngineOptions engine_options;
+  engine_options.num_threads = 4;
+  auto make_parallel_engine = [&] {
+    return MakeEngineByName("Hybrid", data_, engine_options, enum_options)
+        .ValueOrDie();
+  };
+  const std::vector<uint64_t> baseline =
+      MatchCounts(make_parallel_engine()->MatchBatch(queries_).ValueOrDie());
+  for (uint64_t count : baseline) ASSERT_NE(count, UINT64_MAX);
+
+  for (const char* site : {"enumerate.split", "enumerate.steal"}) {
+    for (const char* mode : {"error", "delay:1", "prob:0.5"}) {
+      ASSERT_TRUE(failpoint::Activate(site, mode).ok());
+      auto engine = make_parallel_engine();
+      const BatchResult batch = engine->MatchBatch(queries_).ValueOrDie();
+      for (size_t i = 0; i < queries_.size(); ++i) {
+        ASSERT_TRUE(batch.statuses[i].ok())
+            << site << "=" << mode << " failed query " << i << ": "
+            << batch.statuses[i].ToString();
+        EXPECT_EQ(batch.per_query[i].num_matches, baseline[i])
+            << site << "=" << mode << " changed query " << i;
+      }
+      EXPECT_EQ(batch.failed, 0u) << site << "=" << mode;
+      ExpectBalancedAccounting(*engine);
+      failpoint::DeactivateAll();
+    }
+  }
+}
+
 // prob:p faults on the filter phase land in individual statuses[i] slots
 // with the catalogued code; the rest of the batch is untouched.
 TEST_F(ChaosTest, ProbabilisticFaultsAreIsolatedPerQuery) {

@@ -12,6 +12,7 @@
 #include <set>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "common/thread_pool.h"
 #include "matching/enumerator.h"
 #include "matching/filters.h"
@@ -88,8 +89,12 @@ void ExpectBitIdentical(const EnumerateResult& serial,
             serial.num_bitmap_intersections);
   EXPECT_EQ(parallel.hit_match_limit, serial.hit_match_limit);
   EXPECT_FALSE(parallel.timed_out);
-  // Same embeddings in the same (serial DFS) order — chunk stitching.
+  // Same embeddings in the same (serial DFS) order — segment stitching.
   EXPECT_EQ(parallel.embeddings, serial.embeddings);
+  // Deliberately NOT compared: num_steals / num_splits /
+  // max_segment_depth / {min,max}_worker_work. Those are scheduler
+  // diagnostics and legitimately vary run to run with the steal schedule;
+  // the determinism contract covers results and work counters only.
 }
 
 // Untruncated runs are bit-identical to serial for every thread count, on
@@ -109,7 +114,7 @@ TEST(ParallelEnumTest, BitIdenticalToSerialAcrossThreadCounts) {
       opts.match_limit = 0;
       opts.store_embeddings = true;
       const EnumerateResult serial = RunSerial(data, pq, opts);
-      for (uint32_t threads : {1u, 2u, 8u}) {
+      for (uint32_t threads : {1u, 2u, 3u, 8u}) {
         ThreadPool pool(threads);
         std::vector<EnumeratorWorkspace> workspaces(pool.size());
         EnumeratorWorkspace caller_ws;
@@ -150,7 +155,7 @@ TEST(ParallelEnumTest, BitIdenticalAcrossKernelsAndThreadCounts) {
     EXPECT_EQ(serial.local_candidate_sets, baseline.local_candidate_sets);
     // Per-kernel: parallel runs reproduce that kernel's serial run bit for
     // bit, including the kernel-specific comparison charge.
-    for (uint32_t threads : {2u, 8u}) {
+    for (uint32_t threads : {1u, 2u, 3u, 8u}) {
       ThreadPool pool(threads);
       std::vector<EnumeratorWorkspace> workspaces(pool.size());
       EnumeratorWorkspace caller_ws;
@@ -160,6 +165,110 @@ TEST(ParallelEnumTest, BitIdenticalAcrossKernelsAndThreadCounts) {
     }
   }
   ASSERT_TRUE(SetIntersectKernel(saved).ok());
+}
+
+// Serial runs never touch the scheduler: diagnostics report zero activity
+// and a degenerate one-worker work spread. A 1-thread parallel run likewise
+// never splits or steals (no hungry peers, no unclaimed slots).
+TEST(ParallelEnumTest, SerialAndOneThreadRunsReportNoSchedulerActivity) {
+  Graph data = MakeData(19, 80, 5.0, 3, 0.0);
+  PreparedQuery pq = PrepareQuery(data, 23, 5);
+  EnumerateOptions opts;
+  opts.match_limit = 0;
+
+  const EnumerateResult serial = RunSerial(data, pq, opts);
+  EXPECT_EQ(serial.num_steals, 0u);
+  EXPECT_EQ(serial.num_splits, 0u);
+  EXPECT_EQ(serial.max_segment_depth, 0u);
+  EXPECT_EQ(serial.min_worker_work, serial.max_worker_work);
+  EXPECT_GT(serial.max_worker_work, 0u);
+
+  ThreadPool pool(1);
+  std::vector<EnumeratorWorkspace> workspaces(pool.size());
+  EnumeratorWorkspace caller_ws;
+  const EnumerateResult one =
+      RunParallelWith(data, pq, opts, 1, &pool, &workspaces, &caller_ws);
+  EXPECT_EQ(one.num_steals, 0u);
+  EXPECT_EQ(one.num_splits, 0u);
+  EXPECT_EQ(one.min_worker_work, one.max_worker_work);
+}
+
+// The steal path actually runs — and changes nothing. A heavy skewed
+// workload with delay-injected steal/split sites (latency only, never an
+// error) perturbs the schedule differently every attempt; each run must
+// still be bit-identical to serial, and across a handful of attempts at
+// least one schedule must have stolen work (seeds are uneven, so a drained
+// worker goes hungry and a split + steal is the only way it gets more).
+TEST(ParallelEnumTest, StealsFireAndStayBitIdenticalUnderSkewedSchedules) {
+  Graph data = MakeData(31, 260, 10.0, 2, 0.0);
+  PreparedQuery pq = PrepareQuery(data, 32, 5);
+  EnumerateOptions opts;
+  opts.match_limit = 0;
+  opts.store_embeddings = true;
+  const EnumerateResult serial = RunSerial(data, pq, opts);
+  ASSERT_GT(serial.num_matches, 0u);
+
+  ASSERT_TRUE(failpoint::Activate("enumerate.steal", "delay:1").ok());
+  ASSERT_TRUE(failpoint::Activate("enumerate.split", "delay:1").ok());
+  uint64_t total_steals = 0;
+  for (uint32_t threads : {3u, 8u}) {
+    // Steal counts are schedule-dependent; retry a few times rather than
+    // demanding every single schedule steals.
+    for (int attempt = 0; attempt < 5; ++attempt) {
+      ThreadPool pool(threads);
+      std::vector<EnumeratorWorkspace> workspaces(pool.size());
+      EnumeratorWorkspace caller_ws;
+      const EnumerateResult parallel = RunParallelWith(
+          data, pq, opts, threads, &pool, &workspaces, &caller_ws);
+      ExpectBitIdentical(serial, parallel, threads);
+      // Note a steal needs no split when it grabs an unstarted seed
+      // segment, so only steals are asserted on, not splits.
+      total_steals += parallel.num_steals;
+      if (parallel.num_steals > 0) break;
+    }
+  }
+  failpoint::DeactivateAll();
+  EXPECT_GT(total_steals, 0u)
+      << "no schedule stole work; the scheduler degenerated to static "
+         "seed partitioning";
+}
+
+// A finite match_limit stays exact while stealing is active: the shared
+// budget hands out claims, so concurrent segments can never over- or
+// under-emit no matter how work migrated between workers.
+TEST(ParallelEnumTest, ExactLimitWithActiveStealing) {
+  Graph data = MakeData(43, 260, 10.0, 2, 0.0);
+  PreparedQuery pq = PrepareQuery(data, 44, 5);
+  EnumerateOptions unlimited;
+  unlimited.match_limit = 0;
+  const uint64_t total = RunSerial(data, pq, unlimited).num_matches;
+  ASSERT_GT(total, 100u) << "workload too small to exercise limits";
+
+  EnumerateOptions opts;
+  opts.match_limit = total - 1;  // nearly all the work, then exact cutoff
+  opts.store_embeddings = true;
+  uint64_t total_steals = 0;
+  for (int attempt = 0; attempt < 10; ++attempt) {
+    ThreadPool pool(8);
+    std::vector<EnumeratorWorkspace> workspaces(pool.size());
+    EnumeratorWorkspace caller_ws;
+    const EnumerateResult parallel =
+        RunParallelWith(data, pq, opts, 8, &pool, &workspaces, &caller_ws);
+    EXPECT_EQ(parallel.num_matches, total - 1);
+    EXPECT_TRUE(parallel.hit_match_limit);
+    EXPECT_EQ(parallel.embeddings.size(), total - 1);
+    std::set<std::vector<VertexId>> distinct(parallel.embeddings.begin(),
+                                             parallel.embeddings.end());
+    EXPECT_EQ(distinct.size(), total - 1);  // no duplicate emissions
+    for (const auto& embedding : parallel.embeddings) {
+      ASSERT_TRUE(IsIsomorphism(pq.query, data, embedding));
+    }
+    total_steals += parallel.num_steals;
+    if (total_steals > 0) break;
+  }
+  failpoint::DeactivateAll();
+  EXPECT_GT(total_steals, 0u)
+      << "limit runs never stole; test is not exercising limit+steal";
 }
 
 TEST(ParallelEnumTest, MatchesBruteForceGroundTruth) {
@@ -286,6 +395,32 @@ TEST(ParallelEnumTest, MidRunDeadlineStopsAllChunks) {
       RunParallelWith(data, pq, opts, 4, &pool, &workspaces, &caller_ws);
   EXPECT_TRUE(result.timed_out);
   EXPECT_FALSE(result.hit_match_limit);
+}
+
+// Regression for the steal-handoff polling bug: a stolen segment must
+// re-arm the deadline quantum (and check expiry immediately) when it
+// starts on its new worker — inheriting the previous segment's poll
+// position could let a thief run a whole extra quantum past the deadline.
+// Steal/split delay injection churns handoffs while a mid-run deadline
+// fires; every schedule must still report the timeout promptly.
+TEST(ParallelEnumTest, MidRunDeadlineExpiresPromptlyUnderForcedSteals) {
+  Graph data = MakeData(6, 400, 12.0, 1, 0.0);
+  PreparedQuery pq = PrepareQuery(data, 8, 10);
+  EnumerateOptions opts;
+  opts.match_limit = 0;
+  opts.time_limit_seconds = 2e-3;
+  ASSERT_TRUE(failpoint::Activate("enumerate.steal", "delay:1").ok());
+  ASSERT_TRUE(failpoint::Activate("enumerate.split", "delay:1").ok());
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    ThreadPool pool(3);
+    std::vector<EnumeratorWorkspace> workspaces(pool.size());
+    EnumeratorWorkspace caller_ws;
+    const EnumerateResult result =
+        RunParallelWith(data, pq, opts, 3, &pool, &workspaces, &caller_ws);
+    EXPECT_TRUE(result.timed_out) << "attempt " << attempt;
+    EXPECT_FALSE(result.hit_match_limit);
+  }
+  failpoint::DeactivateAll();
 }
 
 // >255 runs through the same per-worker workspaces: the uint8 epoch wraps
